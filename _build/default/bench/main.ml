@@ -1,0 +1,206 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (printed to stdout) and wraps the computational kernel behind each table
+   in a Bechamel micro-benchmark.
+
+     dune exec bench/main.exe                 everything
+     dune exec bench/main.exe -- tables       only the table regeneration
+     dune exec bench/main.exe -- micro        only the micro-benchmarks
+     SATPG_BUDGET=4 dune exec bench/main.exe  higher-fidelity ATPG runs
+
+   Ablations (design choices from DESIGN.md §6) run with the tables:
+     mapping objective (area vs delay), random-phase fault dropping,
+     SEST state learning. *)
+
+let say fmt = Fmt.pr fmt
+
+(* ------------------------------------------------------- table regeneration *)
+
+let ablation_mapping () =
+  say "Ablation: technology-mapping objective (area vs delay)@.";
+  say "%-12s %10s %10s %10s %10s@." "fsm" "area(A)" "delay(A)" "area(D)"
+    "delay(D)";
+  List.iter
+    (fun fsm ->
+      let e = Fsm.Benchmarks.find fsm in
+      let m = Fsm.Benchmarks.machine e in
+      let mm = Synth.Minimize_states.minimize m in
+      let codes = Synth.Assign.assign Synth.Assign.Combined mm in
+      let enc = Synth.Encode.encode mm codes in
+      let net = Synth.Network.of_encoded enc in
+      Synth.Scripts.script_rugged net;
+      let spec =
+        {
+          Synth.Emit.circuit_name = fsm;
+          ni = mm.Fsm.Machine.num_inputs;
+          no = mm.Fsm.Machine.num_outputs;
+          bits = snd codes;
+          reset_line = false;
+        }
+      in
+      let generic = Synth.Emit.to_netlist spec net in
+      let a = Synth.Techmap.map ~objective:`Area generic in
+      let d = Synth.Techmap.map ~objective:`Delay generic in
+      say "%-12s %10.1f %10.2f %10.1f %10.2f@." fsm (Netlist.Node.area a)
+        (Netlist.Node.critical_path a) (Netlist.Node.area d)
+        (Netlist.Node.critical_path d))
+    [ "dk16"; "pma"; "s820" ]
+
+let ablation_dropping () =
+  say "Ablation: random-phase fault dropping (dk16.ji.sd original)@.";
+  let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  let c = p.Core.Flow.original in
+  let with_rand = Atpg.Run.generate ~random_sequences_count:2 c in
+  let without = Atpg.Run.generate ~random_sequences_count:0 c in
+  let w r = Atpg.Types.work_units r.Atpg.Types.stats in
+  say "  with random phase   : FC %.1f%%  work %d@."
+    with_rand.Atpg.Types.fault_coverage (w with_rand);
+  say "  without random phase: FC %.1f%%  work %d@."
+    without.Atpg.Types.fault_coverage (w without)
+
+let ablation_learning () =
+  (* dk16's retimed circuit finishes inside the global budget, so the
+     learning saving is visible (the s510 worst case saturates the cap with
+     or without learning). *)
+  say "Ablation: SEST state learning (dk16.ji.sd retimed)@.";
+  let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  let re = p.Core.Flow.retimed in
+  let off = Atpg.Run.generate ~config:(Atpg.Hitec.config ()) re in
+  let on = Atpg.Run.generate ~config:(Atpg.Sest.config ()) re in
+  let w r = Atpg.Types.work_units r.Atpg.Types.stats in
+  say "  learning off: FC %.1f%%  work %d@." off.Atpg.Types.fault_coverage
+    (w off);
+  say "  learning on : FC %.1f%%  work %d@." on.Atpg.Types.fault_coverage
+    (w on)
+
+let run_tables () =
+  let t0 = Unix.gettimeofday () in
+  Core.Report.run_all Fmt.stdout ();
+  Core.Report.pp_shape_checks Fmt.stdout ();
+  say "@.";
+  ablation_mapping ();
+  say "@.";
+  ablation_dropping ();
+  say "@.";
+  ablation_learning ();
+  say "@.(table regeneration took %.1fs; scale with SATPG_BUDGET)@."
+    (Unix.gettimeofday () -. t0)
+
+(* ---------------------------------------------------------- micro benchmarks *)
+
+let micro_tests () =
+  let open Bechamel in
+  let dk16 =
+    lazy (Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay)
+  in
+  let machine = lazy (Fsm.Benchmarks.machine_of_name "dk16") in
+  let circuit = lazy (Lazy.force dk16).Core.Flow.original in
+  let faults = lazy (Fsim.Collapse.list (Lazy.force circuit)) in
+  let vectors =
+    lazy
+      (let rng = Random.State.make [| 1 |] in
+       List.init 100 (fun _ ->
+           Sim.Vectors.random_vector rng
+             (Netlist.Node.num_pis (Lazy.force circuit))))
+  in
+  [
+    Test.make ~name:"table1/fsm-generate"
+      (Staged.stage (fun () -> ignore (Fsm.Benchmarks.machine_of_name "dk16")));
+    Test.make ~name:"table2/fault-sim-100-vectors"
+      (Staged.stage (fun () ->
+           ignore
+             (Fsim.Engine.simulate (Lazy.force circuit) (Lazy.force faults)
+                (Lazy.force vectors))));
+    Test.make ~name:"table2/podem-one-fault"
+      (Staged.stage (fun () ->
+           let c = Lazy.force circuit in
+           let f = (Lazy.force faults).(7) in
+           let stats = Atpg.Types.new_stats () in
+           let cfg = Atpg.Types.default_config in
+           let fr = Atpg.Frames.create ~fault:f c ~frames:6 ~stats in
+           ignore
+             (try
+                match Atpg.Podem.phase_a fr f cfg stats with
+                | Atpg.Podem.Detected -> true
+                | Atpg.Podem.Exhausted _ -> false
+              with Atpg.Podem.Out_of_budget -> false)));
+    Test.make ~name:"table3/attest-score-step"
+      (Staged.stage (fun () ->
+           let c = Lazy.force circuit in
+           ignore (Atpg.Attest.dff_distance_to_po c)));
+    Test.make ~name:"table5/structural-analysis"
+      (Staged.stage (fun () ->
+           ignore (Analysis.Structural.analyze (Lazy.force circuit))));
+    Test.make ~name:"table6/reachability"
+      (Staged.stage (fun () ->
+           ignore (Analysis.Reach.explore (Lazy.force circuit))));
+    Test.make ~name:"table7/min-period-retime"
+      (Staged.stage (fun () ->
+           ignore (Retime.Apply.retime_min_period (Lazy.force circuit))));
+    Test.make ~name:"figure3/trajectory-checkpointing"
+      (Staged.stage (fun () ->
+           let c = Lazy.force circuit in
+           ignore
+             (Atpg.Run.generate ~random_sequences_count:1
+                ~random_sequence_length:30
+                ~config:
+                  {
+                    Atpg.Types.default_config with
+                    Atpg.Types.total_work_limit = 1_000_000;
+                  }
+                c)));
+    Test.make ~name:"synthesis/full-flow"
+      (Staged.stage (fun () ->
+           ignore
+             (Synth.Flow.synthesize ~algorithm:Synth.Assign.Combined
+                ~script:Synth.Flow.Rugged (Lazy.force machine))));
+    Test.make ~name:"twolevel/espresso"
+      (Staged.stage (fun () ->
+           let rng = Random.State.make [| 3 |] in
+           let cube () =
+             let c = ref (Twolevel.Cube.full 10) in
+             for i = 0 to 9 do
+               match Random.State.int rng 3 with
+               | 0 -> c := Twolevel.Cube.set_lit !c i Twolevel.Cube.lit_pos
+               | 1 -> c := Twolevel.Cube.set_lit !c i Twolevel.Cube.lit_neg
+               | _ -> ()
+             done;
+             !c
+           in
+           let on = Twolevel.Cover.make 10 (List.init 24 (fun _ -> cube ())) in
+           ignore
+             (Twolevel.Minimize.espresso ~on ~dc:(Twolevel.Cover.empty 10) ())));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:(Some 50) ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"satpg" (micro_tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  say "Micro-benchmarks (one kernel per table/figure):@.";
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      match Analyze.OLS.estimates (Hashtbl.find results name) with
+      | Some (est :: _) -> say "  %-42s %14.0f ns/run@." name est
+      | Some [] | None -> say "  %-42s %14s@." name "-")
+    (List.sort compare names);
+  say "@."
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+   | "tables" -> run_tables ()
+   | "micro" -> run_micro ()
+   | _ ->
+     run_micro ();
+     run_tables ());
+  Fmt.flush Fmt.stdout ()

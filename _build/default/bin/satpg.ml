@@ -1,0 +1,259 @@
+(* satpg — command-line front end for the sequential-ATPG complexity study.
+
+   Subcommands:
+     synth       synthesize a benchmark FSM and print circuit statistics
+     retime      retime a synthesized circuit and compare the pair
+     atpg        run one of the three ATPG engines on a circuit
+     analyze     structural attributes + density of encoding
+     kiss        dump a benchmark FSM in KISS2 format
+     tables      regenerate the paper's tables (1-8) and Figure 3
+*)
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logging =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let fsm_arg =
+  let doc = "Benchmark FSM name (dk16, pma, s510, s820, s832, scf)." in
+  Arg.(value & pos 0 string "dk16" & info [] ~docv:"FSM" ~doc)
+
+let algorithm_arg =
+  let of_tag =
+    Arg.enum
+      [ ("ji", Synth.Assign.Input_dominant);
+        ("jo", Synth.Assign.Output_dominant);
+        ("jc", Synth.Assign.Combined) ]
+  in
+  let doc = "jedi state-assignment algorithm: ji, jo or jc." in
+  Arg.(value & opt of_tag Synth.Assign.Input_dominant & info [ "j"; "jedi" ] ~doc)
+
+let script_arg =
+  let of_tag =
+    Arg.enum [ ("sr", Synth.Flow.Rugged); ("sd", Synth.Flow.Delay) ]
+  in
+  let doc = "SIS-style synthesis script: sr (rugged/area) or sd (delay)." in
+  Arg.(value & opt of_tag Synth.Flow.Rugged & info [ "s"; "script" ] ~doc)
+
+let engine_arg =
+  let of_tag =
+    Arg.enum
+      [ ("hitec", Core.Cache.Hitec); ("attest", Core.Cache.Attest);
+        ("sest", Core.Cache.Sest) ]
+  in
+  let doc = "ATPG engine: hitec, attest or sest." in
+  Arg.(value & opt of_tag Core.Cache.Hitec & info [ "e"; "engine" ] ~doc)
+
+let retimed_flag =
+  let doc = "Operate on the retimed version of the circuit." in
+  Arg.(value & flag & info [ "r"; "retimed" ] ~doc)
+
+(* --- synth ----------------------------------------------------------------- *)
+
+let synth_cmd =
+  let run () fsm alg script =
+    let p = Core.Flow.pair fsm alg script in
+    Fmt.pr "%s: %a@." p.Core.Flow.name Netlist.Node.pp_summary p.Core.Flow.original;
+    Fmt.pr "  %a@." Netlist.Stats.pp (Netlist.Stats.of_circuit p.Core.Flow.original);
+    Fmt.pr "  state bits: %d, machine states: %d@." p.Core.Flow.synth.Synth.Flow.bits
+      (Fsm.Machine.num_states p.Core.Flow.synth.Synth.Flow.machine)
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize a benchmark FSM")
+    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg)
+
+(* --- retime ---------------------------------------------------------------- *)
+
+let retime_cmd =
+  let run () fsm alg script =
+    let p = Core.Flow.pair fsm alg script in
+    Fmt.pr "original: %a@." Netlist.Node.pp_summary p.Core.Flow.original;
+    Fmt.pr "retimed : %a@." Netlist.Node.pp_summary p.Core.Flow.retimed;
+    Fmt.pr "periods : %.2f -> %.2f ; equivalence prefix %d cycles@."
+      p.Core.Flow.original_period p.Core.Flow.retimed_period
+      p.Core.Flow.prefix_length
+  in
+  Cmd.v (Cmd.info "retime" ~doc:"Retime a synthesized circuit")
+    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg)
+
+(* --- atpg ------------------------------------------------------------------ *)
+
+let atpg_cmd =
+  let run () fsm alg script engine retimed =
+    let p = Core.Flow.pair fsm alg script in
+    let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
+    let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
+    let r = Core.Cache.atpg engine ~name circuit in
+    Fmt.pr "%s on %s:@." (Core.Cache.atpg_kind_name engine) name;
+    Fmt.pr "  faults        %d@." (Array.length r.Atpg.Types.faults);
+    Fmt.pr "  coverage      %.1f%%@." r.Atpg.Types.fault_coverage;
+    Fmt.pr "  efficiency    %.1f%%@." r.Atpg.Types.fault_efficiency;
+    Fmt.pr "  work units    %d@." (Atpg.Types.work_units r.Atpg.Types.stats);
+    Fmt.pr "  states seen   %d@."
+      (Hashtbl.length r.Atpg.Types.stats.Atpg.Types.states);
+    Fmt.pr "  test sequences %d (total %d vectors)@."
+      (List.length r.Atpg.Types.test_sets)
+      (List.fold_left (fun a s -> a + List.length s) 0 r.Atpg.Types.test_sets)
+  in
+  Cmd.v (Cmd.info "atpg" ~doc:"Run an ATPG engine on a circuit")
+    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
+          $ engine_arg $ retimed_flag)
+
+(* --- analyze --------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run () fsm alg script retimed =
+    let p = Core.Flow.pair fsm alg script in
+    let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
+    let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
+    let s = Core.Cache.structural ~name circuit in
+    let r = Core.Cache.reach ~name circuit in
+    Fmt.pr "%s:@." name;
+    Fmt.pr "  DFFs               %d@." (Netlist.Node.num_dffs circuit);
+    Fmt.pr "  sequential depth   %d@." s.Analysis.Structural.seq_depth;
+    Fmt.pr "  max cycle length   %d@." s.Analysis.Structural.max_cycle_length;
+    Fmt.pr "  counted cycles     %d@." s.Analysis.Structural.num_cycles;
+    Fmt.pr "  valid states       %d@." r.Analysis.Reach.valid_states;
+    Fmt.pr "  total states       %.3g@." (Analysis.Reach.total_states r);
+    Fmt.pr "  density of encoding %.3e@." (Analysis.Reach.density r)
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Structural attributes and density")
+    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
+          $ retimed_flag)
+
+(* --- kiss ------------------------------------------------------------------ *)
+
+let kiss_cmd =
+  let run () fsm =
+    print_string (Fsm.Kiss.to_string (Fsm.Benchmarks.machine_of_name fsm))
+  in
+  Cmd.v (Cmd.info "kiss" ~doc:"Dump a benchmark FSM in KISS2 format")
+    Term.(const run $ logging $ fsm_arg)
+
+(* --- export ---------------------------------------------------------------- *)
+
+let export_cmd =
+  let fmt_arg =
+    let of_tag = Arg.enum [ ("blif", `Blif); ("verilog", `Verilog) ] in
+    Arg.(value & opt of_tag `Blif & info [ "f"; "format" ]
+           ~doc:"Output format: blif or verilog.")
+  in
+  let run () fsm alg script retimed fmt =
+    let p = Core.Flow.pair fsm alg script in
+    let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
+    let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
+    match fmt with
+    | `Blif -> print_string (Netlist.Blif.to_string ~model:name circuit)
+    | `Verilog -> print_string (Netlist.Verilog.to_string ~module_name:name circuit)
+  in
+  Cmd.v (Cmd.info "export" ~doc:"Export a circuit as BLIF or structural Verilog")
+    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
+          $ retimed_flag $ fmt_arg)
+
+(* --- scan ------------------------------------------------------------------ *)
+
+let scan_cmd =
+  let partial_flag =
+    Arg.(value & flag
+         & info [ "p"; "partial" ]
+             ~doc:"Cycle-breaking partial scan instead of full scan.")
+  in
+  let run () fsm alg script retimed partial =
+    let p = Core.Flow.pair fsm alg script in
+    let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
+    let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
+    let chain =
+      if partial then
+        Dft.Scan.insert ~positions:(Dft.Scan.select_cycle_breaking circuit)
+          circuit
+      else Dft.Scan.insert circuit
+    in
+    Fmt.pr "%s: scanned %d of %d registers@." name chain.Dft.Scan.length
+      (Netlist.Node.num_dffs circuit);
+    let seq = Core.Cache.atpg Core.Cache.Hitec ~name circuit in
+    let scan = Dft.Scan_atpg.generate chain in
+    Fmt.pr "  sequential ATPG : FC %5.1f%%  work %d@."
+      seq.Atpg.Types.fault_coverage
+      (Atpg.Types.work_units seq.Atpg.Types.stats);
+    Fmt.pr "  scan-mode ATPG  : FC %5.1f%%  work %d@."
+      scan.Atpg.Types.fault_coverage
+      (Atpg.Types.work_units scan.Atpg.Types.stats)
+  in
+  Cmd.v
+    (Cmd.info "scan" ~doc:"Insert a scan chain and compare ATPG before/after")
+    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
+          $ retimed_flag $ partial_flag)
+
+(* --- compare --------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run () =
+    (* paper-vs-measured side-by-side for the headline table *)
+    let rows = Core.Tables.T2.compute () in
+    Fmt.pr "Table 2, paper vs measured (FCo/FCr = original/retimed coverage)@.";
+    Fmt.pr "%-12s | %6s %6s %9s | %6s %6s %9s@." "circuit" "FCo" "FCr"
+      "ratio" "FCo*" "FCr*" "ratio*";
+    Fmt.pr "%-12s | %25s | %25s@." "" "paper" "measured";
+    List.iter
+      (fun (p : Core.Paper.hitec_row) ->
+        match
+          List.find_opt
+            (fun (r : Core.Tables.Atpg_pair.row) ->
+              String.equal r.Core.Tables.Atpg_pair.circuit p.Core.Paper.circuit)
+            rows
+        with
+        | Some r ->
+          Fmt.pr "%-12s | %6.1f %6.1f %9.1f | %6.1f %6.1f %9.1f@."
+            p.Core.Paper.circuit p.Core.Paper.fc_orig p.Core.Paper.fc_re
+            p.Core.Paper.cpu_ratio r.Core.Tables.Atpg_pair.fc_orig
+            r.Core.Tables.Atpg_pair.fc_re r.Core.Tables.Atpg_pair.cpu_ratio
+        | None -> ())
+      Core.Paper.table2
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Print the paper's Table 2 next to the measured reproduction")
+    Term.(const run $ logging)
+
+(* --- tables ---------------------------------------------------------------- *)
+
+let tables_cmd =
+  let table_arg =
+    let doc = "Which table to regenerate (1-8, fig3, shape, or all)." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"TABLE" ~doc)
+  in
+  let run () which =
+    let ppf = Fmt.stdout in
+    (match which with
+     | "1" -> Core.Tables.T1.pp ppf (Core.Tables.T1.compute ())
+     | "2" -> Core.Tables.T2.pp ppf (Core.Tables.T2.compute ())
+     | "3" -> Core.Tables.T3.pp ppf (Core.Tables.T3.compute ())
+     | "4" -> Core.Tables.T4.pp ppf (Core.Tables.T4.compute ())
+     | "5" -> Core.Tables.T5.pp ppf (Core.Tables.T5.compute ())
+     | "6" -> Core.Tables.T6.pp ppf (Core.Tables.T6.compute ())
+     | "7" -> Core.Tables.T7.pp ppf (Core.Tables.T7.compute ())
+     | "8" -> Core.Tables.T8.pp ppf (Core.Tables.T8.compute ())
+     | "fig3" -> Core.Figure3.pp ppf (Core.Figure3.compute ())
+     | "shape" -> Core.Report.pp_shape_checks ppf ()
+     | "all" ->
+       Core.Report.run_all ppf ();
+       Core.Report.pp_shape_checks ppf ()
+     | other -> Fmt.epr "unknown table %s@." other);
+    Fmt.flush ppf ()
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Regenerate the paper's tables (SATPG_BUDGET scales ATPG effort)")
+    Term.(const run $ logging $ table_arg)
+
+let main =
+  let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
+  Cmd.group (Cmd.info "satpg" ~doc)
+    [ synth_cmd; retime_cmd; atpg_cmd; analyze_cmd; kiss_cmd; export_cmd;
+      scan_cmd; compare_cmd; tables_cmd ]
+
+let () = exit (Cmd.eval main)

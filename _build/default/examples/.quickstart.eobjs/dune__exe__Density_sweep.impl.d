@@ -1,0 +1,1 @@
+examples/density_sweep.ml: Analysis Atpg Core Fmt List Netlist

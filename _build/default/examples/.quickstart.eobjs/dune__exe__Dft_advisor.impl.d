@@ -1,0 +1,1 @@
+examples/dft_advisor.ml: Analysis Array Atpg Core Dft Fmt List Netlist Synth Sys

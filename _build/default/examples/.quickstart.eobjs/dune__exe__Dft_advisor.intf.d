@@ -1,0 +1,1 @@
+examples/dft_advisor.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Atpg Fmt Fsm Netlist Sim Synth

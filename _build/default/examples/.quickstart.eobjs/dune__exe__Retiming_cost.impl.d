@@ -1,0 +1,1 @@
+examples/retiming_cost.ml: Analysis Array Atpg Core Fmt Netlist Random Sim Synth Sys

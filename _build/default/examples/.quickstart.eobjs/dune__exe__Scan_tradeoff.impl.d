@@ -1,0 +1,1 @@
+examples/scan_tradeoff.ml: Array Atpg Core Dft Fmt Netlist Printf Synth Sys

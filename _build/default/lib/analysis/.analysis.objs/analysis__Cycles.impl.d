@@ -1,0 +1,1 @@
+lib/analysis/cycles.ml: Array Dffgraph Hashtbl

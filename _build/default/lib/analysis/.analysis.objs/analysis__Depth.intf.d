@@ -1,0 +1,1 @@
+lib/analysis/depth.mli: Dffgraph

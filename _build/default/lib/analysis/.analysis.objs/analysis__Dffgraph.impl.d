@@ -1,0 +1,1 @@
+lib/analysis/dffgraph.ml: Array Hashtbl Netlist

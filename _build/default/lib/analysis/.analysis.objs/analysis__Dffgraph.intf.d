@@ -1,0 +1,1 @@
+lib/analysis/dffgraph.mli: Netlist

@@ -1,0 +1,1 @@
+lib/analysis/reach.ml: Array Hashtbl List Netlist Queue Sim

@@ -1,0 +1,1 @@
+lib/analysis/reach.mli: Hashtbl Netlist

@@ -1,0 +1,1 @@
+lib/analysis/structural.ml: Array Hashtbl List Netlist Retime

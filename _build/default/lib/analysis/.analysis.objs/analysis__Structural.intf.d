@@ -1,0 +1,1 @@
+lib/analysis/structural.mli: Netlist

@@ -1,0 +1,52 @@
+(* Cycle statistics in the style of the algorithm the paper adopted from
+   Lioy et al. [17]: simple cycles of the register graph, where at most one
+   cycle is counted for any set of DFFs regardless of how many combinational
+   paths connect them (the behaviour the paper dissects around Figure 2).
+
+   Enumeration is Johnson-style DFS restricted to cycles whose minimum
+   vertex is the DFS root (each simple cycle found once per rotation class),
+   followed by deduplication on the vertex set.  A budget caps pathological
+   blow-ups. *)
+
+type result = {
+  num_cycles : int;       (* distinct DFF sets forming a simple cycle *)
+  max_length : int;       (* most DFFs in any simple cycle *)
+  exact : bool;
+}
+
+let count ?(budget = 4_000_000) g =
+  let n = Dffgraph.num_dffs g in
+  let sets = Hashtbl.create 1024 in
+  let max_len = ref 0 in
+  let expansions = ref 0 in
+  let exact = ref true in
+  let visited = Array.make n false in
+  (* path holds the current vertex set as a bitmask (n <= 62 in practice) *)
+  let record mask len =
+    if not (Hashtbl.mem sets mask) then begin
+      Hashtbl.add sets mask ();
+      if len > !max_len then max_len := len
+    end
+  in
+  let rec dfs root v mask len =
+    incr expansions;
+    if !expansions > budget then exact := false
+    else
+      for w = 0 to n - 1 do
+        if g.Dffgraph.adj.(v).(w) then begin
+          if w = root then record mask len
+          else if w > root && not visited.(w) then begin
+            visited.(w) <- true;
+            dfs root w (mask lor (1 lsl w)) (len + 1);
+            visited.(w) <- false
+          end
+        end
+      done
+  in
+  let n_eff = min n 62 in
+  for root = 0 to n_eff - 1 do
+    visited.(root) <- true;
+    dfs root root (1 lsl root) 1;
+    visited.(root) <- false
+  done;
+  { num_cycles = Hashtbl.length sets; max_length = !max_len; exact = !exact }

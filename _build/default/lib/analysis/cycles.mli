@@ -1,0 +1,16 @@
+(** Register-level cycle statistics in the style of Lioy et al. [17]:
+    simple cycles of the register graph, counted at most once per DFF
+    set — the algorithm whose counting behaviour the paper dissects
+    around its Figure 2.
+
+    Root-restricted DFS with set-deduplication and an expansion budget.
+    Table 5 uses the pair-exact gate-level {!Structural} variant; this
+    register-level one serves the comparison tests. *)
+
+type result = {
+  num_cycles : int;   (** distinct DFF sets forming a simple cycle *)
+  max_length : int;   (** most DFFs in any counted cycle *)
+  exact : bool;
+}
+
+val count : ?budget:int -> Dffgraph.t -> result

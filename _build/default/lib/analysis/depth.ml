@@ -1,0 +1,57 @@
+(* Maximum sequential depth (paper §4.2): the greatest number of DFFs on a
+   source -> sink path of the register graph that visits each register at
+   most once.  Exhaustive DFS with a reachability-based upper-bound prune
+   and an expansion budget (the problem is NP-hard; the budget is far above
+   what the paper-scale circuits need, and hitting it is reported). *)
+
+type result = { depth : int; exact : bool }
+
+let max_sequential_depth ?(budget = 2_000_000) g =
+  let n = Dffgraph.num_dffs g in
+  let best = ref 0 in
+  let expansions = ref 0 in
+  let exact = ref true in
+  (* upper bound: number of vertices reachable from v avoiding visited *)
+  let reach_bound v visited =
+    let seen = Array.copy visited in
+    let count = ref 0 in
+    let rec go u =
+      if not seen.(u) then begin
+        seen.(u) <- true;
+        incr count;
+        for w = 0 to n - 1 do
+          if g.Dffgraph.adj.(u).(w) then go w
+        done
+      end
+    in
+    go v;
+    !count
+  in
+  let visited = Array.make n false in
+  let rec dfs v length =
+    incr expansions;
+    if !expansions > budget then exact := false
+    else begin
+      (* can we terminate at the sink here? *)
+      if g.Dffgraph.to_sink.(v) && length > !best then best := length;
+      for w = 0 to n - 1 do
+        if g.Dffgraph.adj.(v).(w) && not visited.(w) then begin
+          if length + reach_bound w visited > !best then begin
+            visited.(w) <- true;
+            dfs w (length + 1);
+            visited.(w) <- false
+          end
+        end
+      done
+    end
+  in
+  (* a pure combinational PI -> PO path has depth 0 *)
+  if g.Dffgraph.source_to_sink then best := 0;
+  for v = 0 to n - 1 do
+    if g.Dffgraph.from_source.(v) then begin
+      visited.(v) <- true;
+      dfs v 1;
+      visited.(v) <- false
+    end
+  done;
+  { depth = !best; exact = !exact }

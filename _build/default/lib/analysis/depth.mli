@@ -1,0 +1,11 @@
+(** Maximum sequential depth on the register graph (paper §4.2): the most
+    DFFs on a source→sink path visiting each register at most once.
+
+    Exhaustive DFS with a reachability upper bound and an expansion
+    budget (the problem is NP-hard; [exact = false] reports a budget
+    hit).  This is the relaxed register-level measurement; Table 5 uses
+    the pair-exact gate-level {!Structural} variant instead. *)
+
+type result = { depth : int; exact : bool }
+
+val max_sequential_depth : ?budget:int -> Dffgraph.t -> result

@@ -1,0 +1,93 @@
+(* The register-level connectivity graph used by the structural-attribute
+   measurements of the paper's Table 5: one vertex per DFF, plus a source
+   (all primary inputs) and a sink (all primary outputs).  An edge u -> v
+   means a purely combinational path exists from u's output to v's data
+   input (or to a PO for the sink). *)
+
+type t = {
+  circuit : Netlist.Node.t;
+  dffs : int array;              (* netlist ids, vertex order *)
+  adj : bool array array;        (* dff x dff adjacency *)
+  from_source : bool array;      (* PI -> dff combinational *)
+  to_sink : bool array;          (* dff -> PO combinational *)
+  source_to_sink : bool;         (* a pure PI -> PO path exists *)
+}
+
+let num_dffs g = Array.length g.dffs
+
+(* Which DFF data inputs and POs are combinationally reachable from [start]
+   (a PI or DFF output)?  Returns (dff hit flags, po hit). *)
+let forward_cone c start ~dff_index =
+  let hit = Array.make (Array.length c.Netlist.Node.dffs) false in
+  let po = ref false in
+  let po_ids = Hashtbl.create 17 in
+  Array.iter (fun (_, id) -> Hashtbl.replace po_ids id ()) c.Netlist.Node.pos;
+  let seen = Hashtbl.create 97 in
+  (* traverse forward through gates only; note a node's value reaching a DFF
+     means it feeds the DFF's data pin *)
+  let rec go id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      if Hashtbl.mem po_ids id then po := true;
+      Array.iter
+        (fun s ->
+          match (Netlist.Node.node c s).Netlist.Node.kind with
+          | Netlist.Node.Gate _ -> go s
+          | Netlist.Node.Dff _ -> hit.(dff_index.(s)) <- true
+          | Netlist.Node.Pi _ -> ())
+        c.Netlist.Node.fanouts.(id)
+    end
+  in
+  (* the start node itself may directly drive a PO *)
+  if Hashtbl.mem po_ids start then po := true;
+  Array.iter
+    (fun s ->
+      match (Netlist.Node.node c s).Netlist.Node.kind with
+      | Netlist.Node.Gate _ -> go s
+      | Netlist.Node.Dff _ -> hit.(dff_index.(s)) <- true
+      | Netlist.Node.Pi _ -> ())
+    c.Netlist.Node.fanouts.(start);
+  (hit, !po)
+
+let of_netlist c =
+  let dffs = c.Netlist.Node.dffs in
+  let n = Array.length dffs in
+  let dff_index = Array.make (Netlist.Node.num_nodes c) (-1) in
+  Array.iteri (fun i id -> dff_index.(id) <- i) dffs;
+  let adj = Array.make_matrix n n false in
+  let to_sink = Array.make n false in
+  Array.iteri
+    (fun i id ->
+      let hit, po = forward_cone c id ~dff_index in
+      Array.blit hit 0 adj.(i) 0 n;
+      to_sink.(i) <- po)
+    dffs;
+  let from_source = Array.make n false in
+  let source_to_sink = ref false in
+  Array.iter
+    (fun pid ->
+      let hit, po = forward_cone c pid ~dff_index in
+      if po then source_to_sink := true;
+      Array.iteri (fun j b -> if b then from_source.(j) <- true) hit)
+    c.Netlist.Node.pis;
+  { circuit = c; dffs; adj; from_source; to_sink; source_to_sink = !source_to_sink }
+
+(* A PO may also be driven directly by a DFF or PI: covered above because
+   fanouts include PO references only via the pos array, so check those
+   explicitly. *)
+let refine_direct g =
+  let c = g.circuit in
+  let dff_index = Array.make (Netlist.Node.num_nodes c) (-1) in
+  Array.iteri (fun i id -> dff_index.(id) <- i) g.dffs;
+  let src_sink = ref g.source_to_sink in
+  let to_sink = Array.copy g.to_sink in
+  Array.iter
+    (fun (_, id) ->
+      match (Netlist.Node.node c id).Netlist.Node.kind with
+      | Netlist.Node.Dff _ -> to_sink.(dff_index.(id)) <- true
+      | Netlist.Node.Pi _ -> src_sink := true
+      | Netlist.Node.Gate _ -> ())
+    c.Netlist.Node.pos;
+  { g with to_sink; source_to_sink = !src_sink }
+
+let build c = refine_direct (of_netlist c)

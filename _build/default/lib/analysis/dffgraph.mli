@@ -1,0 +1,23 @@
+(** The register-level connectivity graph behind the classical structural
+    testability metrics: one vertex per DFF, plus a source (all primary
+    inputs) and a sink (all primary outputs); an edge means a purely
+    combinational path connects the two registers.
+
+    Used by {!Depth} and {!Cycles} (the relaxed, register-level
+    measurements) and by partial-scan selection; Table 5 itself uses the
+    gate-level {!Structural} measurements instead, which are exact across
+    original/retimed pairs. *)
+
+type t = {
+  circuit : Netlist.Node.t;
+  dffs : int array;              (** netlist ids, vertex order *)
+  adj : bool array array;        (** dff x dff combinational adjacency *)
+  from_source : bool array;      (** some PI reaches the dff's data pin *)
+  to_sink : bool array;          (** the dff reaches some PO *)
+  source_to_sink : bool;         (** a pure PI -> PO path exists *)
+}
+
+val num_dffs : t -> int
+
+(** Build the graph (includes direct DFF/PI-to-PO connections). *)
+val build : Netlist.Node.t -> t

@@ -1,0 +1,73 @@
+(* Exact reachable-state ("valid state") analysis by breadth-first search
+   from the circuit's power-up state, enumerating the full primary-input
+   space in bit-parallel chunks — the stand-in for SIS extract_seq_dc on the
+   synthesized and retimed netlists.  Feasible because the benchmark FSMs
+   cap primary inputs at 8 (see DESIGN.md substitution 1). *)
+
+type result = {
+  valid_states : int;
+  total_bits : int;               (* number of DFFs *)
+  states : (int, unit) Hashtbl.t; (* state codes (DFF vector packed as int) *)
+  initial : int;
+}
+
+let max_state_bits = 60
+
+let state_code_of_words words lane =
+  let code = ref 0 in
+  Array.iteri
+    (fun i w -> if (w lsr lane) land 1 = 1 then code := !code lor (1 lsl i))
+    words;
+  !code
+
+let pack_bools bits =
+  let code = ref 0 in
+  Array.iteri (fun i b -> if b then code := !code lor (1 lsl i)) bits;
+  !code
+
+let state_words_of_code nbits code =
+  Array.init nbits (fun i -> if (code lsr i) land 1 = 1 then -1 else 0)
+
+let initial_state c =
+  pack_bools
+    (Array.map (fun id -> Netlist.Node.dff_init c id) c.Netlist.Node.dffs)
+
+let explore ?(max_states = 2_000_000) c =
+  let nbits = Netlist.Node.num_dffs c in
+  if nbits > max_state_bits then
+    invalid_arg "Reach.explore: too many state bits";
+  let npi = Netlist.Node.num_pis c in
+  let sim = Sim.Parallel.create c in
+  let input_chunks = Sim.Vectors.enumerate_words npi in
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let push code =
+    if not (Hashtbl.mem seen code) then begin
+      Hashtbl.add seen code ();
+      Queue.add code queue
+    end
+  in
+  let init = initial_state c in
+  push init;
+  while (not (Queue.is_empty queue)) && Hashtbl.length seen <= max_states do
+    let code = Queue.pop queue in
+    List.iter
+      (fun (lanes, words) ->
+        Sim.Parallel.set_state_words sim (state_words_of_code nbits code);
+        Sim.Parallel.set_input_words sim words;
+        Sim.Parallel.eval_comb sim;
+        Sim.Parallel.tick sim;
+        let next = Sim.Parallel.get_state_words sim in
+        for lane = 0 to lanes - 1 do
+          push (state_code_of_words next lane)
+        done)
+      input_chunks
+  done;
+  { valid_states = Hashtbl.length seen; total_bits = nbits; states = seen;
+    initial = init }
+
+let total_states r = 2.0 ** float_of_int r.total_bits
+
+let density r = float_of_int r.valid_states /. total_states r
+
+let is_valid r code = Hashtbl.mem r.states code

@@ -1,0 +1,39 @@
+(** Exact reachable-state ("valid state") analysis and the paper's density
+    of encoding.
+
+    Breadth-first search from the circuit's power-up state, enumerating
+    the full primary-input space per state in bit-parallel chunks — the
+    stand-in for SIS [extract_seq_dc] on both synthesized and retimed
+    netlists.  Exactness is why the benchmark FSMs cap primary inputs at 8
+    (DESIGN.md, substitution 1). *)
+
+type result = {
+  valid_states : int;              (** size of the reachable set *)
+  total_bits : int;                (** number of DFFs *)
+  states : (int, unit) Hashtbl.t;  (** reachable DFF vectors, packed
+                                       little-endian into ints *)
+  initial : int;                   (** the power-up state *)
+}
+
+(** Maximum number of DFFs supported by the packed-int representation. *)
+val max_state_bits : int
+
+(** Pack a DFF vector into a state code. *)
+val pack_bools : bool array -> int
+
+(** The circuit's power-up state code. *)
+val initial_state : Netlist.Node.t -> int
+
+(** Run the exploration.  [max_states] bounds the frontier as a safety
+    valve; paper-scale circuits stay far below it.
+    @raise Invalid_argument when the circuit has more than
+    {!max_state_bits} DFFs or too many primary inputs to enumerate. *)
+val explore : ?max_states:int -> Netlist.Node.t -> result
+
+(** [2. ** #DFF] as a float (state spaces exceed integer range). *)
+val total_states : result -> float
+
+(** The paper's density of encoding: valid / total. *)
+val density : result -> float
+
+val is_valid : result -> int -> bool

@@ -1,0 +1,42 @@
+(** Structural attributes of the paper's Table 5, computed on the
+    gate-level retiming graph (gates as vertices, register counts as edge
+    weights).
+
+    Materialized retimed circuits preserve gate names and connectivity, so
+    an original/retimed pair shares the same gate graph up to edge
+    weights, and the weight of any fixed host-to-host path or cycle is
+    invariant under retiming (the telescoping sum behind Theorems 2–4).
+    All traversals are ordered canonically by gate name — never by weight
+    — so the explored path/cycle set is identical across a pair even when
+    the expansion budget binds: measured sequential depth and maximum
+    cycle length are then exactly equal by construction, while the
+    Lioy-style cycle count can grow only through register-identity
+    splitting (the paper's Figure-2 artifact). *)
+
+type result = {
+  seq_depth : int;
+  (** most registers on any PI-to-PO path visiting each gate once *)
+  max_cycle_length : int;
+  (** most registers in any explored simple cycle *)
+  num_cycles : int;
+  (** distinct register sets among explored simple cycles — the Lioy
+      counting behaviour: one count per DFF set *)
+  exact : bool;
+  (** false when an expansion budget was hit (values are then lower
+      bounds, but still pair-consistent) *)
+}
+
+type graph
+
+(** Build the canonical gate graph of a circuit. *)
+val build : Netlist.Node.t -> graph
+
+(** Deepest host-to-host simple path; returns (depth, exact). *)
+val seq_depth : ?budget:int -> graph -> int * bool
+
+(** Johnson-style simple-cycle enumeration with register-set dedup;
+    returns (#distinct sets, max length, exact). *)
+val cycles : ?budget:int -> graph -> int * int * bool
+
+(** One-call wrapper around {!build}, {!seq_depth} and {!cycles}. *)
+val analyze : ?depth_budget:int -> ?cycle_budget:int -> Netlist.Node.t -> result

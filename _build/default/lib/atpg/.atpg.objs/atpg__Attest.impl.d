@@ -1,0 +1,1 @@
+lib/atpg/attest.ml: Array Fsim Hashtbl List Netlist Queue Random Run Sim Types

@@ -1,0 +1,1 @@
+lib/atpg/attest.mli: Netlist Types

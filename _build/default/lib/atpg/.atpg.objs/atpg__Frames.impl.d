@@ -1,0 +1,1 @@
+lib/atpg/frames.ml: Array Fsim List Netlist Sim String Types

@@ -1,0 +1,1 @@
+lib/atpg/frames.mli: Fsim Netlist Sim Types

@@ -1,0 +1,1 @@
+lib/atpg/hitec.mli: Netlist Types

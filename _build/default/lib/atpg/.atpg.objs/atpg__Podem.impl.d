@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Frames Fsim Hashtbl Netlist Sim String Types

@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Frames Fsim Hashtbl Netlist Sim Types

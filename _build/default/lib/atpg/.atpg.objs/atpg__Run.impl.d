@@ -1,0 +1,1 @@
+lib/atpg/run.ml: Array Frames Fsim Hashtbl List Netlist Podem Random Sim String Types

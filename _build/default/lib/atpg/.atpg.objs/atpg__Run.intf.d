@@ -1,0 +1,1 @@
+lib/atpg/run.mli: Fsim Netlist Podem Sim Types

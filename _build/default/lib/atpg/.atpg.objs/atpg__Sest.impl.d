@@ -1,0 +1,1 @@
+lib/atpg/sest.ml: Run Types

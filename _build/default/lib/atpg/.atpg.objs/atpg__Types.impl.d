@@ -1,0 +1,1 @@
+lib/atpg/types.ml: Array Fsim Hashtbl Sim Sys

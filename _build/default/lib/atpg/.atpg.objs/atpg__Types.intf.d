@@ -1,0 +1,1 @@
+lib/atpg/types.mli: Fsim Hashtbl Sim

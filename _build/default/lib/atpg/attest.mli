@@ -1,0 +1,21 @@
+(** Attest/TDX-style engine: simulation-based directed search (the CONTEST
+    family).
+
+    No branch-and-bound at all: starting from the power-up state,
+    candidate vectors (bit-flips of the previous vector, fresh random
+    vectors, a reset pulse when available) are scored by simulating the
+    good and faulty machines side by side; the vector moving the fault
+    effect closest to a primary output (by register-graph distance) is
+    appended.  Detection is exact — it {e is} simulation — and undetected
+    faults are simply given up on, so fault efficiency equals fault
+    coverage (as in the paper's Table 3 rows where %FE = %FC). *)
+
+(** Distance (in register hops) from each DFF to a primary output; used
+    as the propagation cost.  Exposed for benches. *)
+val dff_distance_to_po : Netlist.Node.t -> int array
+
+(** Run the engine on a circuit.  [config]'s [backtrack_limit] bounds the
+    per-fault search length ([max_steps = backtrack_limit / 4]);
+    [total_work_limit] bounds the whole run. *)
+val generate :
+  ?config:Types.config -> ?seed:int -> Netlist.Node.t -> Types.result

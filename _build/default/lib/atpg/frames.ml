@@ -1,0 +1,222 @@
+(* Five-valued (0, 1, X, D, D') iterative-array model: the circuit is
+   unrolled over k time frames; good and faulty machines are simulated side
+   by side with the fault injected in every frame.  D at a node means
+   good=1/faulty=0 at that node in that frame.
+
+   Pseudo-inputs: the primary inputs of every frame and the present state of
+   frame 0.  Later frames take their present state from the previous
+   frame's next-state values (good and faulty tracked separately). *)
+
+type t = {
+  circuit : Netlist.Node.t;
+  fault : Fsim.Fault.t option;
+  dff_pos : int array;               (* node id -> dff position, or -1 *)
+  k : int;
+  good : Sim.Value3.t array array;   (* [frame][node] *)
+  faulty : Sim.Value3.t array array;
+  pi : Sim.Value3.t array array;     (* [frame][pi index], assignable *)
+  ps0 : Sim.Value3.t array;          (* [dff position], assignable *)
+  frontier : int list array;         (* per frame: D-frontier gate ids *)
+  po_driver : bool array;            (* per node: drives a primary output *)
+  stats : Types.stats;
+}
+
+let create ?fault circuit ~frames ~stats =
+  let n = Netlist.Node.num_nodes circuit in
+  let dff_pos = Array.make n (-1) in
+  Array.iteri (fun j id -> dff_pos.(id) <- j) circuit.Netlist.Node.dffs;
+  {
+    circuit;
+    fault;
+    dff_pos;
+    k = frames;
+    good = Array.init frames (fun _ -> Array.make n Sim.Value3.X);
+    faulty = Array.init frames (fun _ -> Array.make n Sim.Value3.X);
+    pi = Array.init frames (fun _ ->
+        Array.make (Netlist.Node.num_pis circuit) Sim.Value3.X);
+    ps0 = Array.make (Netlist.Node.num_dffs circuit) Sim.Value3.X;
+    frontier = Array.make frames [];
+    po_driver =
+      (let po = Array.make n false in
+       Array.iter (fun (_, id) -> po.(id) <- true) circuit.Netlist.Node.pos;
+       po);
+    stats;
+  }
+
+(* faulty-machine pin read with branch-fault override *)
+let read_faulty t frame gate pin src =
+  match t.fault with
+  | Some { Fsim.Fault.site = Fsim.Fault.Pin { gate = fg; pin = fp }; stuck }
+    when fg = gate && fp = pin ->
+    Sim.Value3.of_bool stuck
+  | Some _ | None -> t.faulty.(frame).(src)
+
+let rec is_d g f =
+  match g, f with
+  | Sim.Value3.One, Sim.Value3.Zero | Sim.Value3.Zero, Sim.Value3.One -> true
+  | _ -> false
+
+and eval_frame t frame =
+  t.frontier.(frame) <- [];
+  let c = t.circuit in
+  let g = t.good.(frame) and f = t.faulty.(frame) in
+  (* primary inputs *)
+  Array.iteri
+    (fun i id ->
+      g.(id) <- t.pi.(frame).(i);
+      f.(id) <- t.pi.(frame).(i))
+    c.Netlist.Node.pis;
+  (* present state *)
+  Array.iteri
+    (fun j id ->
+      if frame = 0 then begin
+        g.(id) <- t.ps0.(j);
+        f.(id) <- t.ps0.(j)
+      end
+      else begin
+        let data = (Netlist.Node.node c id).Netlist.Node.fanins.(0) in
+        g.(id) <- t.good.(frame - 1).(data);
+        (* faulty present state: previous frame's faulty next-state, with a
+           DFF-pin fault override *)
+        f.(id) <- read_faulty t (frame - 1) id 0 data
+      end)
+    c.Netlist.Node.dffs;
+  (* stem fault on a PI or DFF output *)
+  (match t.fault with
+   | Some { Fsim.Fault.site = Fsim.Fault.Stem s; stuck } ->
+     (match (Netlist.Node.node c s).Netlist.Node.kind with
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ ->
+        f.(s) <- Sim.Value3.of_bool stuck
+      | Netlist.Node.Gate _ -> ())
+   | Some { Fsim.Fault.site = Fsim.Fault.Pin _; _ } | None -> ());
+  (* combinational logic *)
+  Array.iter
+    (fun id ->
+      let nd = Netlist.Node.node c id in
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Gate fn ->
+        t.stats.Types.work <- t.stats.Types.work + 1;
+        let gin = Array.map (fun s -> g.(s)) nd.Netlist.Node.fanins in
+        g.(id) <- Sim.Value3.eval_gate fn gin;
+        let fin =
+          Array.mapi
+            (fun pin s -> read_faulty t frame id pin s)
+            nd.Netlist.Node.fanins
+        in
+        let fv = Sim.Value3.eval_gate fn fin in
+        let fv =
+          match t.fault with
+          | Some { Fsim.Fault.site = Fsim.Fault.Stem s; stuck } when s = id ->
+            Sim.Value3.of_bool stuck
+          | Some _ | None -> fv
+        in
+        f.(id) <- fv;
+        (* D-frontier bookkeeping: output X, some input D *)
+        if g.(id) = Sim.Value3.X || fv = Sim.Value3.X then begin
+          let has_d = ref false in
+          Array.iteri
+            (fun pin s ->
+              if is_d g.(s) (read_faulty t frame id pin s) then has_d := true)
+            nd.Netlist.Node.fanins;
+          if !has_d then t.frontier.(frame) <- id :: t.frontier.(frame)
+        end
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ())
+    c.Netlist.Node.order
+
+let imply ?(from = 0) t =
+  for frame = from to t.k - 1 do
+    eval_frame t frame
+  done
+
+let detected t =
+  let c = t.circuit in
+  let hit = ref false in
+  for frame = 0 to t.k - 1 do
+    Array.iter
+      (fun (_, id) ->
+        if is_d t.good.(frame).(id) t.faulty.(frame).(id) then hit := true)
+      c.Netlist.Node.pos
+  done;
+  !hit
+
+(* Does any D reach a next-state (DFF data) in the last frame?  If so, more
+   frames might detect the fault: exhaustion is not a redundancy proof. *)
+let d_escapes t =
+  let c = t.circuit in
+  let last = t.k - 1 in
+  Array.exists
+    (fun id ->
+      let data = (Netlist.Node.node c id).Netlist.Node.fanins.(0) in
+      is_d t.good.(last).(data) (read_faulty t last id 0 data))
+    c.Netlist.Node.dffs
+
+(* D-frontier: gates whose output is X (in either machine) with a D on some
+   input, listed as (frame, gate id), earliest frames first.  Collected
+   incrementally during frame evaluation. *)
+let d_frontier t =
+  let acc = ref [] in
+  for frame = t.k - 1 downto 0 do
+    List.iter (fun id -> acc := (frame, id) :: !acc) t.frontier.(frame)
+  done;
+  !acc
+
+(* X-path analysis from the D-frontier: can the fault effect still reach a
+   primary output inside the window (through X-valued nodes), and can it
+   escape through the last frame's next state?  Soundness of the redundancy
+   claim relies on [escapes]: exhaustion only proves redundancy if no
+   potential escape was ever seen. *)
+type x_path = { reaches_po : bool; escapes : bool }
+
+let x_path t =
+  let c = t.circuit in
+  let n = Netlist.Node.num_nodes c in
+  let visited = Array.make (t.k * n) false in
+  let reaches_po = ref false in
+  let escapes = ref false in
+  let is_x frame id =
+    t.good.(frame).(id) = Sim.Value3.X || t.faulty.(frame).(id) = Sim.Value3.X
+  in
+  let rec go frame id =
+    let key = (frame * n) + id in
+    if not visited.(key) then begin
+      visited.(key) <- true;
+      t.stats.Types.work <- t.stats.Types.work + 1;
+      if t.po_driver.(id) then reaches_po := true;
+      if not !reaches_po then
+        Array.iter
+          (fun s ->
+            match (Netlist.Node.node c s).Netlist.Node.kind with
+            | Netlist.Node.Gate _ -> if is_x frame s then go frame s
+            | Netlist.Node.Dff _ ->
+              if frame + 1 >= t.k then escapes := true
+              else if is_x (frame + 1) s then go (frame + 1) s
+            | Netlist.Node.Pi _ -> ())
+          c.Netlist.Node.fanouts.(id)
+    end
+  in
+  (try
+     for frame = 0 to t.k - 1 do
+       List.iter
+         (fun id ->
+           go frame id;
+           if !reaches_po then raise Exit)
+         t.frontier.(frame)
+     done
+   with Exit -> ());
+  (* a D already sitting on a PO or escaping is handled by [detected] and
+     [d_escapes]; X-path covers the potential future *)
+  { reaches_po = !reaches_po; escapes = !escapes }
+
+(* Good-machine value of the fault site in frame 0 (for excitation). *)
+let site_good_value t =
+  match t.fault with
+  | None -> Sim.Value3.X
+  | Some f ->
+    (match f.Fsim.Fault.site with
+     | Fsim.Fault.Stem id -> t.good.(0).(id)
+     | Fsim.Fault.Pin { gate; pin } ->
+       t.good.(0).((Netlist.Node.node t.circuit gate).Netlist.Node.fanins.(pin)))
+
+(* Required present-state cube of frame 0 as a printable signature. *)
+let ps0_signature t =
+  String.init (Array.length t.ps0) (fun j -> Sim.Value3.to_char t.ps0.(j))

@@ -1,0 +1,59 @@
+(** Five-valued (0, 1, X, D, D') iterative-array model: the circuit
+    unrolled over [k] time frames, good and faulty machines simulated side
+    by side with the fault injected in every frame.  "D at a node" means
+    good = 1 / faulty = 0 there in that frame.
+
+    Pseudo-inputs (the PODEM decision variables): the primary inputs of
+    every frame, and the present state of frame 0. *)
+
+type t = {
+  circuit : Netlist.Node.t;
+  fault : Fsim.Fault.t option;
+  dff_pos : int array;               (** node id -> dff position, or -1 *)
+  k : int;                           (** number of frames *)
+  good : Sim.Value3.t array array;   (** [frame][node] *)
+  faulty : Sim.Value3.t array array;
+  pi : Sim.Value3.t array array;     (** [frame][pi index]; assignable *)
+  ps0 : Sim.Value3.t array;          (** [dff position]; assignable *)
+  frontier : int list array;         (** per frame: D-frontier gate ids *)
+  po_driver : bool array;            (** per node: drives a primary output *)
+  stats : Types.stats;
+}
+
+val create :
+  ?fault:Fsim.Fault.t -> Netlist.Node.t -> frames:int -> stats:Types.stats -> t
+
+(** Faulty-machine read of gate pin [pin] (honors branch-fault injection). *)
+val read_faulty : t -> int -> int -> int -> int -> Sim.Value3.t
+
+(** Is (good, faulty) a fault effect (both binary, different)? *)
+val is_d : Sim.Value3.t -> Sim.Value3.t -> bool
+
+(** Re-simulate frames [from..k-1] from the current pseudo-inputs
+    (assignments are the only state; implication is re-evaluation). *)
+val imply : ?from:int -> t -> unit
+
+(** A D/D' sits on some primary output of some frame. *)
+val detected : t -> bool
+
+(** A D/D' reaches a next-state input of the last frame (a longer window
+    might still detect the fault: exhaustion is then not a proof). *)
+val d_escapes : t -> bool
+
+(** D-frontier as (frame, gate) pairs, earliest frames first. *)
+val d_frontier : t -> (int * int) list
+
+type x_path = {
+  reaches_po : bool;  (** the effect can still reach a PO in-window *)
+  escapes : bool;     (** ... or leave through the last frame's next state *)
+}
+
+(** X-path analysis from the current D-frontier; both the classic PODEM
+    prune and the soundness guard for redundancy claims. *)
+val x_path : t -> x_path
+
+(** Good-machine value of the fault site in frame 0 (excitation test). *)
+val site_good_value : t -> Sim.Value3.t
+
+(** Frame-0 state requirement as a printable cube signature. *)
+val ps0_signature : t -> string

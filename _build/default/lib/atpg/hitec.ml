@@ -1,0 +1,7 @@
+(* HITEC-style engine: time-frame PODEM with backward state justification,
+   fault-simulation dropping, no cross-fault state learning. *)
+
+let config () =
+  Types.scaled_config ~base:{ Types.default_config with learn = false } ()
+
+let generate ?config:(cfg = config ()) ?seed c = Run.generate ~config:cfg ?seed c

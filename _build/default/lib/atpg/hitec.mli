@@ -1,0 +1,9 @@
+(** HITEC-style engine: time-frame PODEM with backward state
+    justification and fault-simulation dropping, {e without} cross-fault
+    state learning (compare {!Sest}). *)
+
+(** The engine's default configuration, scaled by [SATPG_BUDGET]. *)
+val config : unit -> Types.config
+
+val generate :
+  ?config:Types.config -> ?seed:int -> Netlist.Node.t -> Types.result

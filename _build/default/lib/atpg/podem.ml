@@ -1,0 +1,415 @@
+(* PODEM over the iterative-array model, in two phases:
+
+   Phase A (excitation + propagation): decision variables are the primary
+   inputs of every frame and the present state of frame 0 (treated as free
+   pseudo-inputs, exactly the structural-ATPG blindness the paper studies).
+   Success is a D/D' on some primary output within the frame window.
+
+   Phase B (state justification): the frame-0 state cube required by the
+   phase-A solution is justified backwards one frame at a time on the good
+   machine, until the requirement is compatible with the power-up state.
+   With SEST-style learning enabled, failed requirement cubes are cached and
+   pruned, and successful justification sequences are reused.
+
+   A fault is declared redundant only on sound grounds: phase A exhausted
+   the whole search space and no D ever escaped into the last frame's next
+   state (so no longer window could succeed either). *)
+
+exception Out_of_budget
+
+type var = Pi of int * int | Ps of int
+
+type decision = { var : var; mutable value : bool; mutable flipped : bool }
+
+type phase_a_result =
+  | Detected
+  | Exhausted of { escape_seen : bool }
+
+type learn_state = {
+  failed_cubes : (string, unit) Hashtbl.t;
+  proven_prefix : (string, Sim.Vectors.sequence) Hashtbl.t;
+}
+
+let new_learn_state () =
+  { failed_cubes = Hashtbl.create 256; proven_prefix = Hashtbl.create 256 }
+
+(* --- assignment helpers ---------------------------------------------------- *)
+
+let assign fr var v =
+  match var with
+  | Pi (t, i) -> fr.Frames.pi.(t).(i) <- Sim.Value3.of_bool v
+  | Ps j -> fr.Frames.ps0.(j) <- Sim.Value3.of_bool v
+
+let unassign fr var =
+  match var with
+  | Pi (t, i) -> fr.Frames.pi.(t).(i) <- Sim.Value3.X
+  | Ps j -> fr.Frames.ps0.(j) <- Sim.Value3.X
+
+let reimply fr var =
+  let from = match var with Pi (t, _) -> t | Ps _ -> 0 in
+  Frames.imply ~from fr
+
+(* --- backtrace -------------------------------------------------------------- *)
+
+let gate_inverts = function
+  | Netlist.Node.Nand | Netlist.Node.Nor | Netlist.Node.Not
+  | Netlist.Node.Xnor -> true
+  | Netlist.Node.And | Netlist.Node.Or | Netlist.Node.Buf | Netlist.Node.Xor
+    -> false
+
+let controlling = function
+  | Netlist.Node.And | Netlist.Node.Nand -> Some false
+  | Netlist.Node.Or | Netlist.Node.Nor -> Some true
+  | Netlist.Node.Not | Netlist.Node.Buf | Netlist.Node.Xor | Netlist.Node.Xnor
+    -> None
+
+(* Walk an objective (frame, node, value) in the good machine down to an
+   unassigned pseudo-input decision, or None if every path is assigned. *)
+let backtrace fr frame node value =
+  let c = fr.Frames.circuit in
+  let rec go frame node value steps =
+    if steps > 4000 then None
+    else
+      let nd = Netlist.Node.node c node in
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Pi i ->
+        if fr.Frames.pi.(frame).(i) = Sim.Value3.X then Some (Pi (frame, i), value)
+        else None
+      | Netlist.Node.Dff _ ->
+        let pos = fr.Frames.dff_pos.(node) in
+        if frame = 0 then
+          if fr.Frames.ps0.(pos) = Sim.Value3.X then Some (Ps pos, value)
+          else None
+        else go (frame - 1) nd.Netlist.Node.fanins.(0) value (steps + 1)
+      | Netlist.Node.Gate fn ->
+        let inv = gate_inverts fn in
+        let v_in = if inv then not value else value in
+        (match fn with
+         | Netlist.Node.Xor | Netlist.Node.Xnor ->
+           let a = nd.Netlist.Node.fanins.(0)
+           and b = nd.Netlist.Node.fanins.(1) in
+           let va = fr.Frames.good.(frame).(a)
+           and vb = fr.Frames.good.(frame).(b) in
+           (match va, vb with
+            | Sim.Value3.X, (Sim.Value3.Zero | Sim.Value3.One) ->
+              let d = vb = Sim.Value3.One in
+              go frame a (v_in <> d) (steps + 1)
+            | (Sim.Value3.Zero | Sim.Value3.One), Sim.Value3.X ->
+              let d = va = Sim.Value3.One in
+              go frame b (v_in <> d) (steps + 1)
+            | Sim.Value3.X, Sim.Value3.X -> go frame a v_in (steps + 1)
+            | _ -> None)
+         | Netlist.Node.And | Netlist.Node.Nand | Netlist.Node.Or
+         | Netlist.Node.Nor | Netlist.Node.Not | Netlist.Node.Buf ->
+           let ctrl = controlling fn in
+           (* choose an X input *)
+           let x_input = ref (-1) in
+           Array.iteri
+             (fun p s ->
+               if !x_input < 0 && fr.Frames.good.(frame).(s) = Sim.Value3.X
+               then x_input := p)
+             nd.Netlist.Node.fanins;
+           if !x_input < 0 then None
+           else
+             let target =
+               match ctrl with
+               | None -> v_in (* Buf/Not chains *)
+               | Some cv ->
+                 if v_in = cv then cv (* one controlling input suffices *)
+                 else not cv (* all inputs must be non-controlling *)
+             in
+             go frame nd.Netlist.Node.fanins.(!x_input) target (steps + 1))
+  in
+  go frame node value 0
+
+(* --- phase A ----------------------------------------------------------------- *)
+
+let check_budget (cfg : Types.config) stats =
+  if stats.Types.work > cfg.Types.work_limit
+     || stats.Types.backtracks > cfg.Types.backtrack_limit
+  then raise Out_of_budget
+
+let fault_source c (f : Fsim.Fault.t) =
+  match f.Fsim.Fault.site with
+  | Fsim.Fault.Stem id -> id
+  | Fsim.Fault.Pin { gate; pin } ->
+    (Netlist.Node.node c gate).Netlist.Node.fanins.(pin)
+
+(* Pick the next objective, or None when the current assignment is a dead
+   end (must backtrack), or Some None when... encoded as variant: *)
+type objective = Obj of int * int * bool | Dead_end | Success
+
+let choose_objective fr (fault : Fsim.Fault.t) =
+  if Frames.detected fr then Success
+  else begin
+    let c = fr.Frames.circuit in
+    let src = fault_source c fault in
+    match fr.Frames.good.(0).(src) with
+    | Sim.Value3.X -> Obj (0, src, not fault.Fsim.Fault.stuck)
+    | v when v = Sim.Value3.of_bool fault.Fsim.Fault.stuck -> Dead_end
+    | _ ->
+      (* excited; advance the D-frontier if the effect can still reach a PO *)
+      (match Frames.d_frontier fr with
+       | [] -> Dead_end
+       | (frame, gate) :: _ when (Frames.x_path fr).Frames.reaches_po ->
+         let nd = Netlist.Node.node c gate in
+         let fn =
+           match nd.Netlist.Node.kind with
+           | Netlist.Node.Gate fn -> fn
+           | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> assert false
+         in
+         (* set an X input to the gate's non-controlling value *)
+         let x_input = ref (-1) in
+         Array.iteri
+           (fun p s ->
+             if !x_input < 0 && fr.Frames.good.(frame).(s) = Sim.Value3.X
+             then x_input := p)
+           nd.Netlist.Node.fanins;
+         if !x_input < 0 then Dead_end
+         else
+           let nc =
+             match controlling fn with Some cv -> not cv | None -> true
+           in
+           Obj (frame, nd.Netlist.Node.fanins.(!x_input), nc)
+       | _ :: _ -> Dead_end)
+  end
+
+let phase_a fr (fault : Fsim.Fault.t) cfg stats =
+  let stack : decision list ref = ref [] in
+  let escape_seen = ref false in
+  let note_escape () =
+    if not !escape_seen then begin
+      if Frames.d_escapes fr then escape_seen := true
+      else if (Frames.x_path fr).Frames.escapes then escape_seen := true
+    end
+  in
+  let rec backtrack () =
+    stats.Types.backtracks <- stats.Types.backtracks + 1;
+    check_budget cfg stats;
+    match !stack with
+    | [] -> Exhausted { escape_seen = !escape_seen }
+    | d :: rest ->
+      if d.flipped then begin
+        unassign fr d.var;
+        reimply fr d.var;
+        stack := rest;
+        backtrack ()
+      end
+      else begin
+        d.value <- not d.value;
+        d.flipped <- true;
+        assign fr d.var d.value;
+        reimply fr d.var;
+        note_escape ();
+        search ()
+      end
+  and search () =
+    check_budget cfg stats;
+    match choose_objective fr fault with
+    | Success -> Detected
+    | Dead_end -> backtrack ()
+    | Obj (frame, node, v) ->
+      (match backtrace fr frame node v with
+       | None -> backtrack ()
+       | Some (var, value) ->
+         stats.Types.decisions <- stats.Types.decisions + 1;
+         let d = { var; value; flipped = false } in
+         stack := d :: !stack;
+         assign fr var value;
+         reimply fr var;
+         note_escape ();
+         search ())
+  in
+  Frames.imply fr;
+  note_escape ();
+  search ()
+
+(* --- phase B: backward justification ----------------------------------------- *)
+
+let cube_signature cube =
+  String.init (Array.length cube) (fun j -> Sim.Value3.to_char cube.(j))
+
+let compatible_with_init c cube =
+  let ok = ref true in
+  Array.iteri
+    (fun j id ->
+      match cube.(j) with
+      | Sim.Value3.X -> ()
+      | v ->
+        if v <> Sim.Value3.of_bool (Netlist.Node.dff_init c id) then ok := false)
+    c.Netlist.Node.dffs;
+  !ok
+
+(* Justify [required] (a Value3 cube over the DFFs) on the good machine;
+   returns the input vectors (power-up onward) reaching a compatible state.
+   Depth-first over frames with per-frame PODEM. *)
+let cube_matches_code cube code =
+  let ok = ref true in
+  Array.iteri
+    (fun j v ->
+      match v with
+      | Sim.Value3.X -> ()
+      | v ->
+        if v <> Sim.Value3.of_bool ((code lsr j) land 1 = 1) then ok := false)
+    cube;
+  !ok
+
+let justify ?(directory = []) c ~required ~cfg ~stats
+    ~(learn : learn_state option) =
+  let nbits = Array.length required in
+  let visited = Hashtbl.create 64 in
+  (* simulation-seeded shortcut: a state already visited by the random phase
+     that satisfies the cube is justified by its recorded input prefix *)
+  let lookup_directory cube =
+    let rec find = function
+      | [] -> None
+      | (code, prefix) :: rest ->
+        if cube_matches_code cube code then Some prefix else find rest
+    in
+    find directory
+  in
+  let rec solve required depth =
+    check_budget cfg stats;
+    let sg = cube_signature required in
+    Hashtbl.replace stats.Types.state_cubes sg ();
+    if compatible_with_init c required then Some []
+    else if depth >= cfg.Types.max_frames_bwd then None
+    else if Hashtbl.mem visited sg then None
+    else
+      match lookup_directory required with
+      | Some prefix -> Some prefix
+      | None ->
+    begin
+      match learn with
+      | Some l when Hashtbl.mem l.failed_cubes sg -> None
+      | _ ->
+        (match learn with
+         | Some l ->
+           (match Hashtbl.find_opt l.proven_prefix sg with
+            | Some prefix -> Some prefix
+            | None -> solve_frame required depth sg)
+         | None -> solve_frame required depth sg)
+    end
+  and solve_frame required depth sg =
+    Hashtbl.replace visited sg ();
+    match attempt_frame required depth ~from_init:true with
+    | Some r -> Some r
+    | None -> attempt_frame required depth ~from_init:false
+
+  (* One backward frame.  [from_init] pins the previous state to the
+     power-up state (the reset-first probe: on densely encoded machines most
+     requirement cubes are a short hop from reset, and this prunes the
+     regression enormously); otherwise the previous state is free and the
+     search recurses on whatever cube it needs. *)
+  and attempt_frame required depth ~from_init =
+    let local_backtracks = ref 0 in
+    let probe_limit = 60 in
+    let sg = cube_signature required in
+    let fr = Frames.create c ~frames:1 ~stats in
+    if from_init then
+      Array.iteri
+        (fun j id ->
+          fr.Frames.ps0.(j) <-
+            Sim.Value3.of_bool (Netlist.Node.dff_init c id))
+        c.Netlist.Node.dffs;
+    let stack : decision list ref = ref [] in
+    (* objectives: next-state bits equal to the required cube *)
+    let objective () =
+      (* Success when every required NS bit matches; Dead_end on mismatch *)
+      let result = ref Success in
+      (try
+         Array.iteri
+           (fun j id ->
+             match required.(j) with
+             | Sim.Value3.X -> ()
+             | want ->
+               let data = (Netlist.Node.node c id).Netlist.Node.fanins.(0) in
+               let got = fr.Frames.good.(0).(data) in
+               if got = Sim.Value3.X then begin
+                 result :=
+                   Obj (0, data, want = Sim.Value3.One);
+                 raise Exit
+               end
+               else if got <> want then begin
+                 result := Dead_end;
+                 raise Exit
+               end)
+           c.Netlist.Node.dffs
+       with Exit -> ());
+      !result
+    in
+    let rec backtrack () =
+      stats.Types.backtracks <- stats.Types.backtracks + 1;
+      incr local_backtracks;
+      check_budget cfg stats;
+      if from_init && !local_backtracks > probe_limit then None
+      else
+        match !stack with
+        | [] -> None
+        | d :: rest ->
+          if d.flipped then begin
+            unassign fr d.var;
+            reimply fr d.var;
+            stack := rest;
+            backtrack ()
+          end
+          else begin
+            d.value <- not d.value;
+            d.flipped <- true;
+            assign fr d.var d.value;
+            reimply fr d.var;
+            search ()
+          end
+    and search () =
+      check_budget cfg stats;
+      match objective () with
+      | Dead_end -> backtrack ()
+      | Success ->
+        let vector () =
+          Array.map
+            (fun v ->
+              match Sim.Value3.to_bool_opt v with
+              | Some b -> b
+              | None -> false)
+            fr.Frames.pi.(0)
+        in
+        if from_init then begin
+          (* previous state is the power-up state: done *)
+          let seq = [ vector () ] in
+          (match learn with
+           | Some l -> Hashtbl.replace l.proven_prefix sg seq
+           | None -> ());
+          Some seq
+        end
+        else begin
+          (* recurse on the previous state requirement *)
+          let new_required = Array.copy fr.Frames.ps0 in
+          match solve new_required (depth + 1) with
+          | Some prefix ->
+            let seq = prefix @ [ vector () ] in
+            (match learn with
+             | Some l -> Hashtbl.replace l.proven_prefix sg seq
+             | None -> ());
+            Some seq
+          | None -> backtrack ()
+        end
+      | Obj (frame, node, v) ->
+        (match backtrace fr frame node v with
+         | None -> backtrack ()
+         | Some (var, value) ->
+           stats.Types.decisions <- stats.Types.decisions + 1;
+           let d = { var; value; flipped = false } in
+           stack := d :: !stack;
+           assign fr var value;
+           reimply fr var;
+           search ())
+    in
+    Frames.imply fr;
+    let r = search () in
+    (match r, learn with
+     | None, Some l when not from_init -> Hashtbl.replace l.failed_cubes sg ()
+     | _ -> ());
+    r
+  in
+  ignore nbits;
+  solve required 0

@@ -1,0 +1,197 @@
+(* Per-circuit ATPG driver shared by the HITEC- and SEST-style engines:
+
+   1. random phase: a few random sequences are fault-simulated with fault
+      dropping (every era's sequential ATPGs did this before deterministic
+      search);
+   2. deterministic phase: PODEM phase A + backward justification per
+      remaining fault, each produced test validated by fault simulation
+      (ground truth) and used to drop other faults.
+
+   The driver records distinct good-machine states traversed (Table 6's
+   instrumentation) and deterministic work units standing in for CPU time. *)
+
+let find_reset_pi c =
+  let r = ref None in
+  Array.iteri
+    (fun i id ->
+      if String.equal (Netlist.Node.node c id).Netlist.Node.name "reset" then
+        r := Some i)
+    c.Netlist.Node.pis;
+  !r
+
+let random_sequences c ~seed ~count ~length =
+  let rng = Random.State.make [| seed; 0xA7 |] in
+  let npi = Netlist.Node.num_pis c in
+  let reset = find_reset_pi c in
+  List.init count (fun _ ->
+      List.init length (fun _ ->
+          let v = Sim.Vectors.random_vector rng npi in
+          (match reset with
+           | Some i -> v.(i) <- Random.State.int rng 24 = 0
+           | None -> ());
+          v))
+
+let merge_stats ~into:(g : Types.stats) (f : Types.stats) =
+  g.Types.work <- g.Types.work + f.Types.work;
+  g.Types.backtracks <- g.Types.backtracks + f.Types.backtracks;
+  g.Types.decisions <- g.Types.decisions + f.Types.decisions;
+  Hashtbl.iter
+    (fun k () -> Hashtbl.replace g.Types.state_cubes k ())
+    f.Types.state_cubes
+
+let note_run_states stats (run : Fsim.Engine.run) =
+  List.iter (fun code -> Types.note_state stats code) run.Fsim.Engine.good_states
+
+(* Record the good-machine states visited by a sequence, each with the
+   input prefix that reaches it — the justification directory. *)
+let state_directory c seqs =
+  let sim = Sim.Parallel.create c in
+  let seen = Hashtbl.create 256 in
+  let dir = ref [] in
+  let note code prefix =
+    if not (Hashtbl.mem seen code) then begin
+      Hashtbl.add seen code ();
+      dir := (code, prefix) :: !dir
+    end
+  in
+  List.iter
+    (fun seq ->
+      Sim.Parallel.reset sim;
+      let rec loop t past = function
+        | [] -> ()
+        | v :: rest ->
+          ignore (Sim.Parallel.step_broadcast sim v);
+          let words = Sim.Parallel.get_state_words sim in
+          let code = ref 0 in
+          Array.iteri
+            (fun i w -> if w land 1 <> 0 then code := !code lor (1 lsl i))
+            words;
+          let past = v :: past in
+          note !code (List.rev past);
+          loop (t + 1) past rest
+      in
+      loop 0 [] seq)
+    seqs;
+  List.rev !dir
+
+(* Attempt one fault deterministically. *)
+let attempt_fault ?directory c fault cfg fstats learn =
+  try
+    let fr = Frames.create ~fault c ~frames:cfg.Types.max_frames_fwd ~stats:fstats in
+    match Podem.phase_a fr fault cfg fstats with
+    | Podem.Detected ->
+      let required = Array.copy fr.Frames.ps0 in
+      (match Podem.justify ?directory c ~required ~cfg ~stats:fstats ~learn with
+       | Some prefix ->
+         let forward =
+           List.init fr.Frames.k (fun t ->
+               Array.map
+                 (fun v ->
+                   match Sim.Value3.to_bool_opt v with
+                   | Some b -> b
+                   | None -> false)
+                 fr.Frames.pi.(t))
+         in
+         Types.Tested (prefix @ forward)
+       | None -> Types.Gave_up)
+    | Podem.Exhausted { escape_seen = false } -> Types.Proved_redundant
+    | Podem.Exhausted { escape_seen = true } -> Types.Gave_up
+  with Podem.Out_of_budget -> Types.Gave_up
+
+let generate ?(config = Types.scaled_config ()) ?(seed = 1)
+    ?(random_sequences_count = 2) ?(random_sequence_length = 120) c =
+  let cfg = config in
+  let faults = Fsim.Collapse.list c in
+  let n = Array.length faults in
+  let status = Array.make n Fsim.Fault.Untested in
+  let detected = Array.make n false in
+  let stats = Types.new_stats () in
+  let test_sets = ref [] in
+  let trajectory = ref [] in
+  let resolved = ref 0 in
+  let checkpoint () =
+    trajectory :=
+      (Types.work_units stats,
+       100.0 *. float_of_int !resolved /. float_of_int (max 1 n))
+      :: !trajectory
+  in
+  let learn = if cfg.Types.learn then Some (Podem.new_learn_state ()) else None in
+  let learn_state =
+    match learn with Some l -> l | None -> Podem.new_learn_state ()
+  in
+  let apply_fault_sim seq =
+    let run = Fsim.Engine.simulate ~skip:detected c faults seq in
+    stats.Types.work <-
+      stats.Types.work
+      + (List.length seq * Netlist.Node.num_gates c);
+    note_run_states stats run;
+    let newly = ref 0 in
+    Array.iteri
+      (fun i d ->
+        if d && not detected.(i) then begin
+          detected.(i) <- true;
+          status.(i) <- Fsim.Fault.Detected;
+          incr newly;
+          incr resolved
+        end)
+      run.Fsim.Engine.detected;
+    !newly
+  in
+  (* random phase *)
+  let random_seqs =
+    random_sequences c ~seed ~count:random_sequences_count
+      ~length:random_sequence_length
+  in
+  List.iter
+    (fun seq ->
+      let newly = apply_fault_sim seq in
+      if newly > 0 then test_sets := seq :: !test_sets;
+      checkpoint ())
+    random_seqs;
+  let directory = state_directory c random_seqs in
+  stats.Types.work <-
+    stats.Types.work
+    + (List.fold_left (fun a s -> a + List.length s) 0 random_seqs
+       * Netlist.Node.num_gates c);
+  (* deterministic phase *)
+  let total_budget = cfg.Types.total_work_limit in
+  (try
+     Array.iteri
+       (fun i fault ->
+         if status.(i) = Fsim.Fault.Untested then begin
+           if Types.work_units stats > total_budget then raise Exit;
+           let fstats = Types.new_stats () in
+           let learn_arg = if cfg.Types.learn then Some learn_state else None in
+           let outcome = attempt_fault ~directory c fault cfg fstats learn_arg in
+           merge_stats ~into:stats fstats;
+           (match outcome with
+           | Types.Tested seq ->
+             if cfg.Types.validate then begin
+               let before = detected.(i) in
+               let newly = apply_fault_sim seq in
+               if newly > 0 then test_sets := seq :: !test_sets;
+               if (not before) && not detected.(i) then
+                 (* the deterministic engine was fooled by its
+                    approximations; ground truth says undetected *)
+                 status.(i) <- Fsim.Fault.Aborted
+             end
+             else begin
+               detected.(i) <- true;
+               status.(i) <- Fsim.Fault.Detected;
+               test_sets := seq :: !test_sets
+             end
+           | Types.Proved_redundant ->
+             status.(i) <- Fsim.Fault.Redundant;
+             incr resolved
+           | Types.Gave_up -> status.(i) <- Fsim.Fault.Aborted);
+           checkpoint ()
+         end)
+       faults
+   with Exit -> ());
+  (* anything still untested ran out of global budget *)
+  Array.iteri
+    (fun i s -> if s = Fsim.Fault.Untested then status.(i) <- Fsim.Fault.Aborted)
+    status;
+  checkpoint ();
+  Types.summarize ~trajectory:(List.rev !trajectory) faults status
+    (List.rev !test_sets) stats

@@ -1,0 +1,52 @@
+(** Per-circuit ATPG driver shared by the HITEC- and SEST-style engines.
+
+    1. {e random phase}: a few random sequences are fault-simulated with
+       fault dropping, and the good-machine states they visit are recorded
+       (with the input prefix reaching each) into a justification
+       directory — on densely encoded machines this visits nearly the
+       whole valid set, on sparsely encoded (retimed) machines a sliver,
+       which is precisely the asymmetry the reproduced paper studies;
+    2. {e deterministic phase}: time-frame PODEM plus backward state
+       justification per remaining fault; every produced test is validated
+       by fault simulation (ground truth) and used to drop other faults.
+
+    Sound redundancy only: a fault is Redundant when phase A exhausted the
+    search space and the fault effect never (even potentially) escaped the
+    frame window. *)
+
+(** Index of the PI literally named "reset", if any. *)
+val find_reset_pi : Netlist.Node.t -> int option
+
+(** Seeded random sequences; the reset line (when present) is pulsed with
+    low probability. *)
+val random_sequences :
+  Netlist.Node.t -> seed:int -> count:int -> length:int ->
+  Sim.Vectors.sequence list
+
+val merge_stats : into:Types.stats -> Types.stats -> unit
+val note_run_states : Types.stats -> Fsim.Engine.run -> unit
+
+(** The state directory harvested from simulating [sequences]:
+    (state code, input prefix reaching it) per first visit. *)
+val state_directory :
+  Netlist.Node.t -> Sim.Vectors.sequence list ->
+  (int * Sim.Vectors.sequence) list
+
+(** Deterministic attempt on one fault (exposed for tests/benches). *)
+val attempt_fault :
+  ?directory:(int * Sim.Vectors.sequence) list ->
+  Netlist.Node.t ->
+  Fsim.Fault.t ->
+  Types.config ->
+  Types.stats ->
+  Podem.learn_state option ->
+  Types.fault_outcome
+
+(** Run the whole flow on a circuit. *)
+val generate :
+  ?config:Types.config ->
+  ?seed:int ->
+  ?random_sequences_count:int ->
+  ?random_sequence_length:int ->
+  Netlist.Node.t ->
+  Types.result

@@ -1,0 +1,9 @@
+(* SEST-style engine: the same PODEM core as Hitec plus dynamic state
+   learning — requirement cubes proven unjustifiable are cached and pruned
+   across faults, and successful justification sequences are reused (the
+   decomposition-equivalence learning family of Chen & Bushnell). *)
+
+let config () =
+  Types.scaled_config ~base:{ Types.default_config with learn = true } ()
+
+let generate ?config:(cfg = config ()) ?seed c = Run.generate ~config:cfg ?seed c

@@ -1,0 +1,10 @@
+(** SEST-style engine: the {!Hitec} PODEM core plus dynamic state
+    learning — requirement cubes proven unjustifiable are cached and
+    pruned across faults, and successful justification prefixes are
+    reused (the decomposition-equivalence learning family of Chen &
+    Bushnell). *)
+
+val config : unit -> Types.config
+
+val generate :
+  ?config:Types.config -> ?seed:int -> Netlist.Node.t -> Types.result

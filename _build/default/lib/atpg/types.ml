@@ -1,0 +1,101 @@
+(* Shared ATPG types: configuration, per-fault outcomes, work accounting.
+
+   "CPU time" is reported in deterministic work units (gate evaluations plus
+   weighted backtracks) so that the retimed/original ratios of the paper's
+   tables are reproducible independent of the host machine. *)
+
+type config = {
+  max_frames_fwd : int;   (* forward time frames for propagation *)
+  max_frames_bwd : int;   (* backward frames for state justification *)
+  backtrack_limit : int;  (* per-fault PODEM backtracks *)
+  work_limit : int;       (* per-fault gate-evaluation budget *)
+  total_work_limit : int; (* whole-circuit budget; beyond it faults abort *)
+  validate : bool;        (* confirm every generated test by fault simulation *)
+  learn : bool;           (* SEST-style dynamic state learning *)
+}
+
+let default_config =
+  {
+    max_frames_fwd = 6;
+    max_frames_bwd = 24;
+    backtrack_limit = 800;
+    work_limit = 1_200_000;
+    total_work_limit = 250_000_000;
+    validate = true;
+    learn = false;
+  }
+
+(* Scale every budget by the SATPG_BUDGET environment variable (float). *)
+let scaled_config ?(base = default_config) () =
+  match Sys.getenv_opt "SATPG_BUDGET" with
+  | None -> base
+  | Some s ->
+    (match float_of_string_opt s with
+     | None -> base
+     | Some f ->
+       let scale x =
+         if x = max_int then x
+         else int_of_float (float_of_int x *. f)
+       in
+       {
+         base with
+         backtrack_limit = scale base.backtrack_limit;
+         work_limit = scale base.work_limit;
+         total_work_limit = scale base.total_work_limit;
+       })
+
+type stats = {
+  mutable work : int;            (* gate evaluations *)
+  mutable backtracks : int;
+  mutable decisions : int;
+  states : (int, unit) Hashtbl.t;       (* distinct good states traversed *)
+  state_cubes : (string, unit) Hashtbl.t; (* justification targets (with X) *)
+}
+
+let new_stats () =
+  {
+    work = 0;
+    backtracks = 0;
+    decisions = 0;
+    states = Hashtbl.create 256;
+    state_cubes = Hashtbl.create 256;
+  }
+
+let note_state stats code =
+  if not (Hashtbl.mem stats.states code) then
+    Hashtbl.add stats.states code ()
+
+(* Combined work-unit metric: the "CPU seconds" stand-in. *)
+let work_units stats = stats.work + (50 * stats.backtracks)
+
+type fault_outcome =
+  | Tested of Sim.Vectors.sequence  (* validated test sequence *)
+  | Proved_redundant
+  | Gave_up
+
+type result = {
+  faults : Fsim.Fault.t array;
+  status : Fsim.Fault.status array;
+  test_sets : Sim.Vectors.sequence list; (* in generation order *)
+  stats : stats;
+  fault_coverage : float;
+  fault_efficiency : float;
+  trajectory : (int * float) list;
+  (* (work units, fault efficiency %) checkpoints, for Figure 3 *)
+}
+
+let summarize ?(trajectory = []) faults status test_sets stats =
+  let total = Array.length faults in
+  let count p = Array.fold_left (fun a s -> if p s then a + 1 else a) 0 status in
+  let det = count (fun s -> s = Fsim.Fault.Detected) in
+  let red = count (fun s -> s = Fsim.Fault.Redundant) in
+  {
+    faults;
+    status;
+    test_sets;
+    stats;
+    fault_coverage = 100.0 *. float_of_int det /. float_of_int (max 1 total);
+    fault_efficiency =
+      100.0 *. float_of_int (det + red) /. float_of_int (max 1 total);
+    trajectory;
+  }

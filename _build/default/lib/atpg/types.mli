@@ -1,0 +1,63 @@
+(** Shared ATPG types: engine configuration, budgets, work accounting and
+    per-circuit results.
+
+    "CPU time" is reported in deterministic {e work units} — gate
+    evaluations plus weighted backtracks — so the retimed/original ratios
+    of the paper's tables are reproducible independent of the host. *)
+
+type config = {
+  max_frames_fwd : int;   (** forward time frames for fault propagation *)
+  max_frames_bwd : int;   (** backward frames for state justification *)
+  backtrack_limit : int;  (** per-fault PODEM backtracks *)
+  work_limit : int;       (** per-fault gate-evaluation budget *)
+  total_work_limit : int; (** whole-circuit budget; beyond it faults abort *)
+  validate : bool;        (** confirm every test by fault simulation *)
+  learn : bool;           (** SEST-style dynamic state learning *)
+}
+
+val default_config : config
+
+(** [scaled_config ?base ()] multiplies every budget of [base] by the
+    [SATPG_BUDGET] environment variable (a float), when set. *)
+val scaled_config : ?base:config -> unit -> config
+
+type stats = {
+  mutable work : int;        (** gate evaluations *)
+  mutable backtracks : int;
+  mutable decisions : int;
+  states : (int, unit) Hashtbl.t;
+  (** distinct good-machine states traversed (Table 6 instrumentation) *)
+  state_cubes : (string, unit) Hashtbl.t;
+  (** justification requirement cubes encountered (with X positions) *)
+}
+
+val new_stats : unit -> stats
+val note_state : stats -> int -> unit
+
+(** The CPU-seconds stand-in: work + 50 * backtracks. *)
+val work_units : stats -> int
+
+type fault_outcome =
+  | Tested of Sim.Vectors.sequence  (** candidate test, power-up onward *)
+  | Proved_redundant
+  | Gave_up
+
+type result = {
+  faults : Fsim.Fault.t array;
+  status : Fsim.Fault.status array;
+  test_sets : Sim.Vectors.sequence list;
+  (** each sequence is applied from power-up *)
+  stats : stats;
+  fault_coverage : float;     (** % detected *)
+  fault_efficiency : float;   (** % detected or proven redundant *)
+  trajectory : (int * float) list;
+  (** (work units, fault efficiency %) checkpoints — Figure 3's curves *)
+}
+
+val summarize :
+  ?trajectory:(int * float) list ->
+  Fsim.Fault.t array ->
+  Fsim.Fault.status array ->
+  Sim.Vectors.sequence list ->
+  stats ->
+  result

@@ -1,0 +1,1 @@
+lib/core/cache.mli: Analysis Atpg Netlist

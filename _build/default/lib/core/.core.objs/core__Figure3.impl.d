@@ -1,0 +1,1 @@
+lib/core/figure3.ml: Analysis Atpg Cache Flow Fmt List

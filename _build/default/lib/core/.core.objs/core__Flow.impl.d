@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Fsm Hashtbl List Netlist Printf Retime Synth

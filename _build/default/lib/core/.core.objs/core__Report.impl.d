@@ -1,0 +1,1 @@
+lib/core/report.ml: Figure3 Fmt List Tables

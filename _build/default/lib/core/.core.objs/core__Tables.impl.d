@@ -1,0 +1,1 @@
+lib/core/tables.ml: Analysis Array Atpg Cache Flow Fmt Fsim Fsm Hashtbl List Netlist String Synth

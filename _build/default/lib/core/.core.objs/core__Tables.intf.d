@@ -1,0 +1,1 @@
+lib/core/tables.mli: Cache Flow Format Netlist Synth

@@ -1,0 +1,44 @@
+(* Per-process memoization of the expensive analyses, keyed by circuit name:
+   several tables consume the same ATPG runs and reachability results. *)
+
+type atpg_kind = Hitec | Attest | Sest
+
+let atpg_kind_name = function
+  | Hitec -> "hitec"
+  | Attest -> "attest"
+  | Sest -> "sest"
+
+let atpg_results : (string, Atpg.Types.result) Hashtbl.t = Hashtbl.create 64
+let reach_results : (string, Analysis.Reach.result) Hashtbl.t = Hashtbl.create 64
+let structural_results : (string, Analysis.Structural.result) Hashtbl.t =
+  Hashtbl.create 64
+
+let atpg kind ~name c =
+  let key = atpg_kind_name kind ^ ":" ^ name in
+  match Hashtbl.find_opt atpg_results key with
+  | Some r -> r
+  | None ->
+    let r =
+      match kind with
+      | Hitec -> Atpg.Run.generate ~config:(Atpg.Hitec.config ()) c
+      | Sest -> Atpg.Run.generate ~config:(Atpg.Sest.config ()) c
+      | Attest -> Atpg.Attest.generate c
+    in
+    Hashtbl.replace atpg_results key r;
+    r
+
+let reach ~name c =
+  match Hashtbl.find_opt reach_results name with
+  | Some r -> r
+  | None ->
+    let r = Analysis.Reach.explore c in
+    Hashtbl.replace reach_results name r;
+    r
+
+let structural ~name c =
+  match Hashtbl.find_opt structural_results name with
+  | Some r -> r
+  | None ->
+    let r = Analysis.Structural.analyze c in
+    Hashtbl.replace structural_results name r;
+    r

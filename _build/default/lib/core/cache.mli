@@ -1,0 +1,18 @@
+(** Per-process memoization of the expensive analyses, keyed by circuit
+    name: several tables consume the same ATPG runs, reachability results
+    and structural measurements. *)
+
+type atpg_kind =
+  | Hitec   (** PODEM + justification, no learning *)
+  | Attest  (** simulation-based directed search *)
+  | Sest    (** PODEM + dynamic state learning *)
+
+val atpg_kind_name : atpg_kind -> string
+
+(** Run (or recall) an engine on a named circuit. *)
+val atpg : atpg_kind -> name:string -> Netlist.Node.t -> Atpg.Types.result
+
+val reach : name:string -> Netlist.Node.t -> Analysis.Reach.result
+
+val structural :
+  name:string -> Netlist.Node.t -> Analysis.Structural.result

@@ -1,0 +1,19 @@
+(** Figure 3: ATPG effort (work units) needed to reach each
+    fault-efficiency level for the five density-sensitivity versions of
+    s510.jo.sr.  The curves order by density of encoding. *)
+
+type series = {
+  circuit : string;
+  density : float;
+  points : (int * float) list;  (** (work units, fault efficiency %) *)
+}
+
+val compute : unit -> series list
+
+(** First work value reaching [fe] percent, or [None]. *)
+val work_to_reach : series -> float -> int option
+
+(** The efficiency levels the table prints. *)
+val levels : float list
+
+val pp : Format.formatter -> series list -> unit

@@ -1,0 +1,203 @@
+(* Published numbers from the paper, used by the reports to print
+   paper-vs-measured comparisons.  Only the columns the reproduction tracks
+   are transcribed. *)
+
+(* Table 1 *)
+type fsm_row = { fsm : string; pi : int; po : int; states : int }
+
+let table1 =
+  [
+    { fsm = "dk16"; pi = 3; po = 3; states = 27 };
+    { fsm = "pma"; pi = 7; po = 8; states = 24 };
+    { fsm = "s510"; pi = 20; po = 7; states = 47 };
+    { fsm = "s820"; pi = 18; po = 19; states = 25 };
+    { fsm = "s832"; pi = 18; po = 19; states = 25 };
+    { fsm = "scf"; pi = 27; po = 54; states = 121 };
+  ]
+
+(* Table 2: HITEC.  (circuit, dff_orig, fc_orig, fe_orig, dff_re, fc_re,
+   fe_re, cpu_ratio) *)
+type hitec_row = {
+  circuit : string;
+  dff_orig : int;
+  fc_orig : float;
+  fe_orig : float;
+  dff_re : int;
+  fc_re : float;
+  fe_re : float;
+  cpu_ratio : float;
+}
+
+let table2 =
+  [
+    { circuit = "dk16.ji.sd"; dff_orig = 5; fc_orig = 99.8; fe_orig = 100.0;
+      dff_re = 19; fc_re = 99.7; fe_re = 100.0; cpu_ratio = 323.1 };
+    { circuit = "pma.jo.sd"; dff_orig = 5; fc_orig = 99.4; fe_orig = 100.0;
+      dff_re = 21; fc_re = 98.8; fe_re = 99.3; cpu_ratio = 231.5 };
+    { circuit = "s510.jc.sd"; dff_orig = 6; fc_orig = 98.2; fe_orig = 100.0;
+      dff_re = 20; fc_re = 95.3; fe_re = 96.0; cpu_ratio = 16.6 };
+    { circuit = "s510.jc.sr"; dff_orig = 6; fc_orig = 94.3; fe_orig = 99.3;
+      dff_re = 26; fc_re = 53.9; fe_re = 54.6; cpu_ratio = 9.6 };
+    { circuit = "s510.ji.sd"; dff_orig = 6; fc_orig = 99.2; fe_orig = 100.0;
+      dff_re = 11; fc_re = 98.8; fe_re = 99.6; cpu_ratio = 56.6 };
+    { circuit = "s510.ji.sr"; dff_orig = 6; fc_orig = 98.9; fe_orig = 100.0;
+      dff_re = 23; fc_re = 91.4; fe_re = 92.0; cpu_ratio = 27.6 };
+    { circuit = "s510.jo.sr"; dff_orig = 6; fc_orig = 96.2; fe_orig = 100.0;
+      dff_re = 28; fc_re = 56.5; fe_re = 57.0; cpu_ratio = 261.6 };
+    { circuit = "s820.jc.sd"; dff_orig = 5; fc_orig = 99.4; fe_orig = 99.9;
+      dff_re = 14; fc_re = 95.3; fe_re = 96.6; cpu_ratio = 174.2 };
+    { circuit = "s820.jc.sr"; dff_orig = 5; fc_orig = 98.7; fe_orig = 100.0;
+      dff_re = 9; fc_re = 98.5; fe_re = 99.8; cpu_ratio = 6.6 };
+    { circuit = "s820.ji.sr"; dff_orig = 5; fc_orig = 98.2; fe_orig = 100.0;
+      dff_re = 8; fc_re = 97.3; fe_re = 100.0; cpu_ratio = 35.4 };
+    { circuit = "s820.jo.sd"; dff_orig = 5; fc_orig = 100.0; fe_orig = 100.0;
+      dff_re = 22; fc_re = 92.5; fe_re = 93.6; cpu_ratio = 297.7 };
+    { circuit = "s820.jo.sr"; dff_orig = 5; fc_orig = 98.6; fe_orig = 99.8;
+      dff_re = 13; fc_re = 97.3; fe_re = 98.8; cpu_ratio = 80.4 };
+    { circuit = "s832.jc.sr"; dff_orig = 5; fc_orig = 98.4; fe_orig = 100.0;
+      dff_re = 27; fc_re = 53.7; fe_re = 56.0; cpu_ratio = 405.7 };
+    { circuit = "s832.jo.sr"; dff_orig = 5; fc_orig = 98.1; fe_orig = 100.0;
+      dff_re = 15; fc_re = 96.7; fe_re = 99.1; cpu_ratio = 452.6 };
+    { circuit = "scf.ji.sd"; dff_orig = 7; fc_orig = 99.6; fe_orig = 100.0;
+      dff_re = 20; fc_re = 63.1; fe_re = 63.7; cpu_ratio = 40.0 };
+    { circuit = "scf.jo.sd"; dff_orig = 7; fc_orig = 99.6; fe_orig = 100.0;
+      dff_re = 23; fc_re = 97.8; fe_re = 97.9; cpu_ratio = 41.8 };
+  ]
+
+(* Tables 3 and 4: confirmations. *)
+type confirm_row = {
+  ccircuit : string;
+  cfc_orig : float;
+  cfe_orig : float;
+  cfc_re : float;
+  cfe_re : float;
+  ccpu_ratio : float;
+}
+
+let table3 =
+  [
+    { ccircuit = "dk16.ji.sd"; cfc_orig = 99.3; cfe_orig = 99.7;
+      cfc_re = 95.1; cfe_re = 99.3; ccpu_ratio = 176.2 };
+    { ccircuit = "pma.jo.sd"; cfc_orig = 99.2; cfe_orig = 99.4;
+      cfc_re = 96.3; cfe_re = 98.3; ccpu_ratio = 18.8 };
+    { ccircuit = "s510.jc.sd"; cfc_orig = 95.0; cfe_orig = 95.3;
+      cfc_re = 51.9; cfe_re = 52.2; ccpu_ratio = 23.3 };
+    { ccircuit = "s510.ji.sr"; cfc_orig = 95.6; cfe_orig = 95.6;
+      cfc_re = 79.9; cfe_re = 79.9; ccpu_ratio = 8.0 };
+    { ccircuit = "s510.jo.sr"; cfc_orig = 94.2; cfe_orig = 94.2;
+      cfc_re = 71.5; cfe_re = 71.5; ccpu_ratio = 12.3 };
+  ]
+
+let table4 =
+  [
+    { ccircuit = "dk16.ji.sd"; cfc_orig = 98.0; cfe_orig = 99.8;
+      cfc_re = 97.6; cfe_re = 99.3; ccpu_ratio = 3.5 };
+    { ccircuit = "pma.jo.sd"; cfc_orig = 98.3; cfe_orig = 100.0;
+      cfc_re = 96.4; cfe_re = 97.8; ccpu_ratio = 104.6 };
+    { ccircuit = "s510.jc.sd"; cfc_orig = 95.4; cfe_orig = 98.2;
+      cfc_re = 6.7; cfe_re = 10.4; ccpu_ratio = 2.1 };
+    { ccircuit = "s510.ji.sd"; cfc_orig = 95.7; cfe_orig = 99.5;
+      cfc_re = 95.2; cfe_re = 99.1; ccpu_ratio = 2.5 };
+    { ccircuit = "s510.jo.sr"; cfc_orig = 92.2; cfe_orig = 94.6;
+      cfc_re = 63.6; cfe_re = 65.4; ccpu_ratio = 2.7 };
+  ]
+
+(* Table 5: structural attributes (orig = retimed for depth and max cycle
+   length; #cycles grows). *)
+type structure_row = {
+  scircuit : string;
+  depth : int;             (* same for orig and retimed *)
+  max_cycle : int;         (* same for orig and retimed *)
+  cycles_orig : int;
+  cycles_re : int;
+}
+
+let table5 =
+  [
+    { scircuit = "dk16.ji.sd"; depth = 4; max_cycle = 4; cycles_orig = 10; cycles_re = 19 };
+    { scircuit = "pma.jo.sd"; depth = 5; max_cycle = 5; cycles_orig = 12; cycles_re = 18 };
+    { scircuit = "s510.jc.sd"; depth = 6; max_cycle = 6; cycles_orig = 15; cycles_re = 26 };
+    { scircuit = "s510.jc.sr"; depth = 6; max_cycle = 6; cycles_orig = 16; cycles_re = 32 };
+    { scircuit = "s510.ji.sd"; depth = 6; max_cycle = 6; cycles_orig = 18; cycles_re = 21 };
+    { scircuit = "s510.ji.sr"; depth = 6; max_cycle = 6; cycles_orig = 18; cycles_re = 33 };
+    { scircuit = "s510.jo.sr"; depth = 6; max_cycle = 5; cycles_orig = 15; cycles_re = 28 };
+    { scircuit = "s820.jc.sd"; depth = 5; max_cycle = 5; cycles_orig = 14; cycles_re = 19 };
+    { scircuit = "s820.jc.sr"; depth = 5; max_cycle = 5; cycles_orig = 14; cycles_re = 18 };
+    { scircuit = "s820.ji.sr"; depth = 5; max_cycle = 5; cycles_orig = 12; cycles_re = 14 };
+    { scircuit = "s820.jo.sd"; depth = 5; max_cycle = 5; cycles_orig = 14; cycles_re = 24 };
+    { scircuit = "s820.jo.sr"; depth = 5; max_cycle = 5; cycles_orig = 13; cycles_re = 19 };
+    { scircuit = "s832.jc.sr"; depth = 5; max_cycle = 5; cycles_orig = 11; cycles_re = 25 };
+    { scircuit = "s832.jo.sr"; depth = 5; max_cycle = 5; cycles_orig = 14; cycles_re = 22 };
+    { scircuit = "scf.ji.sd"; depth = 7; max_cycle = 6; cycles_orig = 22; cycles_re = 32 };
+    { scircuit = "scf.jo.sd"; depth = 7; max_cycle = 6; cycles_orig = 19; cycles_re = 27 };
+  ]
+
+(* Table 6: density of encoding (original, retimed) per pair. *)
+type density_row = {
+  dcircuit : string;
+  density_orig : float;
+  density_re : float;
+  valid_orig : int;
+  valid_re : int;
+}
+
+let table6 =
+  [
+    { dcircuit = "dk16.ji.sd"; density_orig = 0.84; density_re = 2.0e-4; valid_orig = 27; valid_re = 105 };
+    { dcircuit = "pma.jo.sd"; density_orig = 0.84; density_re = 1.3e-5; valid_orig = 27; valid_re = 27 };
+    { dcircuit = "s510.jc.sd"; density_orig = 0.73; density_re = 4.5e-5; valid_orig = 47; valid_re = 47 };
+    { dcircuit = "s510.jc.sr"; density_orig = 0.73; density_re = 2.2e-6; valid_orig = 47; valid_re = 148 };
+    { dcircuit = "s510.ji.sd"; density_orig = 0.73; density_re = 3.4e-2; valid_orig = 47; valid_re = 70 };
+    { dcircuit = "s510.ji.sr"; density_orig = 0.73; density_re = 2.4e-5; valid_orig = 47; valid_re = 202 };
+    { dcircuit = "s510.jo.sr"; density_orig = 0.73; density_re = 1.8e-6; valid_orig = 47; valid_re = 490 };
+    { dcircuit = "s820.jc.sd"; density_orig = 0.75; density_re = 1.0e-3; valid_orig = 24; valid_re = 164 };
+    { dcircuit = "s820.jc.sr"; density_orig = 0.75; density_re = 9.1e-2; valid_orig = 24; valid_re = 47 };
+    { dcircuit = "s820.ji.sr"; density_orig = 0.75; density_re = 3.9e-3; valid_orig = 24; valid_re = 50 };
+    { dcircuit = "s820.jo.sd"; density_orig = 0.75; density_re = 7.1e-5; valid_orig = 24; valid_re = 297 };
+    { dcircuit = "s820.jo.sr"; density_orig = 0.75; density_re = 5.9e-3; valid_orig = 24; valid_re = 48 };
+    { dcircuit = "s832.jc.sr"; density_orig = 0.75; density_re = 2.0e-6; valid_orig = 24; valid_re = 273 };
+    { dcircuit = "s832.jo.sr"; density_orig = 0.75; density_re = 1.6e-3; valid_orig = 24; valid_re = 54 };
+    { dcircuit = "scf.ji.sd"; density_orig = 0.73; density_re = 2.0e-4; valid_orig = 94; valid_re = 209 };
+    { dcircuit = "scf.jo.sd"; density_orig = 0.73; density_re = 1.1e-5; valid_orig = 94; valid_re = 94 };
+  ]
+
+(* Table 7: sensitivity versions of s510.jo.sr. *)
+type sensitivity_row = {
+  vname : string;
+  vdelay : float;
+  vdff : int;
+  vvalid : int;
+  vdensity : float;
+}
+
+let table7 =
+  [
+    { vname = "s510.jo.sr"; vdelay = 43.87; vdff = 6; vvalid = 47; vdensity = 0.73 };
+    { vname = "s510.jo.sr.re.v1"; vdelay = 42.51; vdff = 8; vvalid = 71; vdensity = 0.28 };
+    { vname = "s510.jo.sr.re.v2"; vdelay = 42.04; vdff = 16; vvalid = 150; vdensity = 2.3e-3 };
+    { vname = "s510.jo.sr.re.v3"; vdelay = 41.55; vdff = 22; vvalid = 233; vdensity = 5.6e-5 };
+    { vname = "s510.jo.sr.re"; vdelay = 41.51; vdff = 28; vvalid = 490; vdensity = 1.8e-6 };
+  ]
+
+(* Table 8: the four worst retimed circuits. *)
+type rescue_row = {
+  rcircuit : string;
+  rfc : float;
+  rfe : float;
+  rstates_trav : int;
+  rvalid : int;
+  rstates_orig_set : int;
+  rfc_orig_set : float;
+}
+
+let table8 =
+  [
+    { rcircuit = "s510.jc.sr.re"; rfc = 53.9; rfe = 54.6; rstates_trav = 18;
+      rvalid = 148; rstates_orig_set = 72; rfc_orig_set = 94.6 };
+    { rcircuit = "s510.jo.sr.re"; rfc = 56.5; rfe = 57.0; rstates_trav = 22;
+      rvalid = 490; rstates_orig_set = 102; rfc_orig_set = 96.2 };
+    { rcircuit = "s832.jc.sr.re"; rfc = 53.7; rfe = 56.0; rstates_trav = 23;
+      rvalid = 273; rstates_orig_set = 69; rfc_orig_set = 98.2 };
+    { rcircuit = "scf.ji.sd.re"; rfc = 63.1; rfe = 63.7; rstates_trav = 41;
+      rvalid = 209; rstates_orig_set = 147; rfc_orig_set = 99.5 };
+  ]

@@ -1,0 +1,74 @@
+(** Published numbers transcribed from the paper's tables, used by the
+    reports and tests for paper-vs-measured comparisons.  Only the columns
+    the reproduction tracks are included. *)
+
+type fsm_row = { fsm : string; pi : int; po : int; states : int }
+
+val table1 : fsm_row list
+
+type hitec_row = {
+  circuit : string;
+  dff_orig : int;
+  fc_orig : float;
+  fe_orig : float;
+  dff_re : int;
+  fc_re : float;
+  fe_re : float;
+  cpu_ratio : float;
+}
+
+val table2 : hitec_row list
+
+type confirm_row = {
+  ccircuit : string;
+  cfc_orig : float;
+  cfe_orig : float;
+  cfc_re : float;
+  cfe_re : float;
+  ccpu_ratio : float;
+}
+
+val table3 : confirm_row list
+val table4 : confirm_row list
+
+type structure_row = {
+  scircuit : string;
+  depth : int;        (** identical for original and retimed *)
+  max_cycle : int;    (** identical for original and retimed *)
+  cycles_orig : int;
+  cycles_re : int;
+}
+
+val table5 : structure_row list
+
+type density_row = {
+  dcircuit : string;
+  density_orig : float;
+  density_re : float;
+  valid_orig : int;
+  valid_re : int;
+}
+
+val table6 : density_row list
+
+type sensitivity_row = {
+  vname : string;
+  vdelay : float;
+  vdff : int;
+  vvalid : int;
+  vdensity : float;
+}
+
+val table7 : sensitivity_row list
+
+type rescue_row = {
+  rcircuit : string;
+  rfc : float;
+  rfe : float;
+  rstates_trav : int;
+  rvalid : int;
+  rstates_orig_set : int;
+  rfc_orig_set : float;
+}
+
+val table8 : rescue_row list

@@ -1,0 +1,327 @@
+(* Reproduction of every table in the paper's evaluation.  Each [compute]
+   runs (memoized) synthesis / retiming / ATPG / analysis and returns typed
+   rows; each [pp] prints the table in the paper's layout. *)
+
+let ratio a b = float_of_int a /. float_of_int (max 1 b)
+
+(* ------------------------------------------------------------------ T1 - *)
+
+module T1 = struct
+  type row = {
+    fsm : string;
+    paper_pi : int;
+    paper_po : int;
+    built_pi : int;
+    built_po : int;
+    states : int;
+  }
+
+  let compute () =
+    List.map
+      (fun (e : Fsm.Benchmarks.entry) ->
+        let m = Fsm.Benchmarks.machine e in
+        {
+          fsm = e.Fsm.Benchmarks.name;
+          paper_pi = e.Fsm.Benchmarks.paper_pi;
+          paper_po = e.Fsm.Benchmarks.paper_po;
+          built_pi = m.Fsm.Machine.num_inputs;
+          built_po = m.Fsm.Machine.num_outputs;
+          states = Fsm.Machine.num_states m;
+        })
+      Fsm.Benchmarks.all
+
+  let pp ppf rows =
+    Fmt.pf ppf "Table 1: finite state machines (paper PI/PO -> built PI/PO)@.";
+    Fmt.pf ppf "%-6s %6s %6s %9s %9s %7s@." "FSM" "PI" "PO" "built-PI"
+      "built-PO" "states";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "%-6s %6d %6d %9d %9d %7d@." r.fsm r.paper_pi r.paper_po
+          r.built_pi r.built_po r.states)
+      rows
+end
+
+(* ------------------------------------------------------------- T2/T3/T4 - *)
+
+module Atpg_pair = struct
+  type row = {
+    circuit : string;
+    dff_orig : int;
+    dff_re : int;
+    fc_orig : float;
+    fe_orig : float;
+    fc_re : float;
+    fe_re : float;
+    work_orig : int;
+    work_re : int;
+    cpu_ratio : float;
+  }
+
+  let compute kind (p : Flow.pair) =
+    let o = Cache.atpg kind ~name:p.Flow.name p.Flow.original in
+    let r = Cache.atpg kind ~name:(p.Flow.name ^ ".re") p.Flow.retimed in
+    let wo = Atpg.Types.work_units o.Atpg.Types.stats in
+    let wr = Atpg.Types.work_units r.Atpg.Types.stats in
+    {
+      circuit = p.Flow.name;
+      dff_orig = Netlist.Node.num_dffs p.Flow.original;
+      dff_re = Netlist.Node.num_dffs p.Flow.retimed;
+      fc_orig = o.Atpg.Types.fault_coverage;
+      fe_orig = o.Atpg.Types.fault_efficiency;
+      fc_re = r.Atpg.Types.fault_coverage;
+      fe_re = r.Atpg.Types.fault_efficiency;
+      work_orig = wo;
+      work_re = wr;
+      cpu_ratio = ratio wr wo;
+    }
+
+  let pp title ppf rows =
+    Fmt.pf ppf "%s@." title;
+    Fmt.pf ppf "%-12s %4s %6s %6s %11s | %4s %6s %6s %11s | %9s@." "circuit"
+      "dff" "%FC" "%FE" "work" "dff" "%FC" "%FE" "work" "CPU-ratio";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "%-12s %4d %6.1f %6.1f %11d | %4d %6.1f %6.1f %11d | %9.1f@."
+          r.circuit r.dff_orig r.fc_orig r.fe_orig r.work_orig r.dff_re
+          r.fc_re r.fe_re r.work_re r.cpu_ratio)
+      rows
+end
+
+module T2 = struct
+  let compute () =
+    List.map (Atpg_pair.compute Cache.Hitec) (Flow.table2_pairs ())
+
+  let pp = Atpg_pair.pp "Table 2: HITEC-style ATPG, original vs retimed"
+end
+
+module T3 = struct
+  let compute () =
+    List.map (Atpg_pair.compute Cache.Attest) (Flow.confirmation_pairs ())
+
+  let pp = Atpg_pair.pp "Table 3: Attest-style (simulation-based) ATPG"
+end
+
+module T4 = struct
+  let selection =
+    let ji = Synth.Assign.Input_dominant
+    and jo = Synth.Assign.Output_dominant
+    and jc = Synth.Assign.Combined in
+    let sd = Synth.Flow.Delay and sr = Synth.Flow.Rugged in
+    [
+      ("dk16", ji, sd);
+      ("pma", jo, sd);
+      ("s510", jc, sd);
+      ("s510", ji, sd);
+      ("s510", jo, sr);
+    ]
+
+  let compute () =
+    List.map
+      (fun (f, a, s) -> Atpg_pair.compute Cache.Sest (Flow.pair f a s))
+      selection
+
+  let pp = Atpg_pair.pp "Table 4: SEST-style (state-learning) ATPG"
+end
+
+(* ------------------------------------------------------------------ T5 - *)
+
+module T5 = struct
+  type row = {
+    circuit : string;
+    depth_orig : int;
+    max_cycle_orig : int;
+    cycles_orig : int;
+    depth_re : int;
+    max_cycle_re : int;
+    cycles_re : int;
+  }
+
+  let compute () =
+    List.map
+      (fun (p : Flow.pair) ->
+        let o = Cache.structural ~name:p.Flow.name p.Flow.original in
+        let r =
+          Cache.structural ~name:(p.Flow.name ^ ".re") p.Flow.retimed
+        in
+        {
+          circuit = p.Flow.name;
+          depth_orig = o.Analysis.Structural.seq_depth;
+          max_cycle_orig = o.Analysis.Structural.max_cycle_length;
+          cycles_orig = o.Analysis.Structural.num_cycles;
+          depth_re = r.Analysis.Structural.seq_depth;
+          max_cycle_re = r.Analysis.Structural.max_cycle_length;
+          cycles_re = r.Analysis.Structural.num_cycles;
+        })
+      (Flow.table2_pairs ())
+
+  let pp ppf rows =
+    Fmt.pf ppf "Table 5: structural attributes (orig | retimed)@.";
+    Fmt.pf ppf "%-12s %6s %7s %7s | %6s %7s %7s@." "circuit" "depth" "maxcyc"
+      "#cyc" "depth" "maxcyc" "#cyc";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "%-12s %6d %7d %7d | %6d %7d %7d@." r.circuit r.depth_orig
+          r.max_cycle_orig r.cycles_orig r.depth_re r.max_cycle_re r.cycles_re)
+      rows
+end
+
+(* ------------------------------------------------------------------ T6 - *)
+
+module T6 = struct
+  type row = {
+    circuit : string;
+    states_trav : int;
+    valid_states : int;
+    pct_valid_trav : float;
+    total_states : float;
+    density : float;
+  }
+
+  let one name circuit =
+    let atpg = Cache.atpg Cache.Hitec ~name circuit in
+    let reach = Cache.reach ~name circuit in
+    (* count only traversed states that are valid (the ATPG's fault-sim path
+       never leaves the valid set; justification cubes may) *)
+    let trav = Hashtbl.length atpg.Atpg.Types.stats.Atpg.Types.states in
+    {
+      circuit = name;
+      states_trav = trav;
+      valid_states = reach.Analysis.Reach.valid_states;
+      pct_valid_trav =
+        100.0 *. float_of_int trav
+        /. float_of_int (max 1 reach.Analysis.Reach.valid_states);
+      total_states = Analysis.Reach.total_states reach;
+      density = Analysis.Reach.density reach;
+    }
+
+  let compute () =
+    List.concat_map
+      (fun (p : Flow.pair) ->
+        [
+          one p.Flow.name p.Flow.original;
+          one (p.Flow.name ^ ".re") p.Flow.retimed;
+        ])
+      (Flow.table2_pairs ())
+
+  let pp ppf rows =
+    Fmt.pf ppf "Table 6: HITEC state-traversal and density of encoding@.";
+    Fmt.pf ppf "%-16s %7s %7s %8s %10s %10s@." "circuit" "#trav" "#valid"
+      "%trav" "total" "density";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "%-16s %7d %7d %8.0f %10.3g %10.2e@." r.circuit
+          r.states_trav r.valid_states r.pct_valid_trav r.total_states
+          r.density)
+      rows
+end
+
+(* ------------------------------------------------------------------ T7 - *)
+
+module T7 = struct
+  type row = {
+    circuit : string;
+    delay : float;
+    dff : int;
+    valid_states : int;
+    total_states : float;
+    density : float;
+  }
+
+  let compute () =
+    List.map
+      (fun (name, c, period) ->
+        let reach = Cache.reach ~name c in
+        {
+          circuit = name;
+          delay = period;
+          dff = Netlist.Node.num_dffs c;
+          valid_states = reach.Analysis.Reach.valid_states;
+          total_states = Analysis.Reach.total_states reach;
+          density = Analysis.Reach.density reach;
+        })
+      (Flow.sensitivity_versions ())
+
+  let pp ppf rows =
+    Fmt.pf ppf "Table 7: density-of-encoding sensitivity (s510.jo.sr)@.";
+    Fmt.pf ppf "%-18s %8s %5s %7s %10s %10s@." "circuit" "delay" "dff"
+      "#valid" "total" "density";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "%-18s %8.2f %5d %7d %10.3g %10.2e@." r.circuit r.delay
+          r.dff r.valid_states r.total_states r.density)
+      rows
+end
+
+(* ------------------------------------------------------------------ T8 - *)
+
+module T8 = struct
+  type row = {
+    circuit : string;
+    fc : float;
+    fe : float;
+    states_trav : int;
+    valid_states : int;
+    states_orig_set : int;
+    fc_orig_set : float;
+  }
+
+  (* The retimed circuits for which the HITEC-style run attained the lowest
+     coverage. *)
+  let worst_retimed ?(count = 4) () =
+    let rows = T2.compute () in
+    List.sort
+      (fun (a : Atpg_pair.row) b -> compare a.Atpg_pair.fc_re b.Atpg_pair.fc_re)
+      rows
+    |> List.filteri (fun i _ -> i < count)
+    |> List.map (fun (r : Atpg_pair.row) -> r.Atpg_pair.circuit)
+
+  let compute ?count () =
+    let names = worst_retimed ?count () in
+    List.map
+      (fun name ->
+        let f, a, s =
+          List.find
+            (fun (f, a, s) ->
+              let p = Flow.pair f a s in
+              String.equal p.Flow.name name)
+            Flow.table2_selection
+        in
+        let p = Flow.pair f a s in
+        let re_name = p.Flow.name ^ ".re" in
+        let atpg_re = Cache.atpg Cache.Hitec ~name:re_name p.Flow.retimed in
+        let atpg_orig = Cache.atpg Cache.Hitec ~name:p.Flow.name p.Flow.original in
+        let reach_re = Cache.reach ~name:re_name p.Flow.retimed in
+        (* fault simulate the original circuit's test set on the retimed
+           circuit (the paper's PROOFS experiment) *)
+        let orig_vectors = List.concat atpg_orig.Atpg.Types.test_sets in
+        let faults_re = Fsim.Collapse.list p.Flow.retimed in
+        let run = Fsim.Engine.simulate p.Flow.retimed faults_re orig_vectors in
+        let det =
+          Array.fold_left (fun a b -> if b then a + 1 else a) 0
+            run.Fsim.Engine.detected
+        in
+        {
+          circuit = re_name;
+          fc = atpg_re.Atpg.Types.fault_coverage;
+          fe = atpg_re.Atpg.Types.fault_efficiency;
+          states_trav =
+            Hashtbl.length atpg_re.Atpg.Types.stats.Atpg.Types.states;
+          valid_states = reach_re.Analysis.Reach.valid_states;
+          states_orig_set = List.length run.Fsim.Engine.good_states;
+          fc_orig_set =
+            Fsim.Engine.coverage ~detected:det
+              ~total:(Array.length faults_re);
+        })
+      names
+
+  let pp ppf rows =
+    Fmt.pf ppf
+      "Table 8: states needed for high coverage (orig test set on retimed)@.";
+    Fmt.pf ppf "%-18s %6s %6s %7s %7s %10s %10s@." "circuit" "%FC" "%FE"
+      "#trav" "#valid" "#trav-orig" "%FC-orig";
+    List.iter
+      (fun r ->
+        Fmt.pf ppf "%-18s %6.1f %6.1f %7d %7d %10d %10.1f@." r.circuit r.fc
+          r.fe r.states_trav r.valid_states r.states_orig_set r.fc_orig_set)
+      rows
+end

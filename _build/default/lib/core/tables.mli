@@ -1,0 +1,117 @@
+(** Reproduction of every table in the paper's evaluation.  Each module's
+    [compute] runs (memoized) synthesis / retiming / ATPG / analysis and
+    returns typed rows; each [pp] prints the table in the paper's
+    layout. *)
+
+val ratio : int -> int -> float
+
+module T1 : sig
+  type row = {
+    fsm : string;
+    paper_pi : int;
+    paper_po : int;
+    built_pi : int;
+    built_po : int;
+    states : int;
+  }
+
+  val compute : unit -> row list
+  val pp : Format.formatter -> row list -> unit
+end
+
+(** Shared row shape of the three ATPG tables (2, 3, 4). *)
+module Atpg_pair : sig
+  type row = {
+    circuit : string;
+    dff_orig : int;
+    dff_re : int;
+    fc_orig : float;
+    fe_orig : float;
+    fc_re : float;
+    fe_re : float;
+    work_orig : int;
+    work_re : int;
+    cpu_ratio : float;
+  }
+
+  val compute : Cache.atpg_kind -> Flow.pair -> row
+  val pp : string -> Format.formatter -> row list -> unit
+end
+
+module T2 : sig
+  val compute : unit -> Atpg_pair.row list
+  val pp : Format.formatter -> Atpg_pair.row list -> unit
+end
+
+module T3 : sig
+  val compute : unit -> Atpg_pair.row list
+  val pp : Format.formatter -> Atpg_pair.row list -> unit
+end
+
+module T4 : sig
+  val selection : (string * Synth.Assign.algorithm * Synth.Flow.script) list
+  val compute : unit -> Atpg_pair.row list
+  val pp : Format.formatter -> Atpg_pair.row list -> unit
+end
+
+module T5 : sig
+  type row = {
+    circuit : string;
+    depth_orig : int;
+    max_cycle_orig : int;
+    cycles_orig : int;
+    depth_re : int;
+    max_cycle_re : int;
+    cycles_re : int;
+  }
+
+  val compute : unit -> row list
+  val pp : Format.formatter -> row list -> unit
+end
+
+module T6 : sig
+  type row = {
+    circuit : string;
+    states_trav : int;
+    valid_states : int;
+    pct_valid_trav : float;
+    total_states : float;
+    density : float;
+  }
+
+  val one : string -> Netlist.Node.t -> row
+  val compute : unit -> row list
+  val pp : Format.formatter -> row list -> unit
+end
+
+module T7 : sig
+  type row = {
+    circuit : string;
+    delay : float;
+    dff : int;
+    valid_states : int;
+    total_states : float;
+    density : float;
+  }
+
+  val compute : unit -> row list
+  val pp : Format.formatter -> row list -> unit
+end
+
+module T8 : sig
+  type row = {
+    circuit : string;
+    fc : float;
+    fe : float;
+    states_trav : int;
+    valid_states : int;
+    states_orig_set : int;
+    fc_orig_set : float;
+  }
+
+  (** Names of the [count] lowest-coverage retimed circuits of Table 2. *)
+  val worst_retimed : ?count:int -> unit -> string list
+
+  val compute : ?count:int -> unit -> row list
+  val pp : Format.formatter -> row list -> unit
+end

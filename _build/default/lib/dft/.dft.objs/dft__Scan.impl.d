@@ -1,0 +1,1 @@
+lib/dft/scan.ml: Analysis Array List Netlist Printf Retime

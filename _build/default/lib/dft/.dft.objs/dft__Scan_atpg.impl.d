@@ -1,0 +1,1 @@
+lib/dft/scan_atpg.ml: Array Atpg Fsim List Netlist Scan Sim

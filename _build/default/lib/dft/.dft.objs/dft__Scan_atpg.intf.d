@@ -1,0 +1,1 @@
+lib/dft/scan_atpg.mli: Atpg Scan Sim

@@ -1,0 +1,15 @@
+(** Scan-mode ATPG — why scan pays off.
+
+    Runs PODEM phase A with the state as a free pseudo-input (exactly the
+    sequential engines' excitation/propagation), but replaces sequential
+    state justification with a shift-in sequence: any required state is
+    reachable in [chain.length] cycles by construction, so the density of
+    encoding — the attribute that defeats sequential justification on the
+    paper's retimed circuits — becomes irrelevant.  Every test is
+    validated by fault simulation of the scanned netlist. *)
+
+(** Packed state code from a phase-A requirement cube (X and 0 map to 0). *)
+val state_code_of_cube : Sim.Value3.t array -> int
+
+val generate :
+  ?config:Atpg.Types.config -> ?seed:int -> Scan.chain -> Atpg.Types.result

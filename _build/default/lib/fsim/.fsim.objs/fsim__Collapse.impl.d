@@ -1,0 +1,1 @@
+lib/fsim/collapse.ml: Array Fault Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/fsim/collapse.mli: Fault Netlist

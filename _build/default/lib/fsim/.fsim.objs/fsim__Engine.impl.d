@@ -1,0 +1,1 @@
+lib/fsim/engine.ml: Array Fault Hashtbl List Netlist Sim

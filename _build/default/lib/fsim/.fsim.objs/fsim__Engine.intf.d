@@ -1,0 +1,1 @@
+lib/fsim/engine.mli: Fault Netlist Sim

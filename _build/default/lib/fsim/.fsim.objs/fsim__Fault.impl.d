@@ -1,0 +1,1 @@
+lib/fsim/fault.ml: Array Netlist Printf Sim

@@ -1,0 +1,1 @@
+lib/fsim/fault.mli: Netlist Sim

@@ -1,0 +1,63 @@
+(* Fault-list construction with structural equivalence collapsing:
+
+   - stem faults (sa0, sa1) on every node with at least one reader
+     (gate output, PI, DFF output);
+   - branch (pin) faults only where the driving net has fanout > 1;
+   - gate-rule equivalences then remove pin faults equivalent to the gate's
+     output stem fault: sa(controlling value) on AND/NAND/OR/NOR inputs and
+     both faults on BUF/NOT/DFF inputs.
+
+   The result is a sound equivalence-collapsed list (dominance collapsing is
+   deliberately not applied; the ATPGs treat each class representative). *)
+
+let fanout_count c id = Array.length c.Netlist.Node.fanouts.(id)
+
+let po_drivers c =
+  let t = Hashtbl.create 17 in
+  Array.iter (fun (_, id) -> Hashtbl.replace t id ()) c.Netlist.Node.pos;
+  t
+
+(* Is the pin fault (gate, pin, stuck) equivalent to a fault on the gate's
+   own output stem? *)
+let pin_fault_collapses fn stuck =
+  match fn, stuck with
+  | (Netlist.Node.And | Netlist.Node.Nand), false -> true
+  | (Netlist.Node.Or | Netlist.Node.Nor), true -> true
+  | (Netlist.Node.Not | Netlist.Node.Buf), _ -> true
+  | (Netlist.Node.And | Netlist.Node.Nand), true -> false
+  | (Netlist.Node.Or | Netlist.Node.Nor), false -> false
+  | (Netlist.Node.Xor | Netlist.Node.Xnor), _ -> false
+
+let list c =
+  let pos = po_drivers c in
+  let faults = ref [] in
+  let add site stuck = faults := { Fault.site; stuck } :: !faults in
+  Array.iter
+    (fun (nd : Netlist.Node.node) ->
+      let id = nd.Netlist.Node.id in
+      let observable = fanout_count c id > 0 || Hashtbl.mem pos id in
+      (* stems *)
+      (match nd.Netlist.Node.kind with
+       | Netlist.Node.Gate _ | Netlist.Node.Pi _ | Netlist.Node.Dff _ ->
+         if observable then begin
+           add (Fault.Stem id) false;
+           add (Fault.Stem id) true
+         end);
+      (* branch pins *)
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Gate fn ->
+        Array.iteri
+          (fun pin src ->
+            if fanout_count c src > 1 then begin
+              if not (pin_fault_collapses fn false) then
+                add (Fault.Pin { gate = id; pin }) false;
+              if not (pin_fault_collapses fn true) then
+                add (Fault.Pin { gate = id; pin }) true
+            end)
+          nd.Netlist.Node.fanins
+      | Netlist.Node.Dff _ ->
+        (* DFF data pin faults are equivalent to the DFF output stem *)
+        ()
+      | Netlist.Node.Pi _ -> ())
+    c.Netlist.Node.nodes;
+  Array.of_list (List.rev !faults)

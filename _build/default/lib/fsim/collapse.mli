@@ -1,0 +1,15 @@
+(** Fault-list construction with structural equivalence collapsing.
+
+    The universe is: stem faults (sa0, sa1) on every driving node, plus
+    branch (pin) faults only where the driving net has fanout > 1.
+    Gate-rule equivalences then drop pin faults equivalent to the gate's
+    output stem: sa(controlling value) on AND/NAND/OR/NOR inputs and both
+    polarities on BUF/NOT/DFF data inputs.  Dominance collapsing is
+    deliberately not applied. *)
+
+(** The collapsed fault list, in deterministic node order. *)
+val list : Netlist.Node.t -> Fault.t array
+
+(** True when a pin fault on an [fn]-gate collapses into the gate's own
+    output stem fault (exposed for tests). *)
+val pin_fault_collapses : Netlist.Node.gate_fn -> bool -> bool

@@ -1,0 +1,126 @@
+(* PROOFS-style parallel-fault sequential simulator: faults are packed into
+   machine-word lanes; every lane sees the same input sequence but carries
+   its own faulty circuit (and hence its own diverging DFF state).  The good
+   circuit is simulated once; a fault is detected the first cycle a primary
+   output differs from the good value. *)
+
+type run = {
+  detected : bool array;       (* per fault index *)
+  detect_time : int array;     (* first differing cycle, -1 if undetected *)
+  good_states : int list;      (* distinct good-circuit states, visit order *)
+  cycles : int;                (* vectors simulated *)
+}
+
+let state_code_lane0 sim =
+  let words = Sim.Parallel.get_state_words sim in
+  let code = ref 0 in
+  Array.iteri (fun i w -> if w land 1 <> 0 then code := !code lor (1 lsl i))
+    words;
+  !code
+
+(* One clean pass: good PO values per cycle and the good state trajectory. *)
+let good_pass c vectors =
+  let sim = Sim.Parallel.create c in
+  Sim.Parallel.reset sim;
+  let good_states = ref [] in
+  let seen = Hashtbl.create 97 in
+  let note code =
+    if not (Hashtbl.mem seen code) then begin
+      Hashtbl.add seen code ();
+      good_states := code :: !good_states
+    end
+  in
+  note (state_code_lane0 sim);
+  let po_bits =
+    List.map
+      (fun v ->
+        let words = Sim.Parallel.step_broadcast sim v in
+        note (state_code_lane0 sim);
+        Array.map (fun w -> w land 1) words)
+      vectors
+  in
+  (po_bits, List.rev !good_states)
+
+(* Simulate [faults] (restricted to [indices] when given) over [vectors].
+   Already-detected faults (per [skip]) are excluded from the packing. *)
+let simulate ?indices ?skip c (faults : Fault.t array) vectors =
+  let all =
+    match indices with
+    | Some l -> l
+    | None -> List.init (Array.length faults) (fun i -> i)
+  in
+  let todo =
+    match skip with
+    | None -> all
+    | Some s -> List.filter (fun i -> not s.(i)) all
+  in
+  let detected = Array.make (Array.length faults) false in
+  let detect_time = Array.make (Array.length faults) (-1) in
+  let good_po, good_states = good_pass c vectors in
+  let faulty = Sim.Parallel.create c in
+  let width = Sim.Parallel.word_bits in
+  let n_po = Netlist.Node.num_pos c in
+  let rec batches = function
+    | [] -> ()
+    | rest ->
+      let rec take k acc l =
+        if k = 0 then (List.rev acc, l)
+        else
+          match l with
+          | [] -> (List.rev acc, [])
+          | x :: xs -> take (k - 1) (x :: acc) xs
+      in
+      let batch, rest = take width [] rest in
+      if batch <> [] then begin
+        Sim.Parallel.clear_faults faulty;
+        List.iteri (fun lane i -> Fault.inject faulty faults.(i) ~lane) batch;
+        Sim.Parallel.reset faulty;
+        let batch_arr = Array.of_list batch in
+        let lane_done = Array.make (Array.length batch_arr) false in
+        let lanes_done = ref 0 in
+        let t = ref 0 in
+        List.iter2
+          (fun v gpo ->
+            if !lanes_done < Array.length batch_arr then begin
+              Sim.Parallel.set_input_broadcast faulty v;
+              Sim.Parallel.eval_comb faulty;
+              for k = 0 to n_po - 1 do
+                let _, po_id = c.Netlist.Node.pos.(k) in
+                let fw = Sim.Parallel.node_word faulty po_id in
+                let diff = fw lxor (if gpo.(k) = 1 then -1 else 0) in
+                if diff <> 0 then
+                  Array.iteri
+                    (fun lane fi ->
+                      if (not lane_done.(lane)) && (diff lsr lane) land 1 = 1
+                      then begin
+                        detected.(fi) <- true;
+                        detect_time.(fi) <- !t;
+                        lane_done.(lane) <- true;
+                        incr lanes_done
+                      end)
+                    batch_arr
+              done;
+              Sim.Parallel.tick faulty;
+              incr t
+            end)
+          vectors good_po
+      end;
+      if rest <> [] then batches rest
+  in
+  batches todo;
+  {
+    detected;
+    detect_time;
+    good_states;
+    cycles = List.length vectors;
+  }
+
+(* Convenience: does [vectors] detect the single fault [f]? *)
+let detects c f vectors =
+  let faults = [| f |] in
+  let r = simulate c faults vectors in
+  r.detected.(0)
+
+(* Fault coverage bookkeeping. *)
+let coverage ~detected ~total =
+  100.0 *. float_of_int detected /. float_of_int (max 1 total)

@@ -1,0 +1,33 @@
+(** PROOFS-style parallel-fault sequential simulator.
+
+    Faults are packed into the bit lanes of machine words (one faulty
+    machine per lane); all lanes consume the same input sequence from the
+    power-up state, with each lane's DFF state diverging independently.
+    The good machine is simulated once; a fault counts as detected the
+    first cycle a primary output differs from the good value. *)
+
+type run = {
+  detected : bool array;   (** per fault index of the supplied array *)
+  detect_time : int array; (** first differing cycle, [-1] if undetected *)
+  good_states : int list;  (** distinct good-machine states, in visit order;
+                               state = DFF vector packed little-endian *)
+  cycles : int;            (** number of vectors applied *)
+}
+
+(** [simulate ?indices ?skip c faults vectors] fault-simulates [vectors]
+    (applied from power-up) against [faults].  [indices] restricts which
+    entries are simulated; [skip.(i) = true] excludes fault [i] (used for
+    fault dropping).  Detection flags are indexed like [faults]. *)
+val simulate :
+  ?indices:int list ->
+  ?skip:bool array ->
+  Netlist.Node.t ->
+  Fault.t array ->
+  Sim.Vectors.sequence ->
+  run
+
+(** Does the sequence detect the single fault? *)
+val detects : Netlist.Node.t -> Fault.t -> Sim.Vectors.sequence -> bool
+
+(** Percentage helper: [coverage ~detected ~total]. *)
+val coverage : detected:int -> total:int -> float

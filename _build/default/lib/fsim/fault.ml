@@ -1,0 +1,38 @@
+(* Single stuck-at fault model.  A fault sits either on a node's output stem
+   or on one input pin of a gate (branch fault after fanout); DFF data pins
+   are pin 0 of the DFF node. *)
+
+type site =
+  | Stem of int                       (* netlist node id *)
+  | Pin of { gate : int; pin : int }  (* gate (or DFF) input pin *)
+
+type t = { site : site; stuck : bool }
+
+type status = Untested | Detected | Redundant | Aborted
+
+let status_to_string = function
+  | Untested -> "untested"
+  | Detected -> "detected"
+  | Redundant -> "redundant"
+  | Aborted -> "aborted"
+
+let site_node = function Stem id -> id | Pin { gate; _ } -> gate
+
+let to_string c f =
+  let v = if f.stuck then "1" else "0" in
+  match f.site with
+  | Stem id ->
+    Printf.sprintf "%s/sa%s" (Netlist.Node.node c id).Netlist.Node.name v
+  | Pin { gate; pin } ->
+    Printf.sprintf "%s.in%d/sa%s"
+      (Netlist.Node.node c gate).Netlist.Node.name pin v
+
+(* The site feeding a pin. *)
+let pin_source c gate pin = (Netlist.Node.node c gate).Netlist.Node.fanins.(pin)
+
+(* Inject into a parallel simulator lane. *)
+let inject sim f ~lane =
+  match f.site with
+  | Stem node -> Sim.Parallel.inject_stem sim ~node ~lane ~value:f.stuck
+  | Pin { gate; pin } ->
+    Sim.Parallel.inject_pin sim ~gate ~pin ~lane ~value:f.stuck

@@ -1,0 +1,27 @@
+(** Single stuck-at fault model.
+
+    A fault sits either on a node's output stem (affecting every reader)
+    or on one input pin of a gate (a branch fault after fanout).  DFF data
+    pins are pin 0 of the DFF node. *)
+
+type site =
+  | Stem of int                       (** netlist node id *)
+  | Pin of { gate : int; pin : int }  (** gate (or DFF) input pin *)
+
+type t = { site : site; stuck : bool }
+
+type status = Untested | Detected | Redundant | Aborted
+
+val status_to_string : status -> string
+
+(** The node the fault is attached to (the gate for pin faults). *)
+val site_node : site -> int
+
+(** Human-readable label, e.g. ["g17.in2/sa1"]. *)
+val to_string : Netlist.Node.t -> t -> string
+
+(** The node feeding a gate pin. *)
+val pin_source : Netlist.Node.t -> int -> int -> int
+
+(** Inject the fault into one lane of a parallel simulator. *)
+val inject : Sim.Parallel.t -> t -> lane:int -> unit

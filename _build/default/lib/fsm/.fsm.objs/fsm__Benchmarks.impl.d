@@ -1,0 +1,1 @@
+lib/fsm/benchmarks.ml: Generate List String

@@ -1,0 +1,1 @@
+lib/fsm/benchmarks.mli: Generate Machine

@@ -1,0 +1,1 @@
+lib/fsm/generate.ml: Array List Machine Printf Random

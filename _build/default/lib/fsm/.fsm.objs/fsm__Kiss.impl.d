@@ -1,0 +1,1 @@
+lib/fsm/kiss.ml: Array Buffer Hashtbl List Machine Printf String

@@ -1,0 +1,56 @@
+(* The six FSM workloads of the paper's Table 1, reproduced as deterministic
+   synthetic machines with the same state counts.  Primary input and output
+   counts above 8 are capped at 8 so that exact reachability analysis (input
+   enumeration) of the synthesized circuits stays tractable; the paper's
+   argument depends on state-space density, not on the exact widths (see
+   DESIGN.md, substitution 1). *)
+
+type entry = {
+  name : string;
+  paper_pi : int;
+  paper_po : int;
+  paper_states : int;
+  spec : Generate.spec;
+  has_reset_line : bool;  (* Table 1 note: dk16, pma, scf, s510 use one *)
+}
+
+let cap n = min n 8
+
+let make name ~pi ~po ~states ~cubes ~seed ~reset =
+  {
+    name;
+    paper_pi = pi;
+    paper_po = po;
+    paper_states = states;
+    spec =
+      {
+        Generate.name;
+        num_inputs = cap pi;
+        num_outputs = cap po;
+        num_states = states;
+        cubes_per_state = cubes;
+        dc_output_prob = 0.08;
+        drop_prob = 0.05;
+        seed;
+      };
+    has_reset_line = reset;
+  }
+
+let all =
+  [
+    make "dk16" ~pi:3 ~po:3 ~states:27 ~cubes:6 ~seed:16 ~reset:true;
+    make "pma" ~pi:7 ~po:8 ~states:24 ~cubes:4 ~seed:31 ~reset:true;
+    make "s510" ~pi:20 ~po:7 ~states:47 ~cubes:4 ~seed:510 ~reset:true;
+    make "s820" ~pi:18 ~po:19 ~states:25 ~cubes:5 ~seed:820 ~reset:false;
+    make "s832" ~pi:18 ~po:19 ~states:25 ~cubes:5 ~seed:832 ~reset:false;
+    make "scf" ~pi:27 ~po:54 ~states:121 ~cubes:3 ~seed:97 ~reset:true;
+  ]
+
+let find name =
+  match List.find_opt (fun e -> String.equal e.name name) all with
+  | Some e -> e
+  | None -> invalid_arg ("Benchmarks.find: unknown FSM " ^ name)
+
+let machine entry = Generate.generate entry.spec
+
+let machine_of_name name = machine (find name)

@@ -1,0 +1,26 @@
+(** The six FSM workloads of the paper's Table 1, reproduced as
+    deterministic synthetic machines with the same state counts (27, 24,
+    47, 25, 25, 121).  Primary input and output counts above 8 are capped
+    at 8 so exact reachability analysis of the synthesized circuits stays
+    tractable (DESIGN.md, substitution 1). *)
+
+type entry = {
+  name : string;
+  paper_pi : int;       (** primary inputs reported in the paper *)
+  paper_po : int;
+  paper_states : int;
+  spec : Generate.spec; (** the generator spec actually used *)
+  has_reset_line : bool;
+  (** Table 1 note: dk16, pma, scf and s510 carry an explicit reset *)
+}
+
+(** All six entries, in the paper's order. *)
+val all : entry list
+
+(** @raise Invalid_argument for unknown names. *)
+val find : string -> entry
+
+(** Generate the (deterministic) machine for an entry. *)
+val machine : entry -> Machine.t
+
+val machine_of_name : string -> Machine.t

@@ -1,0 +1,166 @@
+(* Seeded random FSM generator used to stand in for the MCNC control-logic
+   benchmarks.  Construction guarantees:
+   - the input cubes of each state partition the input space (determinism
+     and complete specification by construction, modulo optional pruning);
+   - every state is reachable from the reset state (a random spanning
+     arborescence is embedded first);
+   - outputs depend on both state and input (Mealy), with a configurable
+     fraction of don't-care output bits, exercising the don't-care paths of
+     the synthesis flow. *)
+
+type spec = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  num_states : int;
+  cubes_per_state : int;   (* target number of input cubes per state *)
+  dc_output_prob : float;  (* probability an output bit is a don't care *)
+  drop_prob : float;       (* probability a non-tree cube is left unspecified *)
+  seed : int;
+}
+
+let default_spec =
+  {
+    name = "fsm";
+    num_inputs = 4;
+    num_outputs = 4;
+    num_states = 8;
+    cubes_per_state = 4;
+    dc_output_prob = 0.1;
+    drop_prob = 0.0;
+    seed = 1;
+  }
+
+(* Split the full input cube into [k] disjoint cubes by recursive splitting
+   on randomly chosen free variables. *)
+let partition_cubes rng num_inputs k =
+  let k = max 1 (min k (1 lsl num_inputs)) in
+  let rec split care value k =
+    if k <= 1 then [ (care, value) ]
+    else begin
+      (* pick a variable not yet constrained in this cube *)
+      let free = ref [] in
+      for i = 0 to num_inputs - 1 do
+        if care land (1 lsl i) = 0 then free := i :: !free
+      done;
+      match !free with
+      | [] -> [ (care, value) ]
+      | free_vars ->
+        let v = List.nth free_vars (Random.State.int rng (List.length free_vars)) in
+        let bit = 1 lsl v in
+        let k0 = (k + 1) / 2 and k1 = k / 2 in
+        split (care lor bit) value k0 @ split (care lor bit) (value lor bit) k1
+    end
+  in
+  split 0 0 k
+
+let generate spec =
+  let rng = Random.State.make [| spec.seed; 0x5a7b9 |] in
+  let n = spec.num_states in
+  let state_names = Array.init n (fun i -> Printf.sprintf "st%d" i) in
+  (* Random arborescence rooted at state 0 (the reset state): visiting order
+     is a random permutation with 0 first; parent of the i-th visited state
+     is a uniformly random earlier state. *)
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 2 do
+    let j = 1 + Random.State.int rng i in
+    let tmp = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- tmp
+  done;
+  let tree_child = Array.make n [] in
+  (* Each parent may carry at most 2^inputs - 1 children, since it also
+     needs at least one non-tree cube to stay interesting. *)
+  let capacity = max 1 ((1 lsl spec.num_inputs) - 1) in
+  for i = 1 to n - 1 do
+    let rec pick tries =
+      let p = order.(Random.State.int rng i) in
+      if List.length tree_child.(p) < capacity || tries > 4 * n then p
+      else pick (tries + 1)
+    in
+    let parent = pick 0 in
+    tree_child.(parent) <- order.(i) :: tree_child.(parent)
+  done;
+  let transitions = ref [] in
+  let random_output () =
+    (* Control-logic outputs are sparse: most bits are specified 0, a few are
+       asserted, some are left as don't cares.  Shallow output logic is what
+       gives retiming room to move registers (as in the MCNC originals). *)
+    let care = ref 0 and value = ref 0 in
+    for i = 0 to spec.num_outputs - 1 do
+      if Random.State.float rng 1.0 >= spec.dc_output_prob then begin
+        care := !care lor (1 lsl i);
+        if Random.State.float rng 1.0 < 0.25 then value := !value lor (1 lsl i)
+      end
+    done;
+    (!care, !value)
+  in
+  for s = 0 to n - 1 do
+    let children = tree_child.(s) in
+    let k = max spec.cubes_per_state (List.length children) in
+    let cubes = partition_cubes rng spec.num_inputs k in
+    (* Assign tree children to the first cubes, random destinations to the
+       rest (possibly dropped to create unspecified entries). *)
+    let rec assign cubes children =
+      match cubes, children with
+      | [], _ -> ()
+      | (care, value) :: rest, child :: more ->
+        let out_care, out_value = random_output () in
+        transitions :=
+          { Machine.in_care = care; in_value = value; src = s; dst = child;
+            out_care; out_value }
+          :: !transitions;
+        assign rest more
+      | (care, value) :: rest, [] ->
+        if Random.State.float rng 1.0 >= spec.drop_prob then begin
+          let dst = Random.State.int rng n in
+          let out_care, out_value = random_output () in
+          transitions :=
+            { Machine.in_care = care; in_value = value; src = s; dst;
+              out_care; out_value }
+            :: !transitions
+        end;
+        assign rest []
+    in
+    assign cubes children
+  done;
+  let machine =
+    {
+      Machine.name = spec.name;
+      num_inputs = spec.num_inputs;
+      num_outputs = spec.num_outputs;
+      state_names;
+      reset = 0;
+      transitions = Array.of_list (List.rev !transitions);
+    }
+  in
+  (* The arborescence makes every state reachable unless a parent ran out of
+     cube capacity; repair by redirecting random transitions until the
+     machine is strongly rooted at the reset state. *)
+  let rec repair m rounds =
+    let reach = Machine.reachable_states m in
+    if List.length reach = n then m
+    else if rounds > 10 * n then
+      failwith "Generate.generate: could not connect all states"
+    else begin
+      let reach_set = Array.make n false in
+      List.iter (fun s -> reach_set.(s) <- true) reach;
+      let unreached = ref (-1) in
+      for s = n - 1 downto 0 do
+        if not reach_set.(s) then unreached := s
+      done;
+      let ts = Array.copy m.Machine.transitions in
+      let candidates = ref [] in
+      Array.iteri
+        (fun i (t : Machine.transition) ->
+          if reach_set.(t.src) then candidates := i :: !candidates)
+        ts;
+      match !candidates with
+      | [] -> failwith "Generate.generate: reset state has no transitions"
+      | cands ->
+        let i = List.nth cands (Random.State.int rng (List.length cands)) in
+        ts.(i) <- { (ts.(i)) with dst = !unreached };
+        repair { m with transitions = ts } (rounds + 1)
+    end
+  in
+  repair machine 0

@@ -1,0 +1,26 @@
+(** Seeded random FSM generator standing in for the MCNC control-logic
+    benchmarks.  Guarantees by construction: each state's input cubes
+    partition the input space (determinism); every state is reachable
+    from the reset state (an embedded random arborescence, repaired if
+    needed); outputs are sparse Mealy functions with configurable don't
+    cares, exercising the synthesis flow's don't-care paths. *)
+
+type spec = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  num_states : int;
+  cubes_per_state : int;   (** target input cubes per state *)
+  dc_output_prob : float;  (** probability an output bit is a don't care *)
+  drop_prob : float;       (** probability a non-tree cube stays unspecified *)
+  seed : int;
+}
+
+val default_spec : spec
+
+(** Disjoint cubes partitioning (a subset of) the input space (exposed
+    for tests). *)
+val partition_cubes : Random.State.t -> int -> int -> (int * int) list
+
+(** Deterministic in [spec] (same spec, same machine). *)
+val generate : spec -> Machine.t

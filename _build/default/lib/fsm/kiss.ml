@@ -1,0 +1,126 @@
+(* KISS2 reader/writer — the MCNC FSM benchmark interchange format.
+
+   Example:
+     .i 3
+     .o 2
+     .s 4
+     .p 8
+     .r st0
+     0-- st0 st1 10
+     ...
+     .e
+*)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+let cube_of_string line s =
+  let care = ref 0 and value = ref 0 in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '1' ->
+        care := !care lor (1 lsl i);
+        value := !value lor (1 lsl i)
+      | '0' -> care := !care lor (1 lsl i)
+      | '-' -> ()
+      | c -> fail line (Printf.sprintf "bad cube character %c" c))
+    s;
+  (!care, !value)
+
+let string_of_cube width ~care ~value =
+  String.init width (fun i ->
+      if care land (1 lsl i) = 0 then '-'
+      else if value land (1 lsl i) <> 0 then '1'
+      else '0')
+
+let parse_string ?(name = "kiss") text =
+  let lines = String.split_on_char '\n' text in
+  let ni = ref (-1) and no = ref (-1) and ns = ref (-1) in
+  let reset_name = ref None in
+  let states = Hashtbl.create 31 in
+  let state_order = ref [] in
+  let intern st =
+    match Hashtbl.find_opt states st with
+    | Some i -> i
+    | None ->
+      let i = Hashtbl.length states in
+      Hashtbl.add states st i;
+      state_order := st :: !state_order;
+      i
+  in
+  let transitions = ref [] in
+  List.iteri
+    (fun lineno raw ->
+      let lineno = lineno + 1 in
+      let line = String.trim raw in
+      if String.length line = 0 || line.[0] = '#' then ()
+      else
+        let fields =
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> String.length s > 0)
+        in
+        match fields with
+        | [] -> ()
+        | [ ".i"; n ] -> ni := int_of_string n
+        | [ ".o"; n ] -> no := int_of_string n
+        | [ ".s"; n ] -> ns := int_of_string n
+        | [ ".p"; _ ] -> ()
+        | [ ".r"; s ] -> reset_name := Some s
+        | [ ".e" ] -> ()
+        | [ incube; src; dst; outcube ] ->
+          if !ni < 0 then fail lineno "transition before .i";
+          if String.length incube <> !ni then fail lineno "input cube width";
+          if !no >= 0 && String.length outcube <> !no then
+            fail lineno "output cube width";
+          let in_care, in_value = cube_of_string lineno incube in
+          let out_care, out_value = cube_of_string lineno outcube in
+          let src = intern src and dst = intern dst in
+          transitions :=
+            { Machine.in_care; in_value; src; dst; out_care; out_value }
+            :: !transitions
+        | _ -> fail lineno ("unrecognized line: " ^ line))
+    lines;
+  if !ni < 0 then fail 0 "missing .i";
+  if !no < 0 then fail 0 "missing .o";
+  let state_names = Array.of_list (List.rev !state_order) in
+  if !ns >= 0 && !ns <> Array.length state_names then
+    fail 0
+      (Printf.sprintf ".s says %d states but %d named" !ns
+         (Array.length state_names));
+  let reset =
+    match !reset_name with
+    | None -> 0
+    | Some s ->
+      (match Hashtbl.find_opt states s with
+       | Some i -> i
+       | None -> fail 0 ("unknown reset state " ^ s))
+  in
+  {
+    Machine.name;
+    num_inputs = !ni;
+    num_outputs = !no;
+    state_names;
+    reset;
+    transitions = Array.of_list (List.rev !transitions);
+  }
+
+let to_string (m : Machine.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n" m.num_inputs);
+  Buffer.add_string buf (Printf.sprintf ".o %d\n" m.num_outputs);
+  Buffer.add_string buf (Printf.sprintf ".p %d\n" (Array.length m.transitions));
+  Buffer.add_string buf (Printf.sprintf ".s %d\n" (Machine.num_states m));
+  Buffer.add_string buf (Printf.sprintf ".r %s\n" m.state_names.(m.reset));
+  Array.iter
+    (fun (t : Machine.transition) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s %s\n"
+           (string_of_cube m.num_inputs ~care:t.in_care ~value:t.in_value)
+           m.state_names.(t.src) m.state_names.(t.dst)
+           (string_of_cube m.num_outputs ~care:t.out_care ~value:t.out_value)))
+    m.transitions;
+  Buffer.add_string buf ".e\n";
+  Buffer.contents buf

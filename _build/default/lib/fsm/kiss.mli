@@ -1,0 +1,20 @@
+(** KISS2 reader/writer — the MCNC FSM benchmark interchange format.
+
+    Supported directives: [.i .o .s .p .r .e], comment lines starting
+    with [#], and transition lines [<incube> <src> <dst> <outcube>]. *)
+
+exception Parse_error of int * string
+(** (1-based line, message). *)
+
+(** Parse a KISS2 document.  State names are interned in order of first
+    appearance; [.r] defaults to the first state. *)
+val parse_string : ?name:string -> string -> Machine.t
+
+(** Render a machine as KISS2 (parse/print round-trips, tested). *)
+val to_string : Machine.t -> string
+
+(** (care, value) masks from a cube string such as ["01-1"].
+    Exposed for tests. *)
+val cube_of_string : int -> string -> int * int
+
+val string_of_cube : int -> care:int -> value:int -> string

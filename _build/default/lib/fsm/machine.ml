@@ -1,0 +1,143 @@
+(* Finite state machine in the style of the MCNC/KISS2 benchmarks: symbolic
+   states, transitions guarded by input cubes, Mealy outputs with don't
+   cares.  Input cubes are (care, value) bit masks over the primary inputs
+   (bit i set in [care] means input i is specified and must equal bit i of
+   [value]); outputs likewise. *)
+
+type transition = {
+  in_care : int;
+  in_value : int;
+  src : int;
+  dst : int;
+  out_care : int;
+  out_value : int;
+}
+
+type t = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  state_names : string array;
+  reset : int;
+  transitions : transition array;
+}
+
+let num_states m = Array.length m.state_names
+
+let input_code bits =
+  let code = ref 0 in
+  Array.iteri (fun i b -> if b then code := !code lor (1 lsl i)) bits;
+  !code
+
+let cube_matches ~care ~value code = code land care = value land care
+
+(* Deterministic step: first matching transition wins; [None] if the
+   (state, input) pair is unspecified. *)
+let step_opt m ~state ~input_code:code =
+  let n = Array.length m.transitions in
+  let rec loop i =
+    if i >= n then None
+    else
+      let t = m.transitions.(i) in
+      if t.src = state && cube_matches ~care:t.in_care ~value:t.in_value code
+      then Some t
+      else loop (i + 1)
+  in
+  loop 0
+
+(* Output bits as three-valued values ('X' where the transition leaves the
+   output unspecified). *)
+let transition_outputs m t =
+  Array.init m.num_outputs (fun i ->
+      if t.out_care land (1 lsl i) = 0 then Sim.Value3.X
+      else if t.out_value land (1 lsl i) <> 0 then Sim.Value3.One
+      else Sim.Value3.Zero)
+
+(* Completion: unspecified (state, input) pairs self-loop with all-0 outputs;
+   unspecified output bits become 0.  This fixes the don't-care semantics
+   once and for all so that simulation-based equivalence checks are exact. *)
+let step_total m ~state ~input_code:code =
+  match step_opt m ~state ~input_code:code with
+  | Some t ->
+    let outs =
+      Array.init m.num_outputs (fun i ->
+          t.out_care land (1 lsl i) <> 0 && t.out_value land (1 lsl i) <> 0)
+    in
+    (t.dst, outs)
+  | None -> (state, Array.make m.num_outputs false)
+
+(* Like [step_total], but keeps output don't cares visible as X: synthesis
+   is free to choose those bits, so equivalence checks must only compare the
+   specified positions.  Unspecified (state, input) pairs are hard 0s. *)
+let step_observed m ~state ~input_code:code =
+  match step_opt m ~state ~input_code:code with
+  | Some t -> (t.dst, transition_outputs m t)
+  | None -> (state, Array.make m.num_outputs Sim.Value3.Zero)
+
+let run m inputs =
+  let rec loop state acc = function
+    | [] -> List.rev acc
+    | v :: rest ->
+      let dst, outs = step_total m ~state ~input_code:(input_code v) in
+      loop dst (outs :: acc) rest
+  in
+  loop m.reset [] inputs
+
+(* States reachable from reset under the completed semantics. *)
+let reachable_states m =
+  let n = num_states m in
+  let seen = Array.make n false in
+  seen.(m.reset) <- true;
+  let queue = Queue.create () in
+  Queue.add m.reset queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    (* Distinct successors are determined by the transitions from s plus the
+       implicit self-loop; enumerating transitions suffices. *)
+    Array.iter
+      (fun t ->
+        if t.src = s && not seen.(t.dst) then begin
+          seen.(t.dst) <- true;
+          Queue.add t.dst queue
+        end)
+      m.transitions
+  done;
+  let acc = ref [] in
+  for s = n - 1 downto 0 do
+    if seen.(s) then acc := s :: !acc
+  done;
+  !acc
+
+(* Determinism check: no two transitions of the same state have intersecting
+   input cubes (unless they agree on destination and outputs). *)
+let nondeterminism m =
+  let conflicts = ref [] in
+  let nt = Array.length m.transitions in
+  for i = 0 to nt - 1 do
+    for j = i + 1 to nt - 1 do
+      let a = m.transitions.(i) and b = m.transitions.(j) in
+      if a.src = b.src then begin
+        let common = a.in_care land b.in_care in
+        let intersect = a.in_value land common = b.in_value land common in
+        let agree =
+          a.dst = b.dst && a.out_care = b.out_care
+          && a.out_value land a.out_care = b.out_value land b.out_care
+        in
+        if intersect && not agree then conflicts := (i, j) :: !conflicts
+      end
+    done
+  done;
+  List.rev !conflicts
+
+let is_deterministic m = nondeterminism m = []
+
+(* Per-state transition index, used by minimization and assignment. *)
+let transitions_of m =
+  let by_state = Array.make (num_states m) [] in
+  Array.iter (fun t -> by_state.(t.src) <- t :: by_state.(t.src)) m.transitions;
+  Array.map List.rev by_state
+
+let pp_summary ppf m =
+  Fmt.pf ppf "fsm %s: %d in, %d out, %d states, %d transitions" m.name
+    m.num_inputs m.num_outputs (num_states m)
+    (Array.length m.transitions)

@@ -1,0 +1,66 @@
+(** Finite state machines in the style of the MCNC/KISS2 benchmarks:
+    symbolic states, transitions guarded by input cubes, Mealy outputs
+    with don't cares.
+
+    Cubes are (care, value) bit masks: bit [i] set in [in_care] means
+    input [i] is specified and must equal bit [i] of [in_value]; outputs
+    use [out_care]/[out_value] the same way (unset care = don't care). *)
+
+type transition = {
+  in_care : int;
+  in_value : int;
+  src : int;        (** state index *)
+  dst : int;
+  out_care : int;
+  out_value : int;
+}
+
+type t = {
+  name : string;
+  num_inputs : int;
+  num_outputs : int;
+  state_names : string array;
+  reset : int;                    (** reset-state index *)
+  transitions : transition array;
+}
+
+val num_states : t -> int
+
+(** Pack an input vector into an input code (bit i = input i). *)
+val input_code : bool array -> int
+
+val cube_matches : care:int -> value:int -> int -> bool
+
+(** First matching transition, or [None] when the (state, input) pair is
+    unspecified. *)
+val step_opt : t -> state:int -> input_code:int -> transition option
+
+(** Outputs of a transition as three-valued values (X = don't care). *)
+val transition_outputs : t -> transition -> Sim.Value3.t array
+
+(** The {e completed} semantics every tool in the stack implements:
+    unspecified (state, input) pairs self-loop with all-0 outputs, and
+    unspecified output bits read as 0. *)
+val step_total : t -> state:int -> input_code:int -> int * bool array
+
+(** Like {!step_total} but output don't cares stay X — synthesis may
+    choose those bits freely, so equivalence checks compare only the
+    specified positions. *)
+val step_observed :
+  t -> state:int -> input_code:int -> int * Sim.Value3.t array
+
+(** Run from reset under the completed semantics; per-cycle outputs. *)
+val run : t -> bool array list -> bool array list
+
+(** States reachable from reset under the completed semantics. *)
+val reachable_states : t -> int list
+
+(** Pairs of transition indices that overlap with conflicting behaviour. *)
+val nondeterminism : t -> (int * int) list
+
+val is_deterministic : t -> bool
+
+(** Transitions grouped by source state, original order preserved. *)
+val transitions_of : t -> transition list array
+
+val pp_summary : Format.formatter -> t -> unit

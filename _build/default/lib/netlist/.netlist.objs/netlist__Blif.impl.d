@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Build Hashtbl List Node Option Printf String

@@ -1,0 +1,1 @@
+lib/netlist/build.ml: Array List Node Printf

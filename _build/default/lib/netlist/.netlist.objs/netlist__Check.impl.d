@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Hashtbl List Node Printf

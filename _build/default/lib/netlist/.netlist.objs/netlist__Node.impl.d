@@ -1,0 +1,1 @@
+lib/netlist/node.ml: Array Fmt String

@@ -1,0 +1,1 @@
+lib/netlist/node.mli: Format

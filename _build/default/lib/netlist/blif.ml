@@ -1,0 +1,226 @@
+(* BLIF interchange (the SIS-era netlist format).
+
+   Writer: gates become single-output .names truth tables; DFFs become
+   .latch lines with explicit init values.
+
+   Reader: each .names cover is rebuilt as OR-of-ANDs over (possibly
+   inverted) fanins; .latch creates a DFF.  Only the subset SIS itself
+   emits for mapped circuits is supported: single-output covers whose
+   lines are input cubes with output value 1 (or a constant table). *)
+
+exception Parse_error of int * string
+
+(* ---------------------------------------------------------------- writer - *)
+
+let gate_table fn arity =
+  (* lines of the .names truth table for the gate function *)
+  let dashes_with i ch =
+    String.init arity (fun k -> if k = i then ch else '-')
+  in
+  match fn with
+  | Node.Buf -> [ "1 1" ]
+  | Node.Not -> [ "0 1" ]
+  | Node.And -> [ String.make arity '1' ^ " 1" ]
+  | Node.Nand -> List.init arity (fun i -> dashes_with i '0' ^ " 1")
+  | Node.Or -> List.init arity (fun i -> dashes_with i '1' ^ " 1")
+  | Node.Nor -> [ String.make arity '0' ^ " 1" ]
+  | Node.Xor -> [ "10 1"; "01 1" ]
+  | Node.Xnor -> [ "11 1"; "00 1" ]
+
+let to_string ?(model = "satpg") c =
+  let buf = Buffer.create 4096 in
+  let name id = (Node.node c id).Node.name in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" model);
+  Buffer.add_string buf ".inputs";
+  Array.iter (fun id -> Buffer.add_string buf (" " ^ name id)) c.Node.pis;
+  Buffer.add_string buf "\n.outputs";
+  Array.iter (fun (po, _) -> Buffer.add_string buf (" " ^ po)) c.Node.pos;
+  Buffer.add_string buf "\n";
+  Array.iter
+    (fun id ->
+      let nd = Node.node c id in
+      Buffer.add_string buf
+        (Printf.sprintf ".latch %s %s 3 clk %d\n"
+           (name nd.Node.fanins.(0)) (name id)
+           (if Node.dff_init c id then 1 else 0)))
+    c.Node.dffs;
+  Array.iter
+    (fun id ->
+      let nd = Node.node c id in
+      match nd.Node.kind with
+      | Node.Gate fn ->
+        Buffer.add_string buf ".names";
+        Array.iter (fun f -> Buffer.add_string buf (" " ^ name f)) nd.Node.fanins;
+        Buffer.add_string buf (" " ^ nd.Node.name ^ "\n");
+        List.iter
+          (fun line -> Buffer.add_string buf (line ^ "\n"))
+          (gate_table fn (Array.length nd.Node.fanins))
+      | Node.Pi _ | Node.Dff _ -> ())
+    c.Node.order;
+  (* alias POs driven by non-gate nodes or with names differing from their
+     driver *)
+  Array.iter
+    (fun (po, id) ->
+      if not (String.equal po (name id)) then
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s\n1 1\n" (name id) po))
+    c.Node.pos;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+(* ---------------------------------------------------------------- reader - *)
+
+type raw_names = { inputs : string list; output : string; lines : string list }
+
+let tokenize line =
+  String.split_on_char ' ' line |> List.filter (fun s -> String.length s > 0)
+
+let parse_string text =
+  (* first pass: gather sections, honoring '\' continuations *)
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '#')
+  in
+  let rec join = function
+    | [] -> []
+    | l :: rest when String.length l > 0 && l.[String.length l - 1] = '\\' ->
+      (match join rest with
+       | next :: more -> (String.sub l 0 (String.length l - 1) ^ " " ^ next) :: more
+       | [] -> [ String.sub l 0 (String.length l - 1) ])
+    | l :: rest -> l :: join rest
+  in
+  let lines = join lines in
+  let inputs = ref [] and outputs = ref [] in
+  let latches = ref [] in
+  let names : raw_names list ref = ref [] in
+  let current = ref None in
+  let flush_current () =
+    match !current with
+    | Some n -> names := { n with lines = List.rev n.lines } :: !names
+    | None -> ()
+  in
+  List.iteri
+    (fun lineno line ->
+      let lineno = lineno + 1 in
+      match tokenize line with
+      | ".model" :: _ | ".end" :: _ -> flush_current (); current := None
+      | ".inputs" :: rest ->
+        flush_current (); current := None;
+        inputs := !inputs @ rest
+      | ".outputs" :: rest ->
+        flush_current (); current := None;
+        outputs := !outputs @ rest
+      | ".latch" :: data :: out :: rest ->
+        flush_current (); current := None;
+        let init =
+          match List.rev rest with
+          | "1" :: _ -> true
+          | _ -> false
+        in
+        latches := (data, out, init) :: !latches
+      | ".names" :: signals ->
+        flush_current ();
+        (match List.rev signals with
+         | output :: rev_inputs ->
+           current := Some { inputs = List.rev rev_inputs; output; lines = [] }
+         | [] -> raise (Parse_error (lineno, "empty .names")))
+      | tok :: _ when tok.[0] = '.' ->
+        raise (Parse_error (lineno, "unsupported directive " ^ tok))
+      | toks ->
+        (match !current with
+         | Some n -> current := Some { n with lines = String.concat " " toks :: n.lines }
+         | None -> raise (Parse_error (lineno, "table line outside .names"))))
+    lines;
+  flush_current ();
+  let names = List.rev !names in
+  let latches = List.rev !latches in
+  (* build netlist *)
+  let b = Build.create () in
+  let env = Hashtbl.create 97 in
+  let fresh =
+    let k = ref 0 in
+    fun base -> incr k; Printf.sprintf "%s_blif%d" base !k
+  in
+  List.iter (fun n -> Hashtbl.replace env n (Build.add_pi b n)) !inputs;
+  List.iter
+    (fun (_, out, init) -> Hashtbl.replace env out (Build.add_dff b ~init out))
+    latches;
+  (* .names in dependency order: iterate until all resolve *)
+  let pending = ref names in
+  let progress = ref true in
+  let resolve s = Hashtbl.find_opt env s in
+  let build_names (n : raw_names) ids =
+    let arity = List.length n.inputs in
+    let ids = Array.of_list ids in
+    (* constant table *)
+    if arity = 0 then begin
+      let v = List.exists (fun l -> String.trim l = "1") n.lines in
+      Build.add_const b n.output v
+    end
+    else begin
+      let inv = Hashtbl.create 7 in
+      let invert id =
+        match Hashtbl.find_opt inv id with
+        | Some v -> v
+        | None ->
+          let v = Build.add_gate b Node.Not (fresh n.output) [| id |] in
+          Hashtbl.add inv id v;
+          v
+      in
+      let term line =
+        match tokenize line with
+        | [ cube; "1" ] when String.length cube = arity ->
+          let lits = ref [] in
+          String.iteri
+            (fun i ch ->
+              match ch with
+              | '1' -> lits := ids.(i) :: !lits
+              | '0' -> lits := invert ids.(i) :: !lits
+              | '-' -> ()
+              | _ -> raise (Parse_error (0, "bad cube char")))
+            cube;
+          (match !lits with
+           | [] -> Build.add_const b (fresh n.output) true
+           | [ one ] -> one
+           | many ->
+             Build.add_gate b Node.And (fresh n.output)
+               (Array.of_list (List.rev many)))
+        | _ -> raise (Parse_error (0, "unsupported table line: " ^ line))
+      in
+      match List.map term n.lines with
+      | [] -> Build.add_const b n.output false
+      | [ one ] -> one
+      | many -> Build.add_gate b Node.Or (fresh (n.output ^ "_or"))
+                  (Array.of_list many)
+    end
+  in
+  while !progress && !pending <> [] do
+    progress := false;
+    pending :=
+      List.filter
+        (fun (n : raw_names) ->
+          match List.map resolve n.inputs with
+          | ids when List.for_all (fun o -> o <> None) ids ->
+            let ids = List.map Option.get ids in
+            Hashtbl.replace env n.output (build_names n ids);
+            progress := true;
+            false
+          | _ -> true)
+        !pending
+  done;
+  if !pending <> [] then
+    raise (Parse_error (0, "unresolvable .names (combinational loop?)"));
+  List.iter
+    (fun (data, out, _) ->
+      match resolve data with
+      | Some id -> Build.connect_dff b (Hashtbl.find env out) id
+      | None -> raise (Parse_error (0, "latch data " ^ data ^ " undefined")))
+    latches;
+  List.iter
+    (fun po ->
+      match resolve po with
+      | Some id -> Build.add_po b po id
+      | None -> raise (Parse_error (0, "output " ^ po ^ " undefined")))
+    !outputs;
+  Build.finalize b

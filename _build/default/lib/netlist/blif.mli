@@ -1,0 +1,17 @@
+(** BLIF interchange — the SIS-era netlist format.
+
+    Writer: every gate becomes a single-output [.names] truth table and
+    every DFF a [.latch] with an explicit init value.  Reader: the subset
+    SIS emits for mapped circuits — single-output on-set covers
+    (output value 1 per line), [.latch], ['\\'] continuations, comments.
+    A write/parse round-trip is behaviour-preserving (tested). *)
+
+exception Parse_error of int * string
+
+(** Truth-table lines for a gate (exposed for tests). *)
+val gate_table : Node.gate_fn -> int -> string list
+
+val to_string : ?model:string -> Node.t -> string
+
+(** @raise Parse_error on malformed or unsupported input. *)
+val parse_string : string -> Node.t

@@ -1,0 +1,130 @@
+(* Mutable netlist builder.  Nodes are created first (DFF data inputs may be
+   connected later, so state feedback loops can be closed), then [finalize]
+   freezes the circuit, computes fanouts and a combinational topological
+   order, and rejects combinational cycles. *)
+
+exception Combinational_cycle of string
+
+type t = {
+  mutable names : string list;       (* reversed *)
+  mutable kinds : Node.kind list;    (* reversed *)
+  mutable fanins : int array list;   (* reversed *)
+  mutable count : int;
+  mutable pis : int list;            (* reversed *)
+  mutable dffs : int list;           (* reversed *)
+  mutable pos : (string * int) list; (* reversed *)
+}
+
+let create () =
+  { names = []; kinds = []; fanins = []; count = 0; pis = []; dffs = []; pos = [] }
+
+let add_node b name kind fanins =
+  let id = b.count in
+  b.names <- name :: b.names;
+  b.kinds <- kind :: b.kinds;
+  b.fanins <- fanins :: b.fanins;
+  b.count <- id + 1;
+  id
+
+let add_pi b name =
+  let index = List.length b.pis in
+  let id = add_node b name (Node.Pi index) [||] in
+  b.pis <- id :: b.pis;
+  id
+
+let add_dff b ?(init = false) name =
+  let id = add_node b name (Node.Dff { init }) [| -1 |] in
+  b.dffs <- id :: b.dffs;
+  id
+
+let connect_dff b dff data =
+  let rec set i l =
+    match l with
+    | [] -> invalid_arg "Build.connect_dff: no such node"
+    | fanins :: rest ->
+      if i = 0 then fanins.(0) <- data else set (i - 1) rest
+  in
+  (* fanins list is reversed: element for node [id] sits at position
+     count - 1 - id *)
+  set (b.count - 1 - dff) b.fanins
+
+let add_gate b fn name fanins =
+  if not (Node.arity_ok fn (Array.length fanins)) then
+    invalid_arg
+      (Printf.sprintf "Build.add_gate: bad arity %d for %s" (Array.length fanins)
+         (Node.gate_fn_name fn));
+  add_node b name (Node.Gate fn) fanins
+
+let add_po b name driver = b.pos <- (name, driver) :: b.pos
+
+(* Constants are modelled as a DFF with no external fanin whose data input is
+   its own output: it holds its init value forever. *)
+let add_const b name value =
+  let id = add_dff b ~init:value name in
+  connect_dff b id id;
+  id
+
+let finalize b =
+  let n = b.count in
+  let names = Array.of_list (List.rev b.names) in
+  let kinds = Array.of_list (List.rev b.kinds) in
+  let fanins = Array.of_list (List.rev b.fanins) in
+  let nodes =
+    Array.init n (fun id ->
+        { Node.id; name = names.(id); kind = kinds.(id); fanins = fanins.(id) })
+  in
+  Array.iter
+    (fun nd ->
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= n then
+            invalid_arg
+              (Printf.sprintf "Build.finalize: node %s has dangling fanin"
+                 nd.Node.name))
+        nd.Node.fanins)
+    nodes;
+  let fanout_lists = Array.make n [] in
+  Array.iter
+    (fun nd ->
+      Array.iter
+        (fun f -> fanout_lists.(f) <- nd.Node.id :: fanout_lists.(f))
+        nd.Node.fanins)
+    nodes;
+  let fanouts = Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists in
+  (* Topological sort of gates.  PIs and DFF outputs are sources; a DFF's
+     data input does not propagate combinationally, so DFF nodes never
+     appear in the order. *)
+  let level = Array.make n 0 in
+  let state = Array.make n 0 (* 0 unvisited, 1 on stack, 2 done *) in
+  let order = ref [] in
+  let rec visit id =
+    match state.(id) with
+    | 2 -> ()
+    | 1 -> raise (Combinational_cycle names.(id))
+    | _ ->
+      (match kinds.(id) with
+       | Node.Pi _ | Node.Dff _ -> state.(id) <- 2
+       | Node.Gate _ ->
+         state.(id) <- 1;
+         let lvl = ref 0 in
+         Array.iter
+           (fun f ->
+             visit f;
+             if level.(f) + 1 > !lvl then lvl := level.(f) + 1)
+           fanins.(id);
+         level.(id) <- !lvl;
+         state.(id) <- 2;
+         order := id :: !order)
+  in
+  for id = 0 to n - 1 do
+    visit id
+  done;
+  {
+    Node.nodes;
+    pis = Array.of_list (List.rev b.pis);
+    pos = Array.of_list (List.rev b.pos);
+    dffs = Array.of_list (List.rev b.dffs);
+    fanouts;
+    order = Array.of_list (List.rev !order);
+    level;
+  }

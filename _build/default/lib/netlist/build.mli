@@ -1,0 +1,30 @@
+(** Mutable netlist builder.  Create nodes first (DFF data inputs may be
+    connected later, so state feedback loops can be closed), then
+    {!finalize} freezes the circuit, computes fanouts and a combinational
+    topological order, and rejects combinational cycles. *)
+
+exception Combinational_cycle of string
+(** Carries the name of a node on the cycle. *)
+
+type t
+
+val create : unit -> t
+
+(** Returns the new node's id (dense, creation order). *)
+val add_pi : t -> string -> int
+
+val add_dff : t -> ?init:bool -> string -> int
+
+(** Connect a DFF's data input (any time before {!finalize}). *)
+val connect_dff : t -> int -> int -> unit
+
+(** @raise Invalid_argument on an arity the function does not admit. *)
+val add_gate : t -> Node.gate_fn -> string -> int array -> int
+
+val add_po : t -> string -> int -> unit
+
+(** Constant generator: a self-looped DFF holding [value] forever. *)
+val add_const : t -> string -> bool -> int
+
+(** @raise Combinational_cycle / [Invalid_argument] on malformed input. *)
+val finalize : t -> Node.t

@@ -1,0 +1,53 @@
+(* Structural well-formedness checks for finalized netlists.  Used by tests
+   and asserted after every transformation (synthesis, mapping, retiming). *)
+
+type problem =
+  | Dangling_fanin of string
+  | Bad_arity of string
+  | Dff_unconnected of string
+  | Po_dangling of string
+  | Duplicate_name of string
+
+let problem_to_string = function
+  | Dangling_fanin s -> Printf.sprintf "dangling fanin at %s" s
+  | Bad_arity s -> Printf.sprintf "bad arity at %s" s
+  | Dff_unconnected s -> Printf.sprintf "DFF %s has no data input" s
+  | Po_dangling s -> Printf.sprintf "PO %s driven by missing node" s
+  | Duplicate_name s -> Printf.sprintf "duplicate node name %s" s
+
+let problems c =
+  let n = Node.num_nodes c in
+  let out = ref [] in
+  let add p = out := p :: !out in
+  Array.iter
+    (fun nd ->
+      let arity = Array.length nd.Node.fanins in
+      (match nd.Node.kind with
+       | Node.Pi _ -> if arity <> 0 then add (Bad_arity nd.Node.name)
+       | Node.Dff _ ->
+         if arity <> 1 then add (Dff_unconnected nd.Node.name)
+         else if nd.Node.fanins.(0) < 0 || nd.Node.fanins.(0) >= n then
+           add (Dff_unconnected nd.Node.name)
+       | Node.Gate fn ->
+         if not (Node.arity_ok fn arity) then add (Bad_arity nd.Node.name));
+      Array.iter
+        (fun f -> if f < 0 || f >= n then add (Dangling_fanin nd.Node.name))
+        nd.Node.fanins)
+    c.Node.nodes;
+  Array.iter
+    (fun (name, id) -> if id < 0 || id >= n then add (Po_dangling name))
+    c.Node.pos;
+  let seen = Hashtbl.create 97 in
+  Array.iter
+    (fun nd ->
+      if Hashtbl.mem seen nd.Node.name then add (Duplicate_name nd.Node.name)
+      else Hashtbl.add seen nd.Node.name ())
+    c.Node.nodes;
+  List.rev !out
+
+let is_well_formed c = problems c = []
+
+let assert_ok c =
+  match problems c with
+  | [] -> ()
+  | p :: _ -> failwith ("Check.assert_ok: " ^ problem_to_string p)

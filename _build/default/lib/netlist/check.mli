@@ -1,0 +1,19 @@
+(** Structural well-formedness checks, asserted after every
+    transformation (synthesis, mapping, retiming, scan insertion). *)
+
+type problem =
+  | Dangling_fanin of string
+  | Bad_arity of string
+  | Dff_unconnected of string
+  | Po_dangling of string
+  | Duplicate_name of string
+
+val problem_to_string : problem -> string
+
+(** All problems found, in node order. *)
+val problems : Node.t -> problem list
+
+val is_well_formed : Node.t -> bool
+
+(** @raise Failure with the first problem's description. *)
+val assert_ok : Node.t -> unit

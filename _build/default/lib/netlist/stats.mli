@@ -1,0 +1,24 @@
+(** Structural statistics and cone-traversal helpers. *)
+
+type t = {
+  pis : int;
+  pos : int;
+  dffs : int;
+  gates : int;
+  by_fn : (Node.gate_fn * int) list;  (** gate histogram *)
+  max_fanin : int;
+  max_fanout : int;
+  levels : int;                        (** combinational depth in gates *)
+  area : float;
+  delay : float;
+}
+
+val of_circuit : Node.t -> t
+val pp : Format.formatter -> t -> unit
+
+(** Transitive fanin cone of a node, stopping at PIs and DFF outputs. *)
+val comb_fanin_cone : Node.t -> int -> int list
+
+(** Nodes combinationally reachable from a node (through gates, stopping
+    at DFF data inputs); reached DFFs are included. *)
+val comb_fanout_cone : Node.t -> int -> int list

@@ -1,0 +1,67 @@
+(* Structural Verilog writer (synthesizable subset): one module with gate
+   primitives and always-block DFFs, for handing circuits to external
+   tools or waveform viewers.  Write-only: the stack's interchange reader
+   is BLIF (Blif.parse_string). *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+let gate_expr fn operands =
+  let join op = String.concat (" " ^ op ^ " ") operands in
+  match (fn : Node.gate_fn) with
+  | Node.Buf -> List.nth operands 0
+  | Node.Not -> "~" ^ List.nth operands 0
+  | Node.And -> join "&"
+  | Node.Nand -> "~(" ^ join "&" ^ ")"
+  | Node.Or -> join "|"
+  | Node.Nor -> "~(" ^ join "|" ^ ")"
+  | Node.Xor -> join "^"
+  | Node.Xnor -> "~(" ^ join "^" ^ ")"
+
+let to_string ?(module_name = "satpg") c =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let wire id = sanitize (Node.node c id).Node.name in
+  let po_names = Array.map (fun (po, _) -> sanitize po) c.Node.pos in
+  add "module %s(clk" (sanitize module_name);
+  Array.iter (fun id -> add ", %s" (wire id)) c.Node.pis;
+  Array.iter (fun po -> add ", %s" po) po_names;
+  add ");\n  input clk;\n";
+  Array.iter (fun id -> add "  input %s;\n" (wire id)) c.Node.pis;
+  Array.iter (fun po -> add "  output %s;\n" po) po_names;
+  Array.iter
+    (fun id ->
+      add "  reg %s = 1'b%d;\n" (wire id) (if Node.dff_init c id then 1 else 0))
+    c.Node.dffs;
+  Array.iter
+    (fun (nd : Node.node) ->
+      match nd.Node.kind with
+      | Node.Gate _ -> add "  wire %s;\n" (sanitize nd.Node.name)
+      | Node.Pi _ | Node.Dff _ -> ())
+    c.Node.nodes;
+  Array.iter
+    (fun id ->
+      let nd = Node.node c id in
+      match nd.Node.kind with
+      | Node.Gate fn ->
+        let ops = Array.to_list (Array.map wire nd.Node.fanins) in
+        add "  assign %s = %s;\n" (wire id) (gate_expr fn ops)
+      | Node.Pi _ | Node.Dff _ -> ())
+    c.Node.order;
+  add "  always @(posedge clk) begin\n";
+  Array.iter
+    (fun id ->
+      let nd = Node.node c id in
+      add "    %s <= %s;\n" (wire id) (wire nd.Node.fanins.(0)))
+    c.Node.dffs;
+  add "  end\n";
+  Array.iteri
+    (fun k (_, id) -> add "  assign %s = %s;\n" po_names.(k) (wire id))
+    c.Node.pos;
+  add "endmodule\n";
+  Buffer.contents buf

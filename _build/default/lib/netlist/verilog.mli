@@ -1,0 +1,5 @@
+(** Structural Verilog writer (synthesizable subset): gate assigns plus
+    one clocked always-block for the DFFs, with power-up values as reg
+    initializers.  Write-only; the stack's netlist reader is {!Blif}. *)
+
+val to_string : ?module_name:string -> Node.t -> string

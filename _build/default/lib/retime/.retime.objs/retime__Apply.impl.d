@@ -1,0 +1,1 @@
+lib/retime/apply.ml: Array Graph Hashtbl List Netlist Printf Queue Sim Solve

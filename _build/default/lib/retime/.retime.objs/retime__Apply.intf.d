@@ -1,0 +1,1 @@
+lib/retime/apply.mli: Graph Netlist

@@ -1,0 +1,1 @@
+lib/retime/graph.ml: Array Hashtbl List Netlist

@@ -1,0 +1,1 @@
+lib/retime/solve.ml: Array Graph List Logs Netlist Queue

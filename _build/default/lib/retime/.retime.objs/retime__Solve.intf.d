@@ -1,0 +1,1 @@
+lib/retime/solve.mli: Graph

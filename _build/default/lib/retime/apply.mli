@@ -1,0 +1,53 @@
+(** Materialization of retimed circuits, and the user-facing retiming
+    flows.
+
+    Register chains are shared per physical source: a source whose
+    out-edges need register depths [w1 <= ... <= wk] drives a single chain
+    of [wk] DFFs tapped at the required depths — the mechanism by which
+    retiming both moves and multiplies registers across fanout (the DFF
+    growth at the heart of the reproduced paper).
+
+    Initial values of the new registers are computed by simulating the
+    original circuit from power-up over a canonical input prefix, so the
+    retimed circuit behaves from power-up exactly as the original does
+    after consuming that prefix: the constructive form of the paper's
+    [P ∪ T] footnote to Theorem 1, and a property the tests check cycle
+    by cycle. *)
+
+(** Length of the equivalence prefix for a given retiming: one more than
+    the deepest retimed edge weight. *)
+val prefix_length : Graph.t -> int array -> int
+
+(** [materialize ?prefix_input g r] builds the circuit retimed by the lag
+    function [r] (host pinned at 0).  [prefix_input] is the input vector
+    held during the initial-value computation (all-zero by default; pass
+    the reset vector for circuits with an explicit reset line so the
+    retimed power-up state corresponds to the original reset state).
+    @raise Invalid_argument if [r] is not a legal retiming. *)
+val materialize :
+  ?prefix_input:bool array -> Graph.t -> int array -> Netlist.Node.t
+
+(** Minimum-period retiming (Leiserson–Saxe, FEAS + binary search);
+    returns the retimed circuit and its achieved period. *)
+val retime_min_period :
+  ?prefix_input:bool array -> Netlist.Node.t -> Netlist.Node.t * float
+
+(** Retiming to an explicit target period; [None] if infeasible. *)
+val retime_to_period :
+  ?prefix_input:bool array ->
+  Netlist.Node.t ->
+  period:float ->
+  (Netlist.Node.t * float) option
+
+(** The paper-flow "retime" step: minimum-period retiming followed by
+    register-deepening within [period_slack] of the original period, lag
+    per gate bounded by [max_lag] and total shared registers bounded by
+    [max_regs_factor] times the original count.  Returns (retimed circuit,
+    achieved period, equivalence-prefix length). *)
+val retime_aggressive :
+  ?prefix_input:bool array ->
+  ?max_lag:int ->
+  ?max_regs_factor:int ->
+  ?period_slack:float ->
+  Netlist.Node.t ->
+  Netlist.Node.t * float * int

@@ -1,0 +1,1 @@
+lib/sim/parallel.ml: Array Hashtbl Netlist

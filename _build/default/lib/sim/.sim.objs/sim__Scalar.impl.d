@@ -1,0 +1,1 @@
+lib/sim/scalar.ml: Array List Netlist Value3

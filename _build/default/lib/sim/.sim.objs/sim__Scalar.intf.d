@@ -1,0 +1,1 @@
+lib/sim/scalar.mli: Netlist Value3

@@ -1,0 +1,1 @@
+lib/sim/value3.ml: Array Fmt Netlist

@@ -1,0 +1,1 @@
+lib/sim/value3.mli: Format Netlist

@@ -1,0 +1,1 @@
+lib/sim/vectors.ml: Array List Parallel Printf Random String Value3

@@ -1,0 +1,1 @@
+lib/sim/vectors.mli: Random Value3

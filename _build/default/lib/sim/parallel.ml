@@ -1,0 +1,156 @@
+(* Bit-parallel two-valued simulator: each node holds a machine word whose
+   bits are independent simulation lanes (up to [word_bits]).  Lanes share
+   the input vector but may carry different injected stuck-at faults and
+   therefore different DFF state — this is the PROOFS-style parallel-fault
+   engine's core.  Lane 63/62... beyond [width] are unused. *)
+
+let word_bits = 62
+
+let mask_of_width w =
+  if w >= word_bits then (1 lsl word_bits) - 1 else (1 lsl w) - 1
+
+type t = {
+  circuit : Netlist.Node.t;
+  values : int array;                    (* word per node *)
+  next_state : int array;                (* captured DFF data, dff order *)
+  stem_f0 : int array;                   (* per node: lanes forced to 0 *)
+  stem_f1 : int array;                   (* per node: lanes forced to 1 *)
+  pin_over : (int * int, int * int) Hashtbl.t; (* (gate,pin) -> (f0,f1) *)
+  mutable has_pin_over : bool;
+}
+
+let create circuit =
+  let n = Netlist.Node.num_nodes circuit in
+  {
+    circuit;
+    values = Array.make n 0;
+    next_state = Array.make (Netlist.Node.num_dffs circuit) 0;
+    stem_f0 = Array.make n 0;
+    stem_f1 = Array.make n 0;
+    pin_over = Hashtbl.create 31;
+    has_pin_over = false;
+  }
+
+let circuit t = t.circuit
+
+let clear_faults t =
+  Array.fill t.stem_f0 0 (Array.length t.stem_f0) 0;
+  Array.fill t.stem_f1 0 (Array.length t.stem_f1) 0;
+  Hashtbl.reset t.pin_over;
+  t.has_pin_over <- false
+
+let inject_stem t ~node ~lane ~value =
+  if value then t.stem_f1.(node) <- t.stem_f1.(node) lor (1 lsl lane)
+  else t.stem_f0.(node) <- t.stem_f0.(node) lor (1 lsl lane)
+
+let inject_pin t ~gate ~pin ~lane ~value =
+  let f0, f1 =
+    try Hashtbl.find t.pin_over (gate, pin) with Not_found -> (0, 0)
+  in
+  let f0, f1 =
+    if value then (f0, f1 lor (1 lsl lane)) else (f0 lor (1 lsl lane), f1)
+  in
+  Hashtbl.replace t.pin_over (gate, pin) (f0, f1);
+  t.has_pin_over <- true
+
+let apply_stem t id w = (w land lnot t.stem_f0.(id)) lor t.stem_f1.(id)
+
+let read_pin t gate pin source =
+  let w = t.values.(source) in
+  if t.has_pin_over then
+    match Hashtbl.find_opt t.pin_over (gate, pin) with
+    | None -> w
+    | Some (f0, f1) -> (w land lnot f0) lor f1
+  else w
+
+let reset t =
+  let c = t.circuit in
+  Array.iter
+    (fun id ->
+      let v = if Netlist.Node.dff_init c id then -1 else 0 in
+      t.values.(id) <- apply_stem t id v)
+    c.Netlist.Node.dffs
+
+let set_state_words t words =
+  Array.iteri
+    (fun i id -> t.values.(id) <- apply_stem t id words.(i))
+    t.circuit.Netlist.Node.dffs
+
+let get_state_words t =
+  Array.map (fun id -> t.values.(id)) t.circuit.Netlist.Node.dffs
+
+(* Broadcast one boolean input vector to all lanes. *)
+let set_input_broadcast t bits =
+  Array.iteri
+    (fun i id ->
+      let v = if bits.(i) then -1 else 0 in
+      t.values.(id) <- apply_stem t id v)
+    t.circuit.Netlist.Node.pis
+
+(* Per-lane input words (bit l of [words.(i)] = value of PI i in lane l). *)
+let set_input_words t words =
+  Array.iteri
+    (fun i id -> t.values.(id) <- apply_stem t id words.(i))
+    t.circuit.Netlist.Node.pis
+
+let eval_gate_word t gate_id fn fanins =
+  let arity = Array.length fanins in
+  match fn, arity with
+  | Netlist.Node.Not, _ -> lnot (read_pin t gate_id 0 fanins.(0))
+  | Netlist.Node.Buf, _ -> read_pin t gate_id 0 fanins.(0)
+  | Netlist.Node.Xor, _ ->
+    read_pin t gate_id 0 fanins.(0) lxor read_pin t gate_id 1 fanins.(1)
+  | Netlist.Node.Xnor, _ ->
+    lnot (read_pin t gate_id 0 fanins.(0) lxor read_pin t gate_id 1 fanins.(1))
+  | Netlist.Node.And, _ ->
+    let acc = ref (-1) in
+    for p = 0 to arity - 1 do acc := !acc land read_pin t gate_id p fanins.(p) done;
+    !acc
+  | Netlist.Node.Nand, _ ->
+    let acc = ref (-1) in
+    for p = 0 to arity - 1 do acc := !acc land read_pin t gate_id p fanins.(p) done;
+    lnot !acc
+  | Netlist.Node.Or, _ ->
+    let acc = ref 0 in
+    for p = 0 to arity - 1 do acc := !acc lor read_pin t gate_id p fanins.(p) done;
+    !acc
+  | Netlist.Node.Nor, _ ->
+    let acc = ref 0 in
+    for p = 0 to arity - 1 do acc := !acc lor read_pin t gate_id p fanins.(p) done;
+    lnot !acc
+
+let eval_comb t =
+  let c = t.circuit in
+  Array.iter
+    (fun id ->
+      let nd = Netlist.Node.node c id in
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Gate fn ->
+        t.values.(id) <-
+          apply_stem t id (eval_gate_word t id fn nd.Netlist.Node.fanins)
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ())
+    c.Netlist.Node.order;
+  Array.iteri
+    (fun i id ->
+      (* DFF data pin is pin 0 of the DFF node for injection purposes. *)
+      let nd = Netlist.Node.node c id in
+      t.next_state.(i) <- read_pin t id 0 nd.Netlist.Node.fanins.(0))
+    c.Netlist.Node.dffs
+
+let tick t =
+  Array.iteri
+    (fun i id -> t.values.(id) <- apply_stem t id t.next_state.(i))
+    t.circuit.Netlist.Node.dffs
+
+let output_words t =
+  Array.map (fun (_, id) -> t.values.(id)) t.circuit.Netlist.Node.pos
+
+let node_word t id = t.values.(id)
+
+(* One full cycle with broadcast inputs; returns PO words before the tick. *)
+let step_broadcast t bits =
+  set_input_broadcast t bits;
+  eval_comb t;
+  let out = output_words t in
+  tick t;
+  out

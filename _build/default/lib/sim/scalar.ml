@@ -1,0 +1,91 @@
+(* Scalar three-valued sequential simulator.  One value per node; evaluation
+   is a full levelized sweep per cycle (circuits here are small, so the
+   simplicity beats event-driven bookkeeping). *)
+
+type t = {
+  circuit : Netlist.Node.t;
+  values : Value3.t array;      (* current cycle value of every node *)
+  next_state : Value3.t array;  (* latched DFF data, indexed by DFF position *)
+}
+
+let create circuit =
+  {
+    circuit;
+    values = Array.make (Netlist.Node.num_nodes circuit) Value3.X;
+    next_state = Array.make (Netlist.Node.num_dffs circuit) Value3.X;
+  }
+
+let circuit t = t.circuit
+
+(* Load the power-up state: every DFF takes its declared init value. *)
+let reset t =
+  Array.iteri
+    (fun _ id ->
+      t.values.(id) <- Value3.of_bool (Netlist.Node.dff_init t.circuit id))
+    t.circuit.Netlist.Node.dffs;
+  Array.iter (fun id -> t.values.(id) <- Value3.X) t.circuit.Netlist.Node.pis
+
+(* Load an arbitrary state vector (Value3 per DFF, in dff order). *)
+let set_state t state =
+  Array.iteri (fun i id -> t.values.(id) <- state.(i)) t.circuit.Netlist.Node.dffs
+
+let get_state t =
+  Array.map (fun id -> t.values.(id)) t.circuit.Netlist.Node.dffs
+
+let set_inputs t inputs =
+  Array.iteri (fun i id -> t.values.(id) <- inputs.(i)) t.circuit.Netlist.Node.pis
+
+(* Evaluate all combinational logic for the current cycle and capture DFF
+   data inputs, without advancing the clock. *)
+let eval_comb t =
+  let c = t.circuit in
+  Array.iter
+    (fun id ->
+      let nd = Netlist.Node.node c id in
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Gate fn ->
+        let ins =
+          Array.map (fun f -> t.values.(f)) nd.Netlist.Node.fanins
+        in
+        t.values.(id) <- Value3.eval_gate fn ins
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ())
+    c.Netlist.Node.order;
+  Array.iteri
+    (fun i id ->
+      let nd = Netlist.Node.node c id in
+      t.next_state.(i) <- t.values.(nd.Netlist.Node.fanins.(0)))
+    c.Netlist.Node.dffs
+
+(* Advance the clock: DFF outputs take the captured data values. *)
+let tick t =
+  Array.iteri
+    (fun i id -> t.values.(id) <- t.next_state.(i))
+    t.circuit.Netlist.Node.dffs
+
+let outputs t =
+  Array.map (fun (_, id) -> t.values.(id)) t.circuit.Netlist.Node.pos
+
+let value t id = t.values.(id)
+
+(* Apply one input vector: evaluate, read outputs, clock. *)
+let step t inputs =
+  set_inputs t inputs;
+  eval_comb t;
+  let out = outputs t in
+  tick t;
+  out
+
+(* Run a sequence of input vectors from the power-up state; returns the
+   per-cycle output vectors. *)
+let run t vectors =
+  reset t;
+  List.map (fun v -> step t v) vectors
+
+(* Next-state function evaluation without touching the simulator state
+   beyond scratch: from [state] under [inputs], return (outputs, next). *)
+let transition t ~state ~inputs =
+  set_state t state;
+  set_inputs t inputs;
+  eval_comb t;
+  let out = outputs t in
+  (out, Array.copy t.next_state)

@@ -1,0 +1,41 @@
+(** Scalar three-valued sequential simulator: one {!Value3.t} per node,
+    full levelized sweep per cycle.  The reference semantics every other
+    engine is tested against. *)
+
+type t
+
+val create : Netlist.Node.t -> t
+val circuit : t -> Netlist.Node.t
+
+(** Load the power-up state (every DFF takes its declared init). *)
+val reset : t -> unit
+
+(** Load an arbitrary state (one value per DFF, state-vector order). *)
+val set_state : t -> Value3.t array -> unit
+
+val get_state : t -> Value3.t array
+val set_inputs : t -> Value3.t array -> unit
+
+(** Evaluate combinational logic and capture DFF data inputs (no clock). *)
+val eval_comb : t -> unit
+
+(** Advance the clock: DFF outputs take the captured data values. *)
+val tick : t -> unit
+
+(** Primary-output values of the current cycle (after {!eval_comb}). *)
+val outputs : t -> Value3.t array
+
+(** Current value of any node. *)
+val value : t -> int -> Value3.t
+
+(** [step t v]: set inputs, evaluate, read outputs, clock. *)
+val step : t -> Value3.t array -> Value3.t array
+
+(** Run a whole sequence from power-up; per-cycle outputs. *)
+val run : t -> Value3.t array list -> Value3.t array list
+
+(** One transition from an explicit state: returns (outputs, next state).
+    Leaves the simulator in the post-evaluation (pre-tick) state. *)
+val transition :
+  t -> state:Value3.t array -> inputs:Value3.t array ->
+  Value3.t array * Value3.t array

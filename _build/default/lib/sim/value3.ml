@@ -1,0 +1,59 @@
+(* Three-valued logic (0, 1, X) used by the scalar simulator, reachability
+   and as the ground domain under the ATPG's five-valued algebra. *)
+
+type t = Zero | One | X
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'x'
+
+let of_bool b = if b then One else Zero
+
+let to_bool_opt = function Zero -> Some false | One -> Some true | X -> None
+
+let equal (a : t) (b : t) = a = b
+
+let v_not = function Zero -> One | One -> Zero | X -> X
+
+let v_and a b =
+  match a, b with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | _ -> X
+
+let v_or a b =
+  match a, b with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | _ -> X
+
+let v_xor a b =
+  match a, b with
+  | X, _ | _, X -> X
+  | One, One | Zero, Zero -> Zero
+  | One, Zero | Zero, One -> One
+
+(* [refines a b]: does the (possibly X) value [a] refine to [b] once Xs are
+   filled in — i.e. is [b] a possible concretization of [a]?  Used by the
+   X-monotonicity property tests. *)
+let compatible a b =
+  match a, b with
+  | X, _ | _, X -> true
+  | One, One | Zero, Zero -> true
+  | One, Zero | Zero, One -> false
+
+let eval_gate fn (inputs : t array) =
+  let fold op unit_ =
+    let acc = ref unit_ in
+    Array.iter (fun v -> acc := op !acc v) inputs;
+    !acc
+  in
+  match fn with
+  | Netlist.Node.Buf -> inputs.(0)
+  | Netlist.Node.Not -> v_not inputs.(0)
+  | Netlist.Node.And -> fold v_and One
+  | Netlist.Node.Nand -> v_not (fold v_and One)
+  | Netlist.Node.Or -> fold v_or Zero
+  | Netlist.Node.Nor -> v_not (fold v_or Zero)
+  | Netlist.Node.Xor -> v_xor inputs.(0) (inputs.(1))
+  | Netlist.Node.Xnor -> v_not (v_xor inputs.(0) (inputs.(1)))
+
+let pp ppf v = Fmt.char ppf (to_char v)

@@ -1,0 +1,28 @@
+(** Three-valued logic (0, 1, X) — the ground domain of the scalar
+    simulator, reachability analysis, and (paired good/faulty) the ATPG's
+    five-valued algebra.  X is "unknown": all operators are monotone with
+    respect to refinement of X into 0/1 (property-tested). *)
+
+type t = Zero | One | X
+
+val to_char : t -> char
+val of_bool : bool -> t
+
+(** [Some b] for definite values, [None] for X. *)
+val to_bool_opt : t -> bool option
+
+val equal : t -> t -> bool
+
+val v_not : t -> t
+val v_and : t -> t -> t
+val v_or : t -> t -> t
+val v_xor : t -> t -> t
+
+(** [compatible a b]: can [a] (possibly X) refine to [b]?  X is compatible
+    with everything; definite values only with themselves. *)
+val compatible : t -> t -> bool
+
+(** Evaluate a gate function over three-valued inputs. *)
+val eval_gate : Netlist.Node.gate_fn -> t array -> t
+
+val pp : Format.formatter -> t -> unit

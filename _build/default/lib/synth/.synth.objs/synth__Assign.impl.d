@@ -1,0 +1,1 @@
+lib/synth/assign.ml: Array Fsm Hashtbl List Random

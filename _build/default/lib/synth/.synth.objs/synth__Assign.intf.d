@@ -1,0 +1,1 @@
+lib/synth/assign.mli: Fsm

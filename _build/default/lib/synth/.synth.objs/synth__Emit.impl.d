@@ -1,0 +1,1 @@
+lib/synth/emit.ml: Array Hashtbl List Netlist Network Printf Twolevel

@@ -1,0 +1,1 @@
+lib/synth/emit.mli: Netlist Network

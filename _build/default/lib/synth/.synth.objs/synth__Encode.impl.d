@@ -1,0 +1,1 @@
+lib/synth/encode.ml: Array Fsm Hashtbl List Twolevel

@@ -1,0 +1,1 @@
+lib/synth/encode.mli: Fsm Twolevel

@@ -1,0 +1,1 @@
+lib/synth/flow.ml: Array Assign Emit Encode Fsm Minimize_states Netlist Network Printf Scripts Techmap

@@ -1,0 +1,1 @@
+lib/synth/library.ml: Netlist

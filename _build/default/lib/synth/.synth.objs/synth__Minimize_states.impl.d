@@ -1,0 +1,1 @@
+lib/synth/minimize_states.ml: Array Bytes Fsm Hashtbl List Printf String

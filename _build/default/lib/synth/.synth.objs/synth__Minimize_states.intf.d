@@ -1,0 +1,1 @@
+lib/synth/minimize_states.mli: Fsm

@@ -1,0 +1,1 @@
+lib/synth/network.ml: Array Encode Hashtbl List Twolevel

@@ -1,0 +1,1 @@
+lib/synth/network.mli: Encode Twolevel

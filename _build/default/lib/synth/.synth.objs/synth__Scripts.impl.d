@@ -1,0 +1,1 @@
+lib/synth/scripts.ml: Array Hashtbl List Logs Network Twolevel

@@ -1,0 +1,1 @@
+lib/synth/techmap.ml: Array Hashtbl Library List Netlist Printf

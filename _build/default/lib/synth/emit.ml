@@ -1,0 +1,118 @@
+(* Network -> generic gate netlist (wide AND/OR/NOT gates).  This is the
+   unmapped netlist handed to the technology mapper; it also instantiates the
+   sequential shell: DFFs for the state bits and the optional explicit reset
+   line (reset forces the next state to the reset state, whose code is 0 by
+   construction in Assign). *)
+
+type io_spec = {
+  circuit_name : string;
+  ni : int;            (* primary inputs of the FSM *)
+  no : int;            (* primary outputs *)
+  bits : int;          (* state register width *)
+  reset_line : bool;
+}
+
+let to_netlist spec net =
+  assert (net.Network.num_inputs = spec.ni + spec.bits);
+  assert (Array.length net.Network.outputs = spec.no + spec.bits);
+  let b = Netlist.Build.create () in
+  let pi_ids = Array.init spec.ni (fun i -> Netlist.Build.add_pi b (Printf.sprintf "in%d" i)) in
+  let reset_id = if spec.reset_line then Some (Netlist.Build.add_pi b "reset") else None in
+  let dff_ids =
+    Array.init spec.bits (fun j ->
+        Netlist.Build.add_dff b ~init:false (Printf.sprintf "q%d" j))
+  in
+  let fresh =
+    let k = ref 0 in
+    fun prefix ->
+      incr k;
+      Printf.sprintf "%s%d" prefix !k
+  in
+  (* memoized conversion of network signals *)
+  let memo = Hashtbl.create 97 in
+  let inverters = Hashtbl.create 97 in
+  let invert id =
+    match Hashtbl.find_opt inverters id with
+    | Some v -> v
+    | None ->
+      let v = Netlist.Build.add_gate b Netlist.Node.Not (fresh "n") [| id |] in
+      Hashtbl.add inverters id v;
+      v
+  in
+  let const_cache = Hashtbl.create 3 in
+  let constant v =
+    match Hashtbl.find_opt const_cache v with
+    | Some id -> id
+    | None ->
+      let id =
+        Netlist.Build.add_const b (if v then "const1" else "const0") v
+      in
+      Hashtbl.add const_cache v id;
+      id
+  in
+  let rec signal s =
+    match Hashtbl.find_opt memo s with
+    | Some id -> id
+    | None ->
+      let id =
+        if s < spec.ni then pi_ids.(s)
+        else if s < net.Network.num_inputs then dff_ids.(s - spec.ni)
+        else begin
+          let n = net.Network.nodes.(s - net.Network.num_inputs) in
+          convert_node n
+        end
+      in
+      Hashtbl.add memo s id;
+      id
+  and literal fanins c j =
+    let src = signal fanins.(j) in
+    match Twolevel.Cube.get_lit c j with
+    | 2 -> Some src
+    | 1 -> Some (invert src)
+    | _ -> None
+  and convert_cube fanins c =
+    let lits =
+      List.filter_map
+        (fun j -> literal fanins c j)
+        (List.init (Array.length fanins) (fun j -> j))
+    in
+    match lits with
+    | [] -> constant true
+    | [ one ] -> one
+    | many ->
+      Netlist.Build.add_gate b Netlist.Node.And (fresh "a") (Array.of_list many)
+  and convert_node n =
+    match n.Network.cover.Twolevel.Cover.cubes with
+    | [] -> constant false
+    | [ c ] -> convert_cube n.Network.fanins c
+    | cubes ->
+      let terms = List.map (convert_cube n.Network.fanins) cubes in
+      Netlist.Build.add_gate b Netlist.Node.Or (fresh "o")
+        (Array.of_list terms)
+  in
+  (* primary outputs *)
+  Array.iteri
+    (fun k o ->
+      if k < spec.no then
+        Netlist.Build.add_po b (Printf.sprintf "out%d" k) (signal o))
+    net.Network.outputs;
+  (* next-state logic, with reset overriding to state code 0 *)
+  Array.iteri
+    (fun k o ->
+      if k >= spec.no then begin
+        let j = k - spec.no in
+        let ns = signal o in
+        let ns =
+          match reset_id with
+          | None -> ns
+          | Some r ->
+            Netlist.Build.add_gate b Netlist.Node.And
+              (Printf.sprintf "nsr%d" j)
+              [| ns; invert r |]
+        in
+        Netlist.Build.connect_dff b dff_ids.(j) ns
+      end)
+    net.Network.outputs;
+  let c = Netlist.Build.finalize b in
+  Netlist.Check.assert_ok c;
+  c

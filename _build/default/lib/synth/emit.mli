@@ -1,0 +1,15 @@
+(** Network -> generic gate netlist (wide AND/OR/NOT), instantiating the
+    sequential shell: DFFs for the state bits and the optional explicit
+    reset line (reset forces the next state to code 0, the reset state). *)
+
+type io_spec = {
+  circuit_name : string;
+  ni : int;            (** primary inputs of the FSM *)
+  no : int;            (** primary outputs *)
+  bits : int;          (** state register width *)
+  reset_line : bool;   (** append a "reset" PI after the inputs *)
+}
+
+(** The network must have [ni + bits] inputs and [no + bits] outputs
+    (PO functions then next-state functions). *)
+val to_netlist : io_spec -> Network.t -> Netlist.Node.t

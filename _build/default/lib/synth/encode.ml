@@ -1,0 +1,139 @@
+(* Encode an FSM under a state assignment into two-level covers for the
+   next-state and output functions, optionally using the unused state codes
+   as external don't cares (the SIS extract_seq_dc step), then minimize each
+   function with espresso-lite.
+
+   Variable order of every cover: [0 .. ni-1] primary inputs,
+   [ni .. ni+bits-1] present-state bits. *)
+
+type t = {
+  machine : Fsm.Machine.t;
+  codes : int array;        (* per state *)
+  bits : int;               (* state register width *)
+  num_vars : int;           (* ni + bits *)
+  next_state : Twolevel.Cover.t array;  (* per state bit *)
+  outputs : Twolevel.Cover.t array;     (* per primary output *)
+}
+
+let state_cube ~ni ~bits ~num_vars code =
+  let c = ref (Twolevel.Cube.full num_vars) in
+  for j = 0 to bits - 1 do
+    let lit =
+      if code land (1 lsl j) <> 0 then Twolevel.Cube.lit_pos
+      else Twolevel.Cube.lit_neg
+    in
+    c := Twolevel.Cube.set_lit !c (ni + j) lit
+  done;
+  !c
+
+let input_cube ~ni ~num_vars ~care ~value =
+  let c = ref (Twolevel.Cube.full num_vars) in
+  for i = 0 to ni - 1 do
+    if care land (1 lsl i) <> 0 then begin
+      let lit =
+        if value land (1 lsl i) <> 0 then Twolevel.Cube.lit_pos
+        else Twolevel.Cube.lit_neg
+      in
+      c := Twolevel.Cube.set_lit !c i lit
+    end
+  done;
+  !c
+
+(* Cubes over the full variable space for the (state, input) pairs the
+   machine leaves unspecified; the completed semantics makes these explicit
+   self-loops with all-0 outputs. *)
+let unspecified_cubes m ~ni ~bits ~num_vars codes =
+  let by_state = Fsm.Machine.transitions_of m in
+  List.concat
+    (List.init (Fsm.Machine.num_states m) (fun s ->
+         let covered =
+           Twolevel.Cover.make ni
+             (List.map
+                (fun (t : Fsm.Machine.transition) ->
+                  Twolevel.Cube.of_masks ni ~care:t.in_care ~value:t.in_value)
+                by_state.(s))
+         in
+         let holes = Twolevel.Cover.complement covered in
+         let sc = state_cube ~ni ~bits ~num_vars codes.(s) in
+         List.map
+           (fun h ->
+             (* widen the ni-var cube h into the full space, then AND in the
+                state literals *)
+             let wide = h lor (Twolevel.Cube.full num_vars land
+                               lnot (Twolevel.Cube.full ni)) in
+             (s, Twolevel.Cube.intersect wide sc))
+           holes.Twolevel.Cover.cubes))
+
+let encode ?(use_seq_dc = true) ?(minimize = true) m (codes, bits) =
+  let ni = m.Fsm.Machine.num_inputs in
+  let num_vars = ni + bits in
+  let no = m.Fsm.Machine.num_outputs in
+  let ns_on = Array.make bits [] in
+  let out_on = Array.make no [] in
+  let out_dc = Array.make no [] in
+  (* specified transitions *)
+  Array.iter
+    (fun (t : Fsm.Machine.transition) ->
+      let cube =
+        Twolevel.Cube.intersect
+          (input_cube ~ni ~num_vars ~care:t.in_care ~value:t.in_value)
+          (state_cube ~ni ~bits ~num_vars codes.(t.src))
+      in
+      let dst_code = codes.(t.dst) in
+      for j = 0 to bits - 1 do
+        if dst_code land (1 lsl j) <> 0 then ns_on.(j) <- cube :: ns_on.(j)
+      done;
+      for k = 0 to no - 1 do
+        if t.out_care land (1 lsl k) = 0 then out_dc.(k) <- cube :: out_dc.(k)
+        else if t.out_value land (1 lsl k) <> 0 then
+          out_on.(k) <- cube :: out_on.(k)
+      done)
+    m.Fsm.Machine.transitions;
+  (* completion: unspecified (state, input) pairs self-loop with 0 outputs *)
+  List.iter
+    (fun (s, cube) ->
+      let code = codes.(s) in
+      for j = 0 to bits - 1 do
+        if code land (1 lsl j) <> 0 then ns_on.(j) <- cube :: ns_on.(j)
+      done)
+    (unspecified_cubes m ~ni ~bits ~num_vars codes);
+  (* external don't cares: unused state codes *)
+  let seq_dc =
+    if not use_seq_dc then []
+    else begin
+      let used = Hashtbl.create 31 in
+      Array.iter (fun c -> Hashtbl.replace used c ()) codes;
+      let acc = ref [] in
+      for code = 0 to (1 lsl bits) - 1 do
+        if not (Hashtbl.mem used code) then
+          acc := state_cube ~ni ~bits ~num_vars code :: !acc
+      done;
+      !acc
+    end
+  in
+  let minimize_fn on dc_extra =
+    let on = Twolevel.Cover.make num_vars on in
+    let dc = Twolevel.Cover.make num_vars (dc_extra @ seq_dc) in
+    if minimize then Twolevel.Minimize.espresso ~on ~dc ()
+    else Twolevel.Cover.drop_contained on
+  in
+  {
+    machine = m;
+    codes;
+    bits;
+    num_vars;
+    next_state = Array.init bits (fun j -> minimize_fn ns_on.(j) []);
+    outputs = Array.init no (fun k -> minimize_fn out_on.(k) out_dc.(k));
+  }
+
+(* Reference evaluation used by tests: compute (next_code, outputs) for a
+   given (state code, input code) pair directly from the covers. *)
+let eval t ~state_code ~input_code =
+  let ni = t.machine.Fsm.Machine.num_inputs in
+  let point = input_code lor (state_code lsl ni) in
+  let next = ref 0 in
+  Array.iteri
+    (fun j f -> if Twolevel.Cover.eval f point then next := !next lor (1 lsl j))
+    t.next_state;
+  let outs = Array.map (fun f -> Twolevel.Cover.eval f point) t.outputs in
+  (!next, outs)

@@ -1,0 +1,32 @@
+(** Encoding an FSM under a state assignment into two-level covers for
+    the next-state and output functions, with the unused state codes as
+    external don't cares (the SIS [extract_seq_dc] step), each function
+    minimized by espresso-lite.
+
+    Variable order of every cover: primary inputs [0 .. ni-1], then
+    present-state bits [ni .. ni+bits-1]. *)
+
+type t = {
+  machine : Fsm.Machine.t;
+  codes : int array;        (** per state *)
+  bits : int;               (** state register width *)
+  num_vars : int;           (** ni + bits *)
+  next_state : Twolevel.Cover.t array;  (** one cover per state bit *)
+  outputs : Twolevel.Cover.t array;     (** one cover per primary output *)
+}
+
+(** Fully-specified present-state literals of a code, as a cube. *)
+val state_cube : ni:int -> bits:int -> num_vars:int -> int -> Twolevel.Cube.t
+
+val input_cube : ni:int -> num_vars:int -> care:int -> value:int -> Twolevel.Cube.t
+
+(** [encode ?use_seq_dc ?minimize m (codes, bits)].  [use_seq_dc] adds
+    the unused codes as don't cares; [minimize] runs espresso (default
+    both true).  Unspecified (state, input) pairs become explicit
+    self-loop cubes — the completed semantics. *)
+val encode :
+  ?use_seq_dc:bool -> ?minimize:bool ->
+  Fsm.Machine.t -> int array * int -> t
+
+(** Evaluate the covers directly: (next state code, output bits). *)
+val eval : t -> state_code:int -> input_code:int -> int * bool array

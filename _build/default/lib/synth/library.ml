@@ -1,0 +1,59 @@
+(* Gate library in the spirit of mcnc.genlib, restricted (as in the paper)
+   to the gate types the downstream sequential ATPGs understand: INV, BUF,
+   NAND2-4, NOR2-4, AND2-4, OR2-4 plus DFFs.
+
+   Each combinational cell is described by its tree pattern over the NAND2 /
+   INV subject-graph basis; the technology mapper matches these patterns. *)
+
+type pat = X | Pinv of pat | Pnand of pat * pat
+
+type cell = {
+  cell_name : string;
+  fn : Netlist.Node.gate_fn;
+  arity : int;
+  pattern : pat;
+  area : float;
+  delay : float;
+}
+
+let mk name fn arity pattern =
+  {
+    cell_name = name;
+    fn;
+    arity;
+    pattern;
+    area = Netlist.Node.gate_area fn arity;
+    delay = Netlist.Node.gate_delay fn arity;
+  }
+
+(* Balanced AND-trees as produced by Techmap's subject construction:
+   and2 = Inv(Nand(a,b)). *)
+let nand2_pat = Pnand (X, X)
+let and2_pat = Pinv nand2_pat
+let nand3_pat = Pnand (and2_pat, X)
+let and3_pat = Pinv nand3_pat
+let nand4_pat = Pnand (and2_pat, and2_pat)
+let and4_pat = Pinv nand4_pat
+let or2_pat = Pnand (Pinv X, Pinv X)
+let nor2_pat = Pinv or2_pat
+let or3_pat = Pnand (nor2_pat, Pinv X)
+let nor3_pat = Pinv or3_pat
+let or4_pat = Pnand (nor2_pat, nor2_pat)
+let nor4_pat = Pinv or4_pat
+
+let cells =
+  [
+    mk "inv" Netlist.Node.Not 1 (Pinv X);
+    mk "nand2" Netlist.Node.Nand 2 nand2_pat;
+    mk "nand3" Netlist.Node.Nand 3 nand3_pat;
+    mk "nand4" Netlist.Node.Nand 4 nand4_pat;
+    mk "and2" Netlist.Node.And 2 and2_pat;
+    mk "and3" Netlist.Node.And 3 and3_pat;
+    mk "and4" Netlist.Node.And 4 and4_pat;
+    mk "or2" Netlist.Node.Or 2 or2_pat;
+    mk "or3" Netlist.Node.Or 3 or3_pat;
+    mk "or4" Netlist.Node.Or 4 or4_pat;
+    mk "nor2" Netlist.Node.Nor 2 nor2_pat;
+    mk "nor3" Netlist.Node.Nor 3 nor3_pat;
+    mk "nor4" Netlist.Node.Nor 4 nor4_pat;
+  ]

@@ -1,0 +1,19 @@
+(** Gate library in the spirit of mcnc.genlib, restricted (as in the
+    paper) to the gate types the sequential ATPGs understand: INV,
+    NAND2-4, NOR2-4, AND2-4, OR2-4, plus DFFs.  Each combinational cell
+    carries its tree pattern over the NAND2/INV subject basis, matched by
+    {!Techmap}. *)
+
+type pat = X | Pinv of pat | Pnand of pat * pat
+
+type cell = {
+  cell_name : string;
+  fn : Netlist.Node.gate_fn;
+  arity : int;
+  pattern : pat;
+  area : float;
+  delay : float;
+}
+
+(** All cells, smallest first within each function family. *)
+val cells : cell list

@@ -1,0 +1,101 @@
+(* State minimization by partition refinement (the stamina step of the SIS
+   flow).  Works on the completed machine semantics (Machine.step_total), so
+   the result is exactly behaviourally equivalent to the completion of the
+   input machine. *)
+
+(* Signature of a state for the initial partition: its output vector for
+   every input code. *)
+let output_signature m s =
+  let ni = m.Fsm.Machine.num_inputs in
+  let buf = Bytes.create ((1 lsl ni) * m.Fsm.Machine.num_outputs) in
+  let pos = ref 0 in
+  for code = 0 to (1 lsl ni) - 1 do
+    let _, outs = Fsm.Machine.step_total m ~state:s ~input_code:code in
+    Array.iter
+      (fun b ->
+        Bytes.set buf !pos (if b then '1' else '0');
+        incr pos)
+      outs
+  done;
+  Bytes.to_string buf
+
+let successor m s code =
+  let dst, _ = Fsm.Machine.step_total m ~state:s ~input_code:code in
+  dst
+
+(* Returns (block id per state, number of blocks). *)
+let equivalence_classes m =
+  let n = Fsm.Machine.num_states m in
+  let ni = m.Fsm.Machine.num_inputs in
+  let block = Array.make n 0 in
+  (* initial partition by output signature *)
+  let sigs = Hashtbl.create 31 in
+  let next_block = ref 0 in
+  for s = 0 to n - 1 do
+    let key = output_signature m s in
+    match Hashtbl.find_opt sigs key with
+    | Some b -> block.(s) <- b
+    | None ->
+      Hashtbl.add sigs key !next_block;
+      block.(s) <- !next_block;
+      incr next_block
+  done;
+  (* refine: split blocks by successor-block vectors *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let keys = Hashtbl.create 31 in
+    let new_block = Array.make n 0 in
+    let count = ref 0 in
+    for s = 0 to n - 1 do
+      let succ_sig =
+        String.concat ","
+          (List.init (1 lsl ni) (fun code ->
+               string_of_int block.(successor m s code)))
+      in
+      let key = (block.(s), succ_sig) in
+      (match Hashtbl.find_opt keys key with
+       | Some b -> new_block.(s) <- b
+       | None ->
+         Hashtbl.add keys key !count;
+         new_block.(s) <- !count;
+         incr count)
+    done;
+    if !count > !next_block then begin
+      changed := true;
+      next_block := !count;
+      Array.blit new_block 0 block 0 n
+    end
+  done;
+  (block, !next_block)
+
+(* Minimized machine: one representative state per class; transitions of the
+   representative with destinations remapped.  State names record the class
+   members for debuggability. *)
+let minimize m =
+  let block, k = equivalence_classes m in
+  if k = Fsm.Machine.num_states m then m
+  else begin
+    let rep = Array.make k (-1) in
+    Array.iteri (fun s b -> if rep.(b) < 0 then rep.(b) <- s) block;
+    let transitions =
+      Array.of_list
+        (List.concat_map
+           (fun b ->
+             let s = rep.(b) in
+             Array.to_list m.Fsm.Machine.transitions
+             |> List.filter_map (fun (t : Fsm.Machine.transition) ->
+                    if t.src = s then
+                      Some { t with Fsm.Machine.src = b; dst = block.(t.dst) }
+                    else None))
+           (List.init k (fun b -> b)))
+    in
+    {
+      Fsm.Machine.name = m.Fsm.Machine.name ^ ".min";
+      num_inputs = m.Fsm.Machine.num_inputs;
+      num_outputs = m.Fsm.Machine.num_outputs;
+      state_names = Array.init k (fun b -> Printf.sprintf "c%d" b);
+      reset = block.(m.Fsm.Machine.reset);
+      transitions;
+    }
+  end

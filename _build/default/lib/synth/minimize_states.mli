@@ -1,0 +1,9 @@
+(** State minimization by partition refinement (the stamina step of the
+    SIS flow), on the completed machine semantics: the result is exactly
+    behaviourally equivalent to the completion of the input machine. *)
+
+(** (block id per state, number of blocks). *)
+val equivalence_classes : Fsm.Machine.t -> int array * int
+
+(** The minimized machine (the input itself when already minimal). *)
+val minimize : Fsm.Machine.t -> Fsm.Machine.t

@@ -1,0 +1,151 @@
+(* Multi-level boolean network: a DAG of logic nodes, each carrying a
+   sum-of-products cover over its own fanin list.  This is the object the
+   optimization scripts rewrite before technology mapping.
+
+   Signals: 0 .. num_inputs-1 are network inputs (circuit PIs followed by
+   present-state bits); num_inputs + i refers to logic node i. *)
+
+type signal = int
+
+type bnode = {
+  mutable fanins : signal array;
+  mutable cover : Twolevel.Cover.t;  (* over the fanins, same order *)
+  mutable alive : bool;
+}
+
+type t = {
+  num_inputs : int;
+  mutable nodes : bnode array;
+  mutable count : int;
+  mutable outputs : signal array;    (* PO functions then NS functions *)
+}
+
+let create ~num_inputs = { num_inputs; nodes = [||]; count = 0; outputs = [||] }
+
+let node_of_signal net s =
+  if s < net.num_inputs then None else Some (s - net.num_inputs)
+
+let signal_of_node net i = net.num_inputs + i
+
+let get net i = net.nodes.(i)
+
+let add_node net fanins cover =
+  if net.count = Array.length net.nodes then begin
+    let bigger =
+      Array.make
+        (max 16 (2 * Array.length net.nodes))
+        { fanins = [||]; cover = Twolevel.Cover.empty 0; alive = false }
+    in
+    Array.blit net.nodes 0 bigger 0 net.count;
+    net.nodes <- bigger
+  end;
+  let i = net.count in
+  net.nodes.(i) <- { fanins; cover; alive = true };
+  net.count <- i + 1;
+  signal_of_node net i
+
+let iter_live net f =
+  for i = 0 to net.count - 1 do
+    if net.nodes.(i).alive then f i net.nodes.(i)
+  done
+
+let num_live net =
+  let k = ref 0 in
+  iter_live net (fun _ _ -> incr k);
+  !k
+
+let total_literals net =
+  let k = ref 0 in
+  iter_live net (fun _ n -> k := !k + Twolevel.Cover.literals n.cover);
+  !k
+
+let total_cubes net =
+  let k = ref 0 in
+  iter_live net (fun _ n -> k := !k + Twolevel.Cover.size n.cover);
+  !k
+
+(* Evaluate all outputs for one input assignment (for equivalence tests). *)
+let eval net inputs =
+  let memo = Hashtbl.create 97 in
+  let rec value s =
+    if s < net.num_inputs then inputs.(s)
+    else
+      match Hashtbl.find_opt memo s with
+      | Some v -> v
+      | None ->
+        let n = net.nodes.(s - net.num_inputs) in
+        let point = ref 0 in
+        Array.iteri
+          (fun k f -> if value f then point := !point lor (1 lsl k))
+          n.fanins;
+        let v = Twolevel.Cover.eval n.cover !point in
+        Hashtbl.add memo s v;
+        v
+  in
+  Array.map value net.outputs
+
+(* Fanout counts per signal (outputs count as uses). *)
+let fanout_counts net =
+  let uses = Array.make (net.num_inputs + net.count) 0 in
+  iter_live net (fun _ n ->
+      Array.iter (fun f -> uses.(f) <- uses.(f) + 1) n.fanins);
+  Array.iter (fun o -> uses.(o) <- uses.(o) + 1) net.outputs;
+  uses
+
+(* Build the initial network from an encoded FSM: one node per function,
+   fanins restricted to the function's support. *)
+let of_encoded (e : Encode.t) =
+  let net = create ~num_inputs:e.Encode.num_vars in
+  let build cover =
+    (* support = variables with a literal in some cube *)
+    let support = ref [] in
+    for v = e.Encode.num_vars - 1 downto 0 do
+      let used =
+        List.exists
+          (fun c ->
+            let l = Twolevel.Cube.get_lit c v in
+            l = Twolevel.Cube.lit_pos || l = Twolevel.Cube.lit_neg)
+          cover.Twolevel.Cover.cubes
+      in
+      if used then support := v :: !support
+    done;
+    let support = Array.of_list !support in
+    let k = Array.length support in
+    let remap c =
+      let r = ref (Twolevel.Cube.full k) in
+      Array.iteri
+        (fun j v -> r := Twolevel.Cube.set_lit !r j (Twolevel.Cube.get_lit c v))
+        support;
+      !r
+    in
+    let cover' =
+      Twolevel.Cover.make k (List.map remap cover.Twolevel.Cover.cubes)
+    in
+    (* preserve constant-1 covers: make drops nothing here since full cube
+       over 0 vars is the 0 word; handle explicitly *)
+    let cover' =
+      if Twolevel.Cover.has_full cover then Twolevel.Cover.full k else cover'
+    in
+    add_node net support cover'
+  in
+  let po = Array.map build e.Encode.outputs in
+  let ns = Array.map build e.Encode.next_state in
+  net.outputs <- Array.append po ns;
+  net
+
+(* Dead-node elimination: mark reachable from outputs. *)
+let garbage_collect net =
+  let live = Array.make net.count false in
+  let rec mark s =
+    match node_of_signal net s with
+    | None -> ()
+    | Some i ->
+      if not live.(i) then begin
+        live.(i) <- true;
+        Array.iter mark net.nodes.(i).fanins
+      end
+  in
+  Array.iter mark net.outputs;
+  for i = 0 to net.count - 1 do
+    if not live.(i) then net.nodes.(i).alive <- false
+  done

@@ -1,0 +1,47 @@
+(** Multi-level boolean network: a DAG of logic nodes, each carrying a
+    sum-of-products cover over its own fanin list — the object the
+    optimization {!Scripts} rewrite before technology mapping.
+
+    Signals: [0 .. num_inputs-1] are the network inputs (circuit PIs then
+    present-state bits); [num_inputs + i] refers to logic node [i]. *)
+
+type signal = int
+
+type bnode = {
+  mutable fanins : signal array;
+  mutable cover : Twolevel.Cover.t;  (** over the fanins, same order *)
+  mutable alive : bool;
+}
+
+type t = {
+  num_inputs : int;
+  mutable nodes : bnode array;
+  mutable count : int;
+  mutable outputs : signal array;    (** PO functions then NS functions *)
+}
+
+val create : num_inputs:int -> t
+val node_of_signal : t -> signal -> int option
+val signal_of_node : t -> int -> signal
+val get : t -> int -> bnode
+
+(** Append a logic node; returns its signal. *)
+val add_node : t -> signal array -> Twolevel.Cover.t -> signal
+
+val iter_live : t -> (int -> bnode -> unit) -> unit
+val num_live : t -> int
+val total_literals : t -> int
+val total_cubes : t -> int
+
+(** Evaluate every output for one input assignment (equivalence tests). *)
+val eval : t -> bool array -> bool array
+
+(** Use counts per signal (outputs count as uses). *)
+val fanout_counts : t -> int array
+
+(** Initial network from an encoded FSM: one node per function, fanins
+    restricted to the function's support. *)
+val of_encoded : Encode.t -> t
+
+(** Dead-node elimination from the outputs. *)
+val garbage_collect : t -> unit

@@ -1,0 +1,32 @@
+(** Multi-level optimization scripts over {!Network.t} — stand-ins for
+    SIS script.rugged (area: simplify, common-cube extraction,
+    elimination) and script.delay (depth: flat covers, balanced
+    decomposition).  All passes preserve the network's functions
+    (integration-tested against machine semantics through the full
+    flow). *)
+
+(** Espresso each node's cover (no external don't cares). *)
+val simplify : Network.t -> unit
+
+(** Substitute node [gi]'s logic into node [u]; [false] (node untouched)
+    when the rewritten cover would exceed [max_cubes] or the cube-width
+    limit. *)
+val substitute : Network.t -> int -> Network.bnode -> max_cubes:int -> bool
+
+(** Collapse nodes with (uses-1)*(literals-1) <= [value] into their
+    fanouts; returns whether anything changed. *)
+val eliminate : Network.t -> value:int -> bool
+
+(** Greedy common-cube (single-cube divisor) extraction, at most [rounds]
+    divisors. *)
+val extract : Network.t -> rounds:int -> unit
+
+(** Bound both cubes-per-node (OR width) and literals-per-cube (AND
+    width) by [max_arity], introducing balanced trees. *)
+val decompose : Network.t -> max_arity:int -> unit
+
+(** simplify; eliminate; extract; simplify; decompose — area-oriented. *)
+val script_rugged : Network.t -> unit
+
+(** simplify; light eliminate; balanced decompose — depth-oriented. *)
+val script_delay : Network.t -> unit

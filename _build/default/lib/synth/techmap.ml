@@ -1,0 +1,290 @@
+(* Technology mapping by DP tree covering (Keutzer-style):
+   1. decompose the combinational logic into a hash-consed NAND2/INV subject
+      graph (double inverters collapse, so patterns stay canonical);
+   2. partition the subject DAG into trees at multi-fanout points;
+   3. per subject node, dynamic programming over library pattern matches;
+   4. emit the chosen cells into a fresh netlist, preserving PIs, DFFs
+      (with their init values) and PO names.
+
+   [objective] selects the DP cost: [`Area] sums cell areas, [`Delay]
+   minimizes worst arrival (ties broken on area). *)
+
+type objective = [ `Area | `Delay ]
+
+type snode =
+  | Leaf of int          (* source-netlist node id (PI or DFF output) *)
+  | Const of bool        (* constant subject value *)
+  | Inv of int
+  | Nand of int * int
+
+type subject = {
+  mutable nodes : snode array;
+  mutable count : int;
+  cons : (snode, int) Hashtbl.t;
+}
+
+let subject_create () = { nodes = [||]; count = 0; cons = Hashtbl.create 257 }
+
+let subject_get s i = s.nodes.(i)
+
+let subject_add s n =
+  match Hashtbl.find_opt s.cons n with
+  | Some i -> i
+  | None ->
+    if s.count = Array.length s.nodes then begin
+      let bigger = Array.make (max 64 (2 * s.count)) (Const false) in
+      Array.blit s.nodes 0 bigger 0 s.count;
+      s.nodes <- bigger
+    end;
+    let i = s.count in
+    s.nodes.(i) <- n;
+    s.count <- i + 1;
+    Hashtbl.add s.cons n i;
+    i
+
+(* Inverter with double-negation collapse and constant folding. *)
+let s_inv s a =
+  match subject_get s a with
+  | Inv x -> x
+  | Const b -> subject_add s (Const (not b))
+  | Leaf _ | Nand _ -> subject_add s (Inv a)
+
+let s_nand s a b =
+  let ka = subject_get s a and kb = subject_get s b in
+  match ka, kb with
+  | Const false, _ | _, Const false -> subject_add s (Const true)
+  | Const true, _ -> s_inv s b
+  | _, Const true -> s_inv s a
+  | (Leaf _ | Inv _ | Nand _), (Leaf _ | Inv _ | Nand _) ->
+    (* canonical argument order keeps hash-consing effective *)
+    let a, b = if a <= b then (a, b) else (b, a) in
+    subject_add s (Nand (a, b))
+
+let s_and s a b = s_inv s (s_nand s a b)
+let s_or s a b = s_nand s (s_inv s a) (s_inv s b)
+
+(* Balanced reduction of a list with a binary operator. *)
+let rec balanced op = function
+  | [] -> invalid_arg "Techmap.balanced: empty"
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: y :: rest -> op x y :: pair rest
+    in
+    balanced op (pair xs)
+
+(* Build the subject graph of the whole combinational part of [c]; returns
+   (subject, per-source-node subject id). *)
+let build_subject c =
+  let s = subject_create () in
+  let sid = Array.make (Netlist.Node.num_nodes c) (-1) in
+  Array.iter
+    (fun (nd : Netlist.Node.node) ->
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ ->
+        sid.(nd.Netlist.Node.id) <- subject_add s (Leaf nd.Netlist.Node.id)
+      | Netlist.Node.Gate _ -> ())
+    c.Netlist.Node.nodes;
+  Array.iter
+    (fun id ->
+      let nd = Netlist.Node.node c id in
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ()
+      | Netlist.Node.Gate fn ->
+        let ins =
+          Array.to_list (Array.map (fun f -> sid.(f)) nd.Netlist.Node.fanins)
+        in
+        let out =
+          match fn, ins with
+          | Netlist.Node.Buf, [ a ] -> a
+          | Netlist.Node.Not, [ a ] -> s_inv s a
+          | Netlist.Node.And, xs -> balanced (s_and s) xs
+          | Netlist.Node.Nand, xs -> s_inv s (balanced (s_and s) xs)
+          | Netlist.Node.Or, xs -> balanced (s_or s) xs
+          | Netlist.Node.Nor, xs -> s_inv s (balanced (s_or s) xs)
+          | Netlist.Node.Xor, [ a; b ] ->
+            let n = s_nand s a b in
+            s_nand s (s_nand s a n) (s_nand s b n)
+          | Netlist.Node.Xnor, [ a; b ] ->
+            let n = s_nand s a b in
+            s_inv s (s_nand s (s_nand s a n) (s_nand s b n))
+          | (Netlist.Node.Buf | Netlist.Node.Not | Netlist.Node.Xor
+            | Netlist.Node.Xnor), _ ->
+            invalid_arg "Techmap.build_subject: bad arity"
+        in
+        sid.(id) <- out)
+    c.Netlist.Node.order;
+  (s, sid)
+
+(* Pattern match rooted at subject node [root]; internal pattern nodes must
+   not be tree roots (multi-fanout or boundary).  Returns the bound leaves
+   left-to-right, or None. *)
+let match_pattern s is_root root pat =
+  let rec go node pat ~at_root acc =
+    match pat with
+    | Library.X -> Some (node :: acc)
+    | Library.Pinv p ->
+      if (not at_root) && is_root.(node) then None
+      else (match subject_get s node with
+            | Inv t -> go t p ~at_root:false acc
+            | Leaf _ | Const _ | Nand _ -> None)
+    | Library.Pnand (p, q) ->
+      if (not at_root) && is_root.(node) then None
+      else
+        (match subject_get s node with
+         | Nand (u, v) ->
+           (match go u p ~at_root:false acc with
+            | Some acc1 ->
+              (match go v q ~at_root:false acc1 with
+               | Some acc2 -> Some acc2
+               | None -> None)
+            | None -> None)
+           |> (function
+               | Some r -> Some r
+               | None ->
+                 (* commuted *)
+                 (match go v p ~at_root:false acc with
+                  | Some acc1 -> go u q ~at_root:false acc1
+                  | None -> None))
+         | Leaf _ | Const _ | Inv _ -> None)
+  in
+  match go root pat ~at_root:true [] with
+  | Some acc -> Some (List.rev acc)
+  | None -> None
+
+type choice = {
+  cell : Library.cell option;  (* None for Leaf/Const *)
+  leaves : int list;
+  cost_area : float;
+  cost_delay : float;
+}
+
+let map ?(objective = `Area) c =
+  let s, sid = build_subject c in
+  (* fanout / boundary marking *)
+  let uses = Array.make s.count 0 in
+  for i = 0 to s.count - 1 do
+    match subject_get s i with
+    | Inv a -> uses.(a) <- uses.(a) + 1
+    | Nand (a, b) ->
+      uses.(a) <- uses.(a) + 1;
+      uses.(b) <- uses.(b) + 1
+    | Leaf _ | Const _ -> ()
+  done;
+  let is_boundary = Array.make s.count false in
+  Array.iter
+    (fun (_, id) -> if sid.(id) >= 0 then is_boundary.(sid.(id)) <- true)
+    c.Netlist.Node.pos;
+  Array.iter
+    (fun d ->
+      let nd = Netlist.Node.node c d in
+      let src = nd.Netlist.Node.fanins.(0) in
+      if sid.(src) >= 0 then is_boundary.(sid.(src)) <- true)
+    c.Netlist.Node.dffs;
+  let is_root = Array.init s.count (fun i -> uses.(i) > 1 || is_boundary.(i)) in
+  (* DP over all subject nodes (ids are topologically ordered by
+     construction). *)
+  let best = Array.make s.count None in
+  let better (a : choice) (b : choice) =
+    match objective with
+    | `Area ->
+      a.cost_area < b.cost_area
+      || (a.cost_area = b.cost_area && a.cost_delay < b.cost_delay)
+    | `Delay ->
+      a.cost_delay < b.cost_delay
+      || (a.cost_delay = b.cost_delay && a.cost_area < b.cost_area)
+  in
+  for i = 0 to s.count - 1 do
+    match subject_get s i with
+    | Leaf _ | Const _ ->
+      best.(i) <- Some { cell = None; leaves = []; cost_area = 0.; cost_delay = 0. }
+    | Inv _ | Nand _ ->
+      List.iter
+        (fun (cell : Library.cell) ->
+          match match_pattern s is_root i cell.Library.pattern with
+          | None -> ()
+          | Some leaves ->
+            let ok =
+              List.for_all (fun l -> best.(l) <> None) leaves
+            in
+            if ok then begin
+              let area = ref cell.Library.area in
+              let arr = ref 0.0 in
+              List.iter
+                (fun l ->
+                  match best.(l) with
+                  | Some ch ->
+                    area := !area +. ch.cost_area;
+                    if ch.cost_delay > !arr then arr := ch.cost_delay
+                  | None -> assert false)
+                leaves;
+              let cand =
+                {
+                  cell = Some cell;
+                  leaves;
+                  cost_area = !area;
+                  cost_delay = !arr +. cell.Library.delay;
+                }
+              in
+              match best.(i) with
+              | None -> best.(i) <- Some cand
+              | Some cur -> if better cand cur then best.(i) <- Some cand
+            end)
+        Library.cells
+  done;
+  (* Emit mapped netlist. *)
+  let b = Netlist.Build.create () in
+  let src_map = Array.make (Netlist.Node.num_nodes c) (-1) in
+  Array.iter
+    (fun id ->
+      let nd = Netlist.Node.node c id in
+      src_map.(id) <- Netlist.Build.add_pi b nd.Netlist.Node.name)
+    c.Netlist.Node.pis;
+  Array.iter
+    (fun id ->
+      let nd = Netlist.Node.node c id in
+      src_map.(id) <-
+        Netlist.Build.add_dff b
+          ~init:(Netlist.Node.dff_init c id)
+          nd.Netlist.Node.name)
+    c.Netlist.Node.dffs;
+  let fresh =
+    let k = ref 0 in
+    fun () ->
+      incr k;
+      Printf.sprintf "g%d" !k
+  in
+  let emitted = Hashtbl.create 257 in
+  let rec emit i =
+    match Hashtbl.find_opt emitted i with
+    | Some id -> id
+    | None ->
+      let id =
+        match subject_get s i with
+        | Leaf src -> src_map.(src)
+        | Const v -> Netlist.Build.add_const b (fresh ()) v
+        | Inv _ | Nand _ ->
+          (match best.(i) with
+           | Some { cell = Some cell; leaves; _ } ->
+             let fanins = Array.of_list (List.map emit leaves) in
+             Netlist.Build.add_gate b cell.Library.fn (fresh ()) fanins
+           | Some { cell = None; _ } | None ->
+             failwith "Techmap.map: unmatched subject node")
+      in
+      Hashtbl.add emitted i id;
+      id
+  in
+  Array.iter
+    (fun (name, id) -> Netlist.Build.add_po b name (emit sid.(id)))
+    c.Netlist.Node.pos;
+  Array.iter
+    (fun d ->
+      let nd = Netlist.Node.node c d in
+      let data = emit sid.(nd.Netlist.Node.fanins.(0)) in
+      Netlist.Build.connect_dff b src_map.(d) data)
+    c.Netlist.Node.dffs;
+  let mapped = Netlist.Build.finalize b in
+  Netlist.Check.assert_ok mapped;
+  mapped

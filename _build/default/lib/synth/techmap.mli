@@ -1,0 +1,16 @@
+(** Technology mapping by dynamic-programming tree covering
+    (Keutzer-style): decompose the logic into a hash-consed NAND2/INV
+    subject graph (double inverters collapse), partition it into trees at
+    multi-fanout points, match the {!Library} cell patterns per node, and
+    emit the minimum-cost cover.  PIs, DFFs (with init values) and PO
+    names are preserved. *)
+
+type objective =
+  [ `Area   (** minimize total cell area (ties: delay) *)
+  | `Delay  (** minimize worst arrival (ties: area) *) ]
+
+(** Map a generic netlist onto the library.  The input may use any gate
+    functions/arities; the output uses only library cells.
+    @raise Failure if a subject node cannot be covered (the library's
+    INV/NAND2 base makes this unreachable in practice). *)
+val map : ?objective:objective -> Netlist.Node.t -> Netlist.Node.t

@@ -1,0 +1,1 @@
+lib/twolevel/cover.ml: Array Cube Fmt List

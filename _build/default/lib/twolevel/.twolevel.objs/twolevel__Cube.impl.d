@@ -1,0 +1,1 @@
+lib/twolevel/cube.ml: Fmt String

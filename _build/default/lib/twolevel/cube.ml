@@ -1,0 +1,109 @@
+(* Positional-cube representation: each of the [n] binary variables owns two
+   bits in a machine word — bit 2i   set: the cube admits variable i = 0,
+   bit 2i+1 set: the cube admits variable i = 1.
+   11 = don't care, 01 = positive literal, 10 = negative literal, 00 = empty.
+   With n <= 30 this fits a native int. *)
+
+type t = int
+
+let max_vars = 30
+
+let check_width n =
+  if n < 0 || n > max_vars then invalid_arg "Cube: variable count out of range"
+
+let full n =
+  check_width n;
+  if n = 0 then 0 else (1 lsl (2 * n)) - 1
+
+let var_mask i = 3 lsl (2 * i)
+
+(* literal values *)
+let lit_dc = 3
+let lit_pos = 2 (* admits 1 only: bit 2i+1 *)
+let lit_neg = 1 (* admits 0 only: bit 2i *)
+
+let get_lit c i = (c lsr (2 * i)) land 3
+
+let set_lit c i lit = (c land lnot (var_mask i)) lor (lit lsl (2 * i))
+
+(* Build from a (care, value) bit-mask pair over n variables. *)
+let of_masks n ~care ~value =
+  let c = ref (full n) in
+  for i = 0 to n - 1 do
+    if care land (1 lsl i) <> 0 then
+      c := set_lit !c i (if value land (1 lsl i) <> 0 then lit_pos else lit_neg)
+  done;
+  !c
+
+let intersect a b = a land b
+
+(* A cube is empty iff some variable field is 00. *)
+let is_empty n c =
+  let rec loop i =
+    if i >= n then false
+    else if get_lit c i = 0 then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let intersects n a b = not (is_empty n (a land b))
+
+(* [contains a b] : cube a covers cube b (b implies a). *)
+let contains a b = b land a = b
+
+let supercube a b = a lor b
+
+(* Number of specified literals (smaller cube = more literals). *)
+let num_literals n c =
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let l = get_lit c i in
+    if l = lit_pos || l = lit_neg then incr k
+  done;
+  !k
+
+(* Does the minterm given by bit-mask [point] lie inside the cube? *)
+let member n c point =
+  let rec loop i =
+    if i >= n then true
+    else
+      let bit = if point land (1 lsl i) <> 0 then lit_pos else lit_neg in
+      if get_lit c i land bit = 0 then false else loop (i + 1)
+  in
+  loop 0
+
+(* Cofactor of cube c with respect to cube p (Shannon cofactor for p a
+   literal; general cube cofactor otherwise).  None if disjoint. *)
+let cofactor n c p =
+  if is_empty n (c land p) then None
+  else begin
+    let r = ref c in
+    for i = 0 to n - 1 do
+      if get_lit p i <> lit_dc then r := set_lit !r i lit_dc
+    done;
+    Some !r
+  end
+
+let to_string n c =
+  String.init n (fun i ->
+      match get_lit c i with
+      | 3 -> '-'
+      | 2 -> '1'
+      | 1 -> '0'
+      | _ -> '!')
+
+let of_string s =
+  let n = String.length s in
+  check_width n;
+  let c = ref (full n) in
+  String.iteri
+    (fun i ch ->
+      match ch with
+      | '-' -> ()
+      | '1' -> c := set_lit !c i lit_pos
+      | '0' -> c := set_lit !c i lit_neg
+      | _ -> invalid_arg "Cube.of_string")
+    s;
+  !c
+
+let pp n ppf c = Fmt.string ppf (to_string n c)

@@ -1,0 +1,116 @@
+(* Espresso-lite: EXPAND / IRREDUNDANT / REDUCE iteration on single-output
+   covers.  Guarantees: the result covers the ON-set and stays inside
+   ON ∪ DC (verified by property tests against truth tables). *)
+
+type cost = { cubes : int; lits : int }
+
+let cost f = { cubes = Cover.size f; lits = Cover.literals f }
+
+let better a b = a.cubes < b.cubes || (a.cubes = b.cubes && a.lits < b.lits)
+
+(* EXPAND each cube against the OFF-set: raise literals to don't care as long
+   as the cube stays disjoint from every OFF cube; afterwards drop cubes
+   contained in the expanded one.  Cubes are processed largest-first so big
+   primes swallow small cubes early. *)
+let expand f ~off =
+  let n = f.Cover.n in
+  let ordered =
+    List.sort
+      (fun a b -> compare (Cube.num_literals n a) (Cube.num_literals n b))
+      f.Cover.cubes
+  in
+  let expand_cube c =
+    let cur = ref c in
+    for i = 0 to n - 1 do
+      let l = Cube.get_lit !cur i in
+      if l = Cube.lit_pos || l = Cube.lit_neg then begin
+        let cand = Cube.set_lit !cur i Cube.lit_dc in
+        let hits_off =
+          List.exists (fun o -> Cube.intersects n cand o) off.Cover.cubes
+        in
+        if not hits_off then cur := cand
+      end
+    done;
+    !cur
+  in
+  let rec loop acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      if List.exists (fun d -> Cube.contains d c) acc then loop acc rest
+      else begin
+        let e = expand_cube c in
+        let rest = List.filter (fun d -> not (Cube.contains e d)) rest in
+        let acc = List.filter (fun d -> not (Cube.contains e d)) acc in
+        loop (e :: acc) rest
+      end
+  in
+  { f with Cover.cubes = loop [] ordered }
+
+(* IRREDUNDANT: greedily delete cubes covered by the rest of the cover plus
+   the don't-care set. *)
+let irredundant f ~dc =
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let others = { f with Cover.cubes = List.rev_append kept rest } in
+      let ctx = Cover.union others dc in
+      if Cover.covers_cube ctx c then loop kept rest
+      else loop (c :: kept) rest
+  in
+  { f with Cover.cubes = loop [] f.Cover.cubes }
+
+(* REDUCE: shrink each cube to the smallest cube still covering the part of
+   the ON-set it alone covers:  c' = c ∩ supercube(complement(cofactor
+   ((F \ c) ∪ D, c))). *)
+let reduce f ~dc =
+  let rec loop done_ = function
+    | [] -> List.rev done_
+    | c :: rest ->
+      let others = { f with Cover.cubes = List.rev_append done_ rest } in
+      let ctx = Cover.cofactor (Cover.union others dc) c in
+      let comp = Cover.complement ctx in
+      if Cover.is_empty comp then
+        (* c is fully covered by the others; drop it *)
+        loop done_ rest
+      else begin
+        let sc =
+          List.fold_left
+            (fun acc k -> Cube.supercube acc k)
+            (List.hd comp.Cover.cubes)
+            (List.tl comp.Cover.cubes)
+        in
+        loop (Cube.intersect c sc :: done_) rest
+      end
+  in
+  { f with Cover.cubes = loop [] f.Cover.cubes }
+
+(* Main loop.  [on] and [dc] are the ON- and DC-set covers. *)
+let espresso ?(max_iters = 12) ~on ~dc () =
+  let off = Cover.complement (Cover.union on dc) in
+  let f = expand (Cover.drop_contained on) ~off in
+  let f = irredundant f ~dc in
+  let rec loop f best iters =
+    if iters >= max_iters then best
+    else begin
+      let f = reduce f ~dc in
+      let f = expand f ~off in
+      let f = irredundant f ~dc in
+      if better (cost f) (cost best) then loop f f (iters + 1) else best
+    end
+  in
+  loop f f 0
+
+(* Truth-table check used by tests: result equals ON on the care set. *)
+let equivalent_on_care ~on ~dc result =
+  let n = on.Cover.n in
+  if n > 16 then invalid_arg "Minimize.equivalent_on_care: too wide";
+  let ok = ref true in
+  for point = 0 to (1 lsl n) - 1 do
+    let dc_here = Cover.eval dc point in
+    if not dc_here then begin
+      let want = Cover.eval on point in
+      let got = Cover.eval result point in
+      if want <> got then ok := false
+    end
+  done;
+  !ok

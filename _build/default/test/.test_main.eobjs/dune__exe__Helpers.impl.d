@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Fsm Netlist QCheck2 QCheck_alcotest Sim Synth

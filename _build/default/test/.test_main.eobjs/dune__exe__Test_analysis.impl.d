@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Fsm Hashtbl Helpers List Netlist Printf Retime Sim Synth

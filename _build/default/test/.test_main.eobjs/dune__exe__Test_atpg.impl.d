@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array Atpg Fsim Helpers List Netlist Printf Random Sim Synth Unix

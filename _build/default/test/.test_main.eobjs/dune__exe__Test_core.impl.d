@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Core Fsm List Netlist Printf Synth

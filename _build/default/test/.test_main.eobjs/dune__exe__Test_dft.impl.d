@@ -1,0 +1,1 @@
+test/test_dft.ml: Alcotest Array Atpg Dft Fsim Helpers List Netlist Printf QCheck2 Random Retime Sim String Synth

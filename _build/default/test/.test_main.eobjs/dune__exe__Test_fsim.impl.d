@@ -1,0 +1,1 @@
+test/test_fsim.ml: Alcotest Array Fsim Helpers List Netlist QCheck2 Random Sim Synth

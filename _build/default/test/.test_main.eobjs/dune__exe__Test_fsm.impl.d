@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Fsm Helpers List Printf QCheck2 Random Sim

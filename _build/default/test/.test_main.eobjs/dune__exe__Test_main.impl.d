@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_atpg Test_core Test_dft Test_fsim Test_fsm Test_netlist Test_retime Test_sim Test_synth Test_twolevel

@@ -1,0 +1,1 @@
+test/test_retime.ml: Alcotest Analysis Array Fsim Helpers List Netlist Printf QCheck2 Random Retime Sim Synth

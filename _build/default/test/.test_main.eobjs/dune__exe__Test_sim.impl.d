@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Gen Helpers List Netlist QCheck2 Random Sim

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Fsm Helpers List Netlist Printf QCheck2 Random Sim Synth

@@ -1,0 +1,1 @@
+test/test_twolevel.ml: Alcotest Fun Helpers List QCheck2 Twolevel

@@ -1,0 +1,144 @@
+(* Reachability, density of encoding, DFF graph, structural measurements,
+   including the paper's Figure-2 cycle-counting example. *)
+
+let test_reach_toy () =
+  let c = Helpers.toy_circuit () in
+  let r = Analysis.Reach.explore c in
+  (* brute force over the 4 states x 4 inputs *)
+  let sim = Sim.Scalar.create c in
+  let reach = Hashtbl.create 7 in
+  let rec go code =
+    if not (Hashtbl.mem reach code) then begin
+      Hashtbl.add reach code ();
+      for input = 0 to 3 do
+        let state =
+          Array.init 2 (fun j -> Sim.Value3.of_bool ((code lsr j) land 1 = 1))
+        in
+        let inputs =
+          Array.init 2 (fun i -> Sim.Value3.of_bool ((input lsr i) land 1 = 1))
+        in
+        let _, next = Sim.Scalar.transition sim ~state ~inputs in
+        let nc = ref 0 in
+        Array.iteri
+          (fun j v -> if v = Sim.Value3.One then nc := !nc lor (1 lsl j))
+          next;
+        go !nc
+      done
+    end
+  in
+  go 0;
+  Alcotest.(check int) "valid states" (Hashtbl.length reach)
+    r.Analysis.Reach.valid_states;
+  Alcotest.(check bool) "density" true
+    (abs_float
+       (Analysis.Reach.density r
+        -. (float_of_int r.Analysis.Reach.valid_states /. 4.0))
+     < 1e-9)
+
+let test_reach_on_synthesized () =
+  (* valid states of a synthesized circuit = reachable states of the machine *)
+  let r = Helpers.synthesize_small ~seed:45 ~states:7 () in
+  let m = r.Synth.Flow.machine in
+  let reach = Analysis.Reach.explore r.Synth.Flow.circuit in
+  Alcotest.(check int) "matches machine reachability"
+    (List.length (Fsm.Machine.reachable_states m))
+    reach.Analysis.Reach.valid_states
+
+let test_density_drops_under_retiming () =
+  let r = Helpers.synthesize_small ~seed:46 ~states:8 () in
+  let c = r.Synth.Flow.circuit in
+  let re, _, _ = Retime.Apply.retime_aggressive ~period_slack:0.15 c in
+  let d1 = Analysis.Reach.density (Analysis.Reach.explore c) in
+  let d2 = Analysis.Reach.density (Analysis.Reach.explore re) in
+  if Netlist.Node.num_dffs re > Netlist.Node.num_dffs c then
+    Alcotest.(check bool)
+      (Printf.sprintf "density %.3g -> %.3g" d1 d2)
+      true (d2 < d1)
+
+let test_dffgraph_toy () =
+  let c = Helpers.toy_circuit () in
+  let g = Analysis.Dffgraph.build c in
+  Alcotest.(check int) "two dffs" 2 (Analysis.Dffgraph.num_dffs g);
+  (* q0 -> q1 via n1/n2 and q1 -> q0 via n0; both feed out (n3) *)
+  Alcotest.(check bool) "q0 -> q1" true g.Analysis.Dffgraph.adj.(0).(1);
+  Alcotest.(check bool) "q1 -> q0" true g.Analysis.Dffgraph.adj.(1).(0);
+  Alcotest.(check bool) "q0 to sink" true g.Analysis.Dffgraph.to_sink.(0);
+  Alcotest.(check bool) "source to q0" true g.Analysis.Dffgraph.from_source.(0)
+
+let test_depth_toy () =
+  let c = Helpers.toy_circuit () in
+  let g = Analysis.Dffgraph.build c in
+  let d = Analysis.Depth.max_sequential_depth g in
+  Alcotest.(check int) "depth 2" 2 d.Analysis.Depth.depth;
+  Alcotest.(check bool) "exact" true d.Analysis.Depth.exact
+
+let test_cycles_toy () =
+  let c = Helpers.toy_circuit () in
+  let g = Analysis.Dffgraph.build c in
+  let r = Analysis.Cycles.count g in
+  (* cycles: q0<->q1 (length 2); q1 self-loop?  q1' = !q0 | b: no self edge;
+     q0' = a & q1: no self edge.  So exactly one cycle of length 2. *)
+  Alcotest.(check int) "one cycle" 1 r.Analysis.Cycles.num_cycles;
+  Alcotest.(check int) "length 2" 2 r.Analysis.Cycles.max_length
+
+(* The paper's Figure 2: the original circuit counts 1 cycle of length 2
+   under DFF-set counting; retiming through the fanout stem splits Q1 into
+   Q1a/Q1b and the count becomes 2. *)
+let test_figure2_artifact () =
+  let c = Helpers.figure2_original () in
+  let s = Analysis.Structural.analyze c in
+  Alcotest.(check int) "original counts 1 cycle" 1
+    s.Analysis.Structural.num_cycles;
+  Alcotest.(check int) "cycle length 2" 2
+    s.Analysis.Structural.max_cycle_length;
+  (* retime: move Q1 backward across G3 (the stem side duplicates) *)
+  let g = Retime.Graph.of_netlist c in
+  (* find the lag vector that moves exactly Gbuf's register source: deepen *)
+  let re, _, _ = Retime.Apply.retime_aggressive ~max_lag:1 ~period_slack:1.0 c in
+  let sr = Analysis.Structural.analyze re in
+  Alcotest.(check int) "length invariant" 2 sr.Analysis.Structural.max_cycle_length;
+  Alcotest.(check bool) "counted cycles grow or stay" true
+    (sr.Analysis.Structural.num_cycles >= s.Analysis.Structural.num_cycles);
+  ignore g
+
+let test_structural_depth_matches_toy () =
+  let c = Helpers.toy_circuit () in
+  let s = Analysis.Structural.analyze c in
+  Alcotest.(check int) "gate-level depth" 2 s.Analysis.Structural.seq_depth;
+  Alcotest.(check int) "gate-level max cycle" 2
+    s.Analysis.Structural.max_cycle_length;
+  Alcotest.(check bool) "exact" true s.Analysis.Structural.exact
+
+let test_reach_initial_state_respected () =
+  (* a circuit whose single DFF initializes to 1 must count its own initial
+     state as valid *)
+  let b = Netlist.Build.create () in
+  let a = Netlist.Build.add_pi b "a" in
+  let q = Netlist.Build.add_dff b ~init:true "q" in
+  let g = Netlist.Build.add_gate b Netlist.Node.And "g" [| a; q |] in
+  Netlist.Build.connect_dff b q g;
+  Netlist.Build.add_po b "z" q;
+  let c = Netlist.Build.finalize b in
+  let r = Analysis.Reach.explore c in
+  Alcotest.(check int) "initial" 1 r.Analysis.Reach.initial;
+  Alcotest.(check bool) "1 valid" true (Analysis.Reach.is_valid r 1);
+  Alcotest.(check int) "both states reachable (q can fall to 0)" 2
+    r.Analysis.Reach.valid_states
+
+let suite =
+  [
+    Alcotest.test_case "reachability on toy" `Quick test_reach_toy;
+    Alcotest.test_case "reachability matches machine" `Quick
+      test_reach_on_synthesized;
+    Alcotest.test_case "density drops under retiming" `Quick
+      test_density_drops_under_retiming;
+    Alcotest.test_case "dff graph structure" `Quick test_dffgraph_toy;
+    Alcotest.test_case "sequential depth (toy)" `Quick test_depth_toy;
+    Alcotest.test_case "cycle counting (toy)" `Quick test_cycles_toy;
+    Alcotest.test_case "Figure 2 counting artifact" `Quick
+      test_figure2_artifact;
+    Alcotest.test_case "structural metrics (toy)" `Quick
+      test_structural_depth_matches_toy;
+    Alcotest.test_case "initial state respected" `Quick
+      test_reach_initial_state_respected;
+  ]

@@ -1,0 +1,222 @@
+(* ATPG engines: frames model, PODEM phases, justification, drivers.
+   Everything runs on small synthesized circuits with tight budgets. *)
+
+let small_circuit ?(seed = 55) ?(reset_line = false) () =
+  (Helpers.synthesize_small ~alg:Synth.Assign.Combined
+     ~script:Synth.Flow.Rugged ~reset_line ~seed ~states:6 ())
+    .Synth.Flow.circuit
+
+let tiny_config =
+  {
+    Atpg.Types.default_config with
+    Atpg.Types.backtrack_limit = 200;
+    work_limit = 300_000;
+    total_work_limit = 60_000_000;
+  }
+
+let test_frames_good_matches_scalar () =
+  (* with fully assigned inputs and state, the frames' good machine must
+     equal the scalar simulator cycle by cycle *)
+  let c = Helpers.toy_circuit () in
+  let stats = Atpg.Types.new_stats () in
+  let fr = Atpg.Frames.create c ~frames:3 ~stats in
+  let rng = Random.State.make [| 9 |] in
+  let vectors = List.init 3 (fun _ -> Sim.Vectors.random_vector rng 2) in
+  List.iteri
+    (fun t v ->
+      Array.iteri (fun i b -> fr.Atpg.Frames.pi.(t).(i) <- Sim.Value3.of_bool b) v)
+    vectors;
+  Array.iteri (fun j _ -> fr.Atpg.Frames.ps0.(j) <- Sim.Value3.Zero)
+    fr.Atpg.Frames.ps0;
+  Atpg.Frames.imply fr;
+  let sim = Sim.Scalar.create c in
+  Sim.Scalar.reset sim;
+  List.iteri
+    (fun t v ->
+      let out = Sim.Scalar.step sim (Sim.Vectors.to_v3 v) in
+      Array.iteri
+        (fun k (_, id) ->
+          Alcotest.check Helpers.v3
+            (Printf.sprintf "frame %d po %d" t k)
+            out.(k)
+            fr.Atpg.Frames.good.(t).(id))
+        (Array.mapi (fun k po -> (k, snd po)) c.Netlist.Node.pos
+         |> Array.map (fun (k, id) -> (k, id))))
+    vectors
+
+let test_frames_fault_injection () =
+  let c = Helpers.toy_circuit () in
+  let n3 = Netlist.Node.find_by_name c "n3" in
+  let f = { Fsim.Fault.site = Fsim.Fault.Stem n3; stuck = true } in
+  let stats = Atpg.Types.new_stats () in
+  let fr = Atpg.Frames.create ~fault:f c ~frames:1 ~stats in
+  Array.iteri (fun i _ -> fr.Atpg.Frames.pi.(0).(i) <- Sim.Value3.Zero)
+    fr.Atpg.Frames.pi.(0);
+  Array.iteri (fun j _ -> fr.Atpg.Frames.ps0.(j) <- Sim.Value3.Zero)
+    fr.Atpg.Frames.ps0;
+  Atpg.Frames.imply fr;
+  (* out = q0 xor q1 = 0 in good, forced 1 in faulty: a D' *)
+  Alcotest.check Helpers.v3 "good 0" Sim.Value3.Zero fr.Atpg.Frames.good.(0).(n3);
+  Alcotest.check Helpers.v3 "faulty 1" Sim.Value3.One fr.Atpg.Frames.faulty.(0).(n3);
+  Alcotest.(check bool) "detected" true (Atpg.Frames.detected fr)
+
+let test_phase_a_finds_easy_fault () =
+  let c = small_circuit () in
+  let faults = Fsim.Collapse.list c in
+  (* pick a PO-adjacent stem fault: should be found without backtracking
+     storms *)
+  let stats = Atpg.Types.new_stats () in
+  let f = faults.(0) in
+  let fr = Atpg.Frames.create ~fault:f c ~frames:4 ~stats in
+  match Atpg.Podem.phase_a fr f tiny_config stats with
+  | Atpg.Podem.Detected -> ()
+  | Atpg.Podem.Exhausted _ ->
+    (* acceptable only if the fault is genuinely undetectable within the
+       window; verify with brute-force random simulation *)
+    let rng = Random.State.make [| 1 |] in
+    let vectors =
+      List.init 500 (fun _ ->
+          Sim.Vectors.random_vector rng (Netlist.Node.num_pis c))
+    in
+    Alcotest.(check bool) "exhaustion only for undetectable" false
+      (Fsim.Engine.detects c f vectors)
+
+let test_justify_reset_compatible () =
+  let c = small_circuit () in
+  let stats = Atpg.Types.new_stats () in
+  let nbits = Netlist.Node.num_dffs c in
+  (* the power-up state itself must justify with an empty prefix *)
+  let required = Array.make nbits Sim.Value3.X in
+  Array.iteri
+    (fun j id ->
+      if j = 0 then
+        required.(j) <- Sim.Value3.of_bool (Netlist.Node.dff_init c id))
+    c.Netlist.Node.dffs;
+  match Atpg.Podem.justify c ~required ~cfg:tiny_config ~stats ~learn:None with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "expected empty prefix"
+  | None -> Alcotest.fail "power-up state must justify"
+
+let test_justify_unreachable_fails () =
+  (* a 1-DFF circuit whose state can never become 1: q' = q AND a, init 0 *)
+  let b = Netlist.Build.create () in
+  let a = Netlist.Build.add_pi b "a" in
+  let q = Netlist.Build.add_dff b "q" in
+  let g = Netlist.Build.add_gate b Netlist.Node.And "g" [| q; a |] in
+  Netlist.Build.connect_dff b q g;
+  Netlist.Build.add_po b "z" g;
+  let c = Netlist.Build.finalize b in
+  let stats = Atpg.Types.new_stats () in
+  let required = [| Sim.Value3.One |] in
+  Alcotest.(check bool) "unreachable state not justified" true
+    (Atpg.Podem.justify c ~required ~cfg:tiny_config ~stats ~learn:None = None)
+
+let test_generated_tests_validated () =
+  let c = small_circuit ~seed:58 () in
+  let r = Atpg.Run.generate ~config:tiny_config ~seed:2 c in
+  (* every Detected fault must actually be detected by some test sequence,
+     each applied from power-up (ground truth re-check) *)
+  let detected = Array.make (Array.length r.Atpg.Types.faults) false in
+  List.iter
+    (fun seq ->
+      let run = Fsim.Engine.simulate ~skip:detected c r.Atpg.Types.faults seq in
+      Array.iteri
+        (fun i d -> if d then detected.(i) <- true)
+        run.Fsim.Engine.detected)
+    r.Atpg.Types.test_sets;
+  Array.iteri
+    (fun i st ->
+      if st = Fsim.Fault.Detected then
+        Alcotest.(check bool)
+          (Printf.sprintf "fault %d truly detected" i)
+          true detected.(i))
+    r.Atpg.Types.status
+
+let test_redundant_faults_sound () =
+  let c = small_circuit ~seed:59 () in
+  let r = Atpg.Run.generate ~config:tiny_config ~seed:3 c in
+  (* redundancy claims are checked against heavy random simulation *)
+  let rng = Random.State.make [| 77 |] in
+  let vectors =
+    List.init 2000 (fun _ ->
+        Sim.Vectors.random_vector rng (Netlist.Node.num_pis c))
+  in
+  Array.iteri
+    (fun i st ->
+      if st = Fsim.Fault.Redundant then
+        Alcotest.(check bool) "redundant fault not detectable" false
+          (Fsim.Engine.detects c r.Atpg.Types.faults.(i) vectors))
+    r.Atpg.Types.status
+
+let test_high_coverage_on_small () =
+  let c = small_circuit ~seed:60 ~reset_line:true () in
+  let r = Atpg.Run.generate ~config:tiny_config ~seed:4 c in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.1f >= 95" r.Atpg.Types.fault_coverage)
+    true
+    (r.Atpg.Types.fault_coverage >= 95.0)
+
+let test_attest_engine () =
+  let c = small_circuit ~seed:61 () in
+  let r = Atpg.Attest.generate ~config:tiny_config c in
+  Alcotest.(check bool)
+    (Printf.sprintf "attest coverage %.1f >= 80" r.Atpg.Types.fault_coverage)
+    true
+    (r.Atpg.Types.fault_coverage >= 80.0);
+  (* the Attest engine never claims redundancy: FE = FC *)
+  Alcotest.(check (float 0.001)) "FE = FC" r.Atpg.Types.fault_coverage
+    r.Atpg.Types.fault_efficiency
+
+let test_sest_learning_helps_or_equal () =
+  let c = small_circuit ~seed:62 () in
+  let base = { tiny_config with Atpg.Types.learn = false } in
+  let learn = { tiny_config with Atpg.Types.learn = true } in
+  let r0 = Atpg.Run.generate ~config:base ~seed:5 c in
+  let r1 = Atpg.Run.generate ~config:learn ~seed:5 c in
+  Alcotest.(check bool) "learning does not reduce coverage" true
+    (r1.Atpg.Types.fault_coverage >= r0.Atpg.Types.fault_coverage -. 2.0)
+
+let test_trajectory_monotone () =
+  let c = small_circuit ~seed:63 () in
+  let r = Atpg.Run.generate ~config:tiny_config ~seed:6 c in
+  let rec mono = function
+    | (w1, e1) :: ((w2, e2) :: _ as rest) ->
+      w1 <= w2 && e1 <= e2 +. 1e-9 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "work and FE nondecreasing" true
+    (mono r.Atpg.Types.trajectory)
+
+let test_budget_scaling_env () =
+  let base = Atpg.Types.default_config in
+  Unix.putenv "SATPG_BUDGET" "2.0";
+  let scaled = Atpg.Types.scaled_config ~base () in
+  Unix.putenv "SATPG_BUDGET" "";
+  Alcotest.(check int) "backtracks doubled" (2 * base.Atpg.Types.backtrack_limit)
+    scaled.Atpg.Types.backtrack_limit;
+  Alcotest.(check int) "work doubled" (2 * base.Atpg.Types.work_limit)
+    scaled.Atpg.Types.work_limit
+
+let suite =
+  [
+    Alcotest.test_case "frames good machine = scalar sim" `Quick
+      test_frames_good_matches_scalar;
+    Alcotest.test_case "frames fault injection" `Quick
+      test_frames_fault_injection;
+    Alcotest.test_case "phase A finds easy fault" `Quick
+      test_phase_a_finds_easy_fault;
+    Alcotest.test_case "justify power-up state" `Quick
+      test_justify_reset_compatible;
+    Alcotest.test_case "justify unreachable fails" `Quick
+      test_justify_unreachable_fails;
+    Alcotest.test_case "generated tests validated" `Quick
+      test_generated_tests_validated;
+    Alcotest.test_case "redundancy claims sound" `Quick
+      test_redundant_faults_sound;
+    Alcotest.test_case "high coverage on small circuit" `Quick
+      test_high_coverage_on_small;
+    Alcotest.test_case "attest engine" `Quick test_attest_engine;
+    Alcotest.test_case "sest learning" `Quick test_sest_learning_helps_or_equal;
+    Alcotest.test_case "trajectory monotone" `Quick test_trajectory_monotone;
+    Alcotest.test_case "budget env scaling" `Quick test_budget_scaling_env;
+  ]

@@ -1,0 +1,132 @@
+(* Experiment layer: pair construction, caching, table plumbing and the
+   lightweight shape properties that do not need full ATPG runs. *)
+
+let test_pair_memoized () =
+  let a = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  let b = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  Alcotest.(check bool) "same physical pair" true (a == b)
+
+let test_pair_properties () =
+  let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  Alcotest.(check string) "name" "dk16.ji.sd" p.Core.Flow.name;
+  Alcotest.(check bool) "well formed orig" true
+    (Netlist.Check.is_well_formed p.Core.Flow.original);
+  Alcotest.(check bool) "well formed retimed" true
+    (Netlist.Check.is_well_formed p.Core.Flow.retimed);
+  Alcotest.(check bool) "retimed has more DFFs" true
+    (Netlist.Node.num_dffs p.Core.Flow.retimed
+     > Netlist.Node.num_dffs p.Core.Flow.original);
+  Alcotest.(check bool) "prefix positive" true (p.Core.Flow.prefix_length >= 1)
+
+let test_table2_selection_complete () =
+  Alcotest.(check int) "16 pairs" 16 (List.length Core.Flow.table2_selection);
+  (* the paper's 16 circuit names, via the naming convention *)
+  let names =
+    List.map
+      (fun (f, a, s) ->
+        Printf.sprintf "%s.%s.%s" f
+          (Synth.Assign.algorithm_tag a)
+          (Synth.Flow.script_tag s))
+      Core.Flow.table2_selection
+  in
+  List.iter
+    (fun (row : Core.Paper.hitec_row) ->
+      Alcotest.(check bool)
+        (row.Core.Paper.circuit ^ " present")
+        true
+        (List.mem row.Core.Paper.circuit names))
+    Core.Paper.table2
+
+let test_table1_rows () =
+  let rows = Core.Tables.T1.compute () in
+  Alcotest.(check int) "6 FSMs" 6 (List.length rows);
+  List.iter2
+    (fun (r : Core.Tables.T1.row) (p : Core.Paper.fsm_row) ->
+      Alcotest.(check string) "order" p.Core.Paper.fsm r.Core.Tables.T1.fsm;
+      Alcotest.(check int) "states match paper" p.Core.Paper.states
+        r.Core.Tables.T1.states)
+    rows Core.Paper.table1
+
+let test_table7_rows () =
+  let rows = Core.Tables.T7.compute () in
+  Alcotest.(check int) "5 versions" 5 (List.length rows);
+  (* density decreases monotonically down the table *)
+  let rec mono = function
+    | (a : Core.Tables.T7.row) :: b :: rest ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s denser than %s" a.Core.Tables.T7.circuit
+           b.Core.Tables.T7.circuit)
+        true
+        (a.Core.Tables.T7.density >= b.Core.Tables.T7.density);
+      mono (b :: rest)
+    | _ -> ()
+  in
+  mono rows;
+  (* DFF counts never decrease *)
+  let rec dffs = function
+    | (a : Core.Tables.T7.row) :: b :: rest ->
+      Alcotest.(check bool) "dff monotone" true
+        (b.Core.Tables.T7.dff >= a.Core.Tables.T7.dff);
+      dffs (b :: rest)
+    | _ -> ()
+  in
+  dffs rows
+
+let test_table5_invariance () =
+  (* just one pair to keep the suite quick; the full table runs in bench *)
+  let p = Core.Flow.pair "s832" Synth.Assign.Combined Synth.Flow.Rugged in
+  let o = Core.Cache.structural ~name:p.Core.Flow.name p.Core.Flow.original in
+  let r = Core.Cache.structural ~name:(p.Core.Flow.name ^ ".re") p.Core.Flow.retimed in
+  Alcotest.(check int) "depth invariant" o.Analysis.Structural.seq_depth
+    r.Analysis.Structural.seq_depth;
+  Alcotest.(check int) "max cycle invariant"
+    o.Analysis.Structural.max_cycle_length
+    r.Analysis.Structural.max_cycle_length;
+  Alcotest.(check bool) "cycles non-decreasing" true
+    (r.Analysis.Structural.num_cycles >= o.Analysis.Structural.num_cycles)
+
+let test_density_pair () =
+  let p = Core.Flow.pair "pma" Synth.Assign.Output_dominant Synth.Flow.Delay in
+  let o = Core.Cache.reach ~name:p.Core.Flow.name p.Core.Flow.original in
+  let r = Core.Cache.reach ~name:(p.Core.Flow.name ^ ".re") p.Core.Flow.retimed in
+  Alcotest.(check bool) "density drops" true
+    (Analysis.Reach.density r < Analysis.Reach.density o);
+  (* original circuit's valid states = machine's reachable states *)
+  Alcotest.(check int) "orig valid = machine states"
+    (List.length
+       (Fsm.Machine.reachable_states p.Core.Flow.synth.Synth.Flow.machine))
+    o.Analysis.Reach.valid_states
+
+let test_cache_distinct_keys () =
+  let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  let a = Core.Cache.reach ~name:p.Core.Flow.name p.Core.Flow.original in
+  let b = Core.Cache.reach ~name:(p.Core.Flow.name ^ ".re") p.Core.Flow.retimed in
+  Alcotest.(check bool) "different results" true
+    (a.Analysis.Reach.total_bits <> b.Analysis.Reach.total_bits)
+
+let test_paper_reference_sane () =
+  Alcotest.(check int) "table2 rows" 16 (List.length Core.Paper.table2);
+  Alcotest.(check int) "table5 rows" 16 (List.length Core.Paper.table5);
+  Alcotest.(check int) "table6 rows" 16 (List.length Core.Paper.table6);
+  List.iter
+    (fun (r : Core.Paper.hitec_row) ->
+      Alcotest.(check bool) "ratio > 1" true (r.Core.Paper.cpu_ratio > 1.0);
+      Alcotest.(check bool) "dff grows" true
+        (r.Core.Paper.dff_re > r.Core.Paper.dff_orig))
+    Core.Paper.table2
+
+let suite =
+  [
+    Alcotest.test_case "pair memoized" `Quick test_pair_memoized;
+    Alcotest.test_case "pair properties" `Quick test_pair_properties;
+    Alcotest.test_case "table2 selection matches paper" `Quick
+      test_table2_selection_complete;
+    Alcotest.test_case "table 1 rows" `Quick test_table1_rows;
+    Alcotest.test_case "table 7 monotonicity" `Slow test_table7_rows;
+    Alcotest.test_case "table 5 invariance (one pair)" `Slow
+      test_table5_invariance;
+    Alcotest.test_case "density drops (one pair)" `Slow test_density_pair;
+    Alcotest.test_case "cache keys distinct" `Quick test_cache_distinct_keys;
+    Alcotest.test_case "paper reference data sane" `Quick
+      test_paper_reference_sane;
+  ]

@@ -1,0 +1,285 @@
+(* Scan insertion and BLIF interchange. *)
+
+let test_scan_functional_mode () =
+  (* with scan_enable = 0 the scanned circuit behaves exactly like the
+     original *)
+  let r = Helpers.synthesize_small ~seed:71 ~states:7 () in
+  let c = r.Synth.Flow.circuit in
+  let chain = Dft.Scan.insert c in
+  let sc = chain.Dft.Scan.circuit in
+  Alcotest.(check int) "dffs preserved" (Netlist.Node.num_dffs c)
+    (Netlist.Node.num_dffs sc);
+  let rng = Random.State.make [| 3 |] in
+  let s1 = Sim.Scalar.create c and s2 = Sim.Scalar.create sc in
+  Sim.Scalar.reset s1;
+  Sim.Scalar.reset s2;
+  for _ = 1 to 120 do
+    let v = Sim.Vectors.random_vector rng (Netlist.Node.num_pis c) in
+    let o1 = Sim.Scalar.step s1 (Sim.Vectors.to_v3 v) in
+    let o2 =
+      Sim.Scalar.step s2 (Sim.Vectors.to_v3 (Dft.Scan.functional_vector chain v))
+    in
+    (* scanned circuit has one extra PO (scan_out) at the end *)
+    Array.iteri
+      (fun k v1 -> Alcotest.check Helpers.v3 "functional PO" v1 o2.(k))
+      o1
+  done
+
+let test_scan_load_state () =
+  let r = Helpers.synthesize_small ~seed:72 ~states:7 () in
+  let c = r.Synth.Flow.circuit in
+  let chain = Dft.Scan.insert c in
+  let sc = chain.Dft.Scan.circuit in
+  let sim = Sim.Scalar.create sc in
+  (* shift in an arbitrary state pattern and check the DFFs *)
+  let target = 0b101 land ((1 lsl chain.Dft.Scan.length) - 1) in
+  (* target as a state code over scanned positions *)
+  let code = ref 0 in
+  Array.iteri
+    (fun k pos -> if (target lsr k) land 1 = 1 then code := !code lor (1 lsl pos))
+    chain.Dft.Scan.scanned;
+  Sim.Scalar.reset sim;
+  List.iter
+    (fun v -> ignore (Sim.Scalar.step sim (Sim.Vectors.to_v3 v)))
+    (Dft.Scan.load_sequence chain !code);
+  let state = Sim.Scalar.get_state sim in
+  Array.iteri
+    (fun k pos ->
+      Alcotest.check Helpers.v3
+        (Printf.sprintf "chain elt %d" k)
+        (Sim.Value3.of_bool ((!code lsr pos) land 1 = 1))
+        state.(pos))
+    chain.Dft.Scan.scanned
+
+let test_scan_restores_coverage () =
+  (* the punchline: a retimed (sparsely encoded) circuit regains coverage
+     once scanned, because states no longer need sequential justification *)
+  let r = Helpers.synthesize_small ~seed:73 ~states:8 () in
+  let c = r.Synth.Flow.circuit in
+  let re, _, _ = Retime.Apply.retime_aggressive ~period_slack:0.2 c in
+  let chain = Dft.Scan.insert re in
+  let cfg =
+    {
+      Atpg.Types.default_config with
+      Atpg.Types.backtrack_limit = 150;
+      work_limit = 250_000;
+      total_work_limit = 40_000_000;
+    }
+  in
+  let before = Atpg.Run.generate ~config:cfg ~random_sequences_count:1 re in
+  let after =
+    Atpg.Run.generate ~config:cfg ~random_sequences_count:1
+      chain.Dft.Scan.circuit
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "scan FC %.1f >= unscanned FC %.1f - 2"
+       after.Atpg.Types.fault_coverage before.Atpg.Types.fault_coverage)
+    true
+    (after.Atpg.Types.fault_coverage
+     >= before.Atpg.Types.fault_coverage -. 2.0)
+
+let test_scan_mode_atpg_beats_sequential () =
+  (* on a retimed (sparse) circuit, scan-mode ATPG must reach at least the
+     sequential engine's coverage *)
+  let r = Helpers.synthesize_small ~seed:77 ~states:8 () in
+  let re, _, _ = Retime.Apply.retime_aggressive ~period_slack:0.2 r.Synth.Flow.circuit in
+  let cfg =
+    {
+      Atpg.Types.default_config with
+      Atpg.Types.backtrack_limit = 150;
+      work_limit = 250_000;
+      total_work_limit = 30_000_000;
+    }
+  in
+  let seq = Atpg.Run.generate ~config:cfg re in
+  let chain = Dft.Scan.insert re in
+  let scan = Dft.Scan_atpg.generate ~config:cfg chain in
+  Alcotest.(check bool)
+    (Printf.sprintf "scan FC %.1f >= seq FC %.1f - 1"
+       scan.Atpg.Types.fault_coverage seq.Atpg.Types.fault_coverage)
+    true
+    (scan.Atpg.Types.fault_coverage >= seq.Atpg.Types.fault_coverage -. 1.0);
+  (* scan-mode tests are real: re-validate them against the scanned netlist *)
+  let detected = Array.make (Array.length scan.Atpg.Types.faults) false in
+  List.iter
+    (fun s ->
+      let run =
+        Fsim.Engine.simulate ~skip:detected chain.Dft.Scan.circuit
+          scan.Atpg.Types.faults s
+      in
+      Array.iteri (fun i d -> if d then detected.(i) <- true)
+        run.Fsim.Engine.detected)
+    scan.Atpg.Types.test_sets;
+  Array.iteri
+    (fun i st ->
+      if st = Fsim.Fault.Detected then
+        Alcotest.(check bool) "scan test validated" true detected.(i))
+    scan.Atpg.Types.status
+
+let test_partial_scan_selection () =
+  let r = Helpers.synthesize_small ~seed:74 ~states:8 () in
+  let c = r.Synth.Flow.circuit in
+  let selected = Dft.Scan.select_cycle_breaking c in
+  Alcotest.(check bool) "selects at least one DFF" true
+    (Array.length selected >= 1);
+  Alcotest.(check bool) "selects at most all DFFs" true
+    (Array.length selected <= Netlist.Node.num_dffs c);
+  (* inserting a partial chain over the selection must stay functional *)
+  let chain = Dft.Scan.insert ~positions:selected c in
+  Netlist.Check.assert_ok chain.Dft.Scan.circuit
+
+let test_blif_roundtrip () =
+  let r = Helpers.synthesize_small ~seed:75 ~states:6 () in
+  let c = r.Synth.Flow.circuit in
+  let text = Netlist.Blif.to_string c in
+  let c2 = Netlist.Blif.parse_string text in
+  Alcotest.(check int) "pis" (Netlist.Node.num_pis c) (Netlist.Node.num_pis c2);
+  Alcotest.(check int) "pos" (Netlist.Node.num_pos c) (Netlist.Node.num_pos c2);
+  Alcotest.(check int) "dffs" (Netlist.Node.num_dffs c)
+    (Netlist.Node.num_dffs c2);
+  (* behavioural equality from power-up *)
+  let rng = Random.State.make [| 6 |] in
+  let s1 = Sim.Scalar.create c and s2 = Sim.Scalar.create c2 in
+  Sim.Scalar.reset s1;
+  Sim.Scalar.reset s2;
+  for _ = 1 to 150 do
+    let v = Sim.Vectors.to_v3 (Sim.Vectors.random_vector rng (Netlist.Node.num_pis c)) in
+    Alcotest.(check bool) "same outputs" true
+      (Sim.Scalar.step s1 v = Sim.Scalar.step s2 v)
+  done
+
+let test_blif_toy_format () =
+  let c = Helpers.toy_circuit () in
+  let text = Netlist.Blif.to_string c in
+  Alcotest.(check bool) "has model" true
+    (String.length text > 0 && String.sub text 0 6 = ".model");
+  let contains needle =
+    let ln = String.length needle and lt = String.length text in
+    let rec loop i =
+      if i + ln > lt then false
+      else if String.sub text i ln = needle then true
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  Alcotest.(check bool) ".latch present" true (contains ".latch");
+  Alcotest.(check bool) ".names present" true (contains ".names");
+  Alcotest.(check bool) "ends with .end" true (contains ".end")
+
+let test_blif_parse_handwritten () =
+  let text =
+    ".model tiny\n.inputs a b\n.outputs z\n.latch nq q 3 clk 0\n"
+    ^ ".names a q nq\n11 1\n.names q b z\n1- 1\n-1 1\n.end\n"
+  in
+  let c = Netlist.Blif.parse_string text in
+  Alcotest.(check int) "1 dff" 1 (Netlist.Node.num_dffs c);
+  let sim = Sim.Scalar.create c in
+  Sim.Scalar.reset sim;
+  (* q=0: z = q OR b *)
+  let out = Sim.Scalar.step sim (Sim.Vectors.to_v3 [| true; true |]) in
+  Alcotest.check Helpers.v3 "z=1 (b)" Sim.Value3.One out.(0);
+  (* q now 1 (a=1 & q=0 -> nq=0? No: nq = a AND q = 0) *)
+  let out = Sim.Scalar.step sim (Sim.Vectors.to_v3 [| true; false |]) in
+  Alcotest.check Helpers.v3 "z=0" Sim.Value3.Zero out.(0)
+
+let test_verilog_writer () =
+  let c = Helpers.toy_circuit () in
+  let text = Netlist.Verilog.to_string ~module_name:"toy" c in
+  let contains needle =
+    let ln = String.length needle and lt = String.length text in
+    let rec loop i =
+      if i + ln > lt then false
+      else if String.sub text i ln = needle then true
+      else loop (i + 1)
+    in
+    loop 0
+  in
+  Alcotest.(check bool) "module header" true (contains "module toy(clk");
+  Alcotest.(check bool) "dff register" true (contains "reg q0 = 1'b0;");
+  Alcotest.(check bool) "clocked block" true (contains "always @(posedge clk)");
+  Alcotest.(check bool) "xor gate" true (contains "^");
+  Alcotest.(check bool) "endmodule" true (contains "endmodule")
+
+let test_verilog_unique_wires () =
+  (* every synthesized circuit must emit without duplicate identifiers *)
+  let r = Helpers.synthesize_small ~seed:76 () in
+  let text = Netlist.Verilog.to_string r.Synth.Flow.circuit in
+  let decls = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         let line = String.trim line in
+         List.iter
+           (fun prefix ->
+             let lp = String.length prefix in
+             if String.length line > lp && String.sub line 0 lp = prefix then
+               decls := line :: !decls)
+           [ "wire "; "reg "; "input "; "output " ]);
+  let unique = List.sort_uniq compare !decls in
+  Alcotest.(check int) "no duplicate declarations" (List.length !decls)
+    (List.length unique)
+
+let qcheck_blif_roundtrip =
+  Helpers.qcheck_case ~count:8 "blif roundtrip preserves behaviour"
+    QCheck2.Gen.(int_range 80 95)
+    (fun seed ->
+      let r = Helpers.synthesize_small ~seed ~states:5 () in
+      let c = r.Synth.Flow.circuit in
+      let c2 = Netlist.Blif.parse_string (Netlist.Blif.to_string c) in
+      let rng = Random.State.make [| seed |] in
+      let s1 = Sim.Scalar.create c and s2 = Sim.Scalar.create c2 in
+      Sim.Scalar.reset s1;
+      Sim.Scalar.reset s2;
+      let ok = ref (Netlist.Check.is_well_formed c2) in
+      for _ = 1 to 60 do
+        let v =
+          Sim.Vectors.to_v3
+            (Sim.Vectors.random_vector rng (Netlist.Node.num_pis c))
+        in
+        if Sim.Scalar.step s1 v <> Sim.Scalar.step s2 v then ok := false
+      done;
+      !ok)
+
+let qcheck_scan_functional =
+  Helpers.qcheck_case ~count:6 "scan insertion preserves functional mode"
+    QCheck2.Gen.(int_range 100 110)
+    (fun seed ->
+      let r = Helpers.synthesize_small ~seed ~states:6 () in
+      let c = r.Synth.Flow.circuit in
+      let chain = Dft.Scan.insert c in
+      let rng = Random.State.make [| seed; 2 |] in
+      let s1 = Sim.Scalar.create c in
+      let s2 = Sim.Scalar.create chain.Dft.Scan.circuit in
+      Sim.Scalar.reset s1;
+      Sim.Scalar.reset s2;
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let v = Sim.Vectors.random_vector rng (Netlist.Node.num_pis c) in
+        let o1 = Sim.Scalar.step s1 (Sim.Vectors.to_v3 v) in
+        let o2 =
+          Sim.Scalar.step s2
+            (Sim.Vectors.to_v3 (Dft.Scan.functional_vector chain v))
+        in
+        Array.iteri (fun k x -> if o2.(k) <> x then ok := false) o1
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "scan functional mode" `Quick test_scan_functional_mode;
+    Alcotest.test_case "scan state loading" `Quick test_scan_load_state;
+    Alcotest.test_case "scan restores coverage" `Slow
+      test_scan_restores_coverage;
+    Alcotest.test_case "partial scan selection" `Quick
+      test_partial_scan_selection;
+    Alcotest.test_case "scan-mode ATPG beats sequential" `Slow
+      test_scan_mode_atpg_beats_sequential;
+    Alcotest.test_case "blif roundtrip" `Quick test_blif_roundtrip;
+    Alcotest.test_case "blif format fields" `Quick test_blif_toy_format;
+    Alcotest.test_case "blif handwritten parse" `Quick
+      test_blif_parse_handwritten;
+    Alcotest.test_case "verilog writer" `Quick test_verilog_writer;
+    Alcotest.test_case "verilog unique declarations" `Quick
+      test_verilog_unique_wires;
+    qcheck_blif_roundtrip;
+    qcheck_scan_functional;
+  ]

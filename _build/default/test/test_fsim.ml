@@ -1,0 +1,114 @@
+(* Fault model, collapsing and the parallel fault simulator. *)
+
+let test_collapse_list_sane () =
+  let c = Helpers.toy_circuit () in
+  let faults = Fsim.Collapse.list c in
+  Alcotest.(check bool) "non-empty" true (Array.length faults > 0);
+  (* no duplicates *)
+  let keyed = Array.map (fun f -> Fsim.Fault.to_string c f) faults in
+  let distinct = List.sort_uniq compare (Array.to_list keyed) in
+  Alcotest.(check int) "distinct" (Array.length faults) (List.length distinct)
+
+let test_collapse_drops_equivalents () =
+  (* AND-gate input sa0 on a fanout branch is equivalent to output sa0 and
+     must not appear *)
+  let c = Helpers.toy_circuit () in
+  let faults = Fsim.Collapse.list c in
+  let n0 = Netlist.Node.find_by_name c "n0" in
+  Array.iter
+    (fun (f : Fsim.Fault.t) ->
+      match f.Fsim.Fault.site with
+      | Fsim.Fault.Pin { gate; _ } when gate = n0 ->
+        Alcotest.(check bool) "AND pin fault must be sa1" true f.Fsim.Fault.stuck
+      | Fsim.Fault.Pin _ | Fsim.Fault.Stem _ -> ())
+    faults
+
+let test_detects_known_fault () =
+  (* out = q0 xor q1, both init 0.  PO stem sa1 is detected by any vector. *)
+  let c = Helpers.toy_circuit () in
+  let n3 = Netlist.Node.find_by_name c "n3" in
+  let f = { Fsim.Fault.site = Fsim.Fault.Stem n3; stuck = true } in
+  Alcotest.(check bool) "detected" true
+    (Fsim.Engine.detects c f [ [| false; false |] ])
+
+let test_undetectable_without_excitation () =
+  (* q0 stuck-at-0 with q0 init 0 and inputs held 0: q0' = a&q1 stays 0, so
+     the fault never shows.  With a=1 pumping, q1 becomes 1 then q0'=1 and
+     the fault is visible at out = q0 xor q1. *)
+  let c = Helpers.toy_circuit () in
+  let q0 = Netlist.Node.find_by_name c "q0" in
+  let f = { Fsim.Fault.site = Fsim.Fault.Stem q0; stuck = false } in
+  let zeros = List.init 6 (fun _ -> [| false; false |]) in
+  Alcotest.(check bool) "quiet vectors do not detect" false
+    (Fsim.Engine.detects c f zeros);
+  let pump = List.init 6 (fun _ -> [| true; false |]) in
+  Alcotest.(check bool) "pumping detects" true (Fsim.Engine.detects c f pump)
+
+let qcheck_parallel_matches_serial =
+  Helpers.qcheck_case ~count:25 "parallel fault sim = one-at-a-time"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let r = Helpers.synthesize_small ~seed:((seed mod 7) + 50) ~states:5 () in
+      let c = r.Synth.Flow.circuit in
+      let faults = Fsim.Collapse.list c in
+      let rng = Random.State.make [| seed |] in
+      let vectors =
+        List.init 25 (fun _ ->
+            Sim.Vectors.random_vector rng (Netlist.Node.num_pis c))
+      in
+      let run = Fsim.Engine.simulate c faults vectors in
+      (* check a deterministic sample of 15 faults serially *)
+      let step = max 1 (Array.length faults / 15) in
+      let ok = ref true in
+      Array.iteri
+        (fun i f ->
+          if i mod step = 0 then
+            if Fsim.Engine.detects c f vectors <> run.Fsim.Engine.detected.(i)
+            then ok := false)
+        faults;
+      !ok)
+
+let test_good_states_tracked () =
+  let c = Helpers.toy_circuit () in
+  let faults = Fsim.Collapse.list c in
+  let vectors =
+    [ [| true; false |]; [| true; true |]; [| false; true |]; [| true; false |] ]
+  in
+  let run = Fsim.Engine.simulate c faults vectors in
+  Alcotest.(check bool) "visited >= 2 states" true
+    (List.length run.Fsim.Engine.good_states >= 2);
+  (* states are distinct *)
+  let d = List.sort_uniq compare run.Fsim.Engine.good_states in
+  Alcotest.(check int) "distinct" (List.length run.Fsim.Engine.good_states)
+    (List.length d)
+
+let test_detect_time_recorded () =
+  let c = Helpers.toy_circuit () in
+  let n3 = Netlist.Node.find_by_name c "n3" in
+  let faults = [| { Fsim.Fault.site = Fsim.Fault.Stem n3; stuck = true } |] in
+  let run = Fsim.Engine.simulate c faults [ [| false; false |] ] in
+  Alcotest.(check int) "first cycle" 0 run.Fsim.Engine.detect_time.(0)
+
+let test_skip_respected () =
+  let c = Helpers.toy_circuit () in
+  let faults = Fsim.Collapse.list c in
+  let skip = Array.make (Array.length faults) true in
+  let run =
+    Fsim.Engine.simulate ~skip c faults [ [| true; true |]; [| false; true |] ]
+  in
+  Alcotest.(check bool) "nothing simulated" true
+    (Array.for_all not run.Fsim.Engine.detected)
+
+let suite =
+  [
+    Alcotest.test_case "collapsed list sane" `Quick test_collapse_list_sane;
+    Alcotest.test_case "equivalents dropped" `Quick
+      test_collapse_drops_equivalents;
+    Alcotest.test_case "detects known fault" `Quick test_detects_known_fault;
+    Alcotest.test_case "excitation needed" `Quick
+      test_undetectable_without_excitation;
+    qcheck_parallel_matches_serial;
+    Alcotest.test_case "good states tracked" `Quick test_good_states_tracked;
+    Alcotest.test_case "detect time recorded" `Quick test_detect_time_recorded;
+    Alcotest.test_case "skip respected" `Quick test_skip_respected;
+  ]

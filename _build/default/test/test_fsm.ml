@@ -1,0 +1,116 @@
+(* FSM semantics, KISS2 round-trips, generator guarantees, benchmarks. *)
+
+let test_kiss_roundtrip () =
+  let m = Helpers.small_fsm () in
+  let text = Fsm.Kiss.to_string m in
+  let m2 = Fsm.Kiss.parse_string ~name:m.Fsm.Machine.name text in
+  Alcotest.(check int) "inputs" m.Fsm.Machine.num_inputs m2.Fsm.Machine.num_inputs;
+  Alcotest.(check int) "outputs" m.Fsm.Machine.num_outputs m2.Fsm.Machine.num_outputs;
+  Alcotest.(check int) "states" (Fsm.Machine.num_states m) (Fsm.Machine.num_states m2);
+  Alcotest.(check int) "transitions"
+    (Array.length m.Fsm.Machine.transitions)
+    (Array.length m2.Fsm.Machine.transitions);
+  (* behaviour identical *)
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 20 do
+    let seq =
+      List.init 30 (fun _ -> Sim.Vectors.random_vector rng m.Fsm.Machine.num_inputs)
+    in
+    Alcotest.(check bool) "same run" true (Fsm.Machine.run m seq = Fsm.Machine.run m2 seq)
+  done
+
+let test_kiss_parse_example () =
+  let text = ".i 2\n.o 1\n.s 2\n.r A\n00 A A 0\n01 A B 1\n-- B A 1\n.e\n" in
+  let m = Fsm.Kiss.parse_string text in
+  Alcotest.(check int) "states" 2 (Fsm.Machine.num_states m);
+  Alcotest.(check int) "reset" 0 m.Fsm.Machine.reset;
+  let dst, outs = Fsm.Machine.step_total m ~state:0 ~input_code:0b10 in
+  Alcotest.(check int) "01 goes to B" 1 dst;
+  Alcotest.(check bool) "output" true outs.(0)
+
+let test_kiss_rejects_garbage () =
+  Alcotest.check_raises "bad cube" (Fsm.Kiss.Parse_error (2, "bad cube character z"))
+    (fun () -> ignore (Fsm.Kiss.parse_string ".i 2\nzz A B 1\n"))
+
+let test_generator_deterministic () =
+  let a = Helpers.small_fsm ~seed:3 () in
+  let b = Helpers.small_fsm ~seed:3 () in
+  Alcotest.(check bool) "same machine" true (a = b);
+  let c = Helpers.small_fsm ~seed:4 () in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_generator_reachable_deterministic () =
+  for seed = 1 to 20 do
+    let m = Helpers.small_fsm ~seed ~states:9 () in
+    Alcotest.(check int)
+      (Printf.sprintf "all states reachable (seed %d)" seed)
+      9
+      (List.length (Fsm.Machine.reachable_states m));
+    Alcotest.(check bool)
+      (Printf.sprintf "deterministic (seed %d)" seed)
+      true
+      (Fsm.Machine.is_deterministic m)
+  done
+
+let test_benchmarks_match_table1 () =
+  List.iter
+    (fun (e : Fsm.Benchmarks.entry) ->
+      let m = Fsm.Benchmarks.machine e in
+      Alcotest.(check int)
+        (e.Fsm.Benchmarks.name ^ " states")
+        e.Fsm.Benchmarks.paper_states
+        (Fsm.Machine.num_states m);
+      Alcotest.(check int)
+        (e.Fsm.Benchmarks.name ^ " inputs capped")
+        (min e.Fsm.Benchmarks.paper_pi 8)
+        m.Fsm.Machine.num_inputs;
+      Alcotest.(check int)
+        (e.Fsm.Benchmarks.name ^ " reachable")
+        e.Fsm.Benchmarks.paper_states
+        (List.length (Fsm.Machine.reachable_states m)))
+    Fsm.Benchmarks.all
+
+let test_step_total_completion () =
+  let m = Helpers.small_fsm () in
+  (* the completed machine must answer every (state, input) pair *)
+  for s = 0 to Fsm.Machine.num_states m - 1 do
+    for code = 0 to (1 lsl m.Fsm.Machine.num_inputs) - 1 do
+      let dst, outs = Fsm.Machine.step_total m ~state:s ~input_code:code in
+      Alcotest.(check bool) "dst in range" true
+        (dst >= 0 && dst < Fsm.Machine.num_states m);
+      Alcotest.(check int) "output width" m.Fsm.Machine.num_outputs
+        (Array.length outs)
+    done
+  done
+
+let qcheck_observed_refines_total =
+  Helpers.qcheck_case "step_observed refines step_total"
+    QCheck2.Gen.(pair (int_range 0 5) (int_range 0 7))
+    (fun (s, code) ->
+      let m = Helpers.small_fsm () in
+      let s = s mod Fsm.Machine.num_states m in
+      let dst_t, outs_t = Fsm.Machine.step_total m ~state:s ~input_code:code in
+      let dst_o, outs_o = Fsm.Machine.step_observed m ~state:s ~input_code:code in
+      dst_t = dst_o
+      && Array.for_all2
+           (fun t o ->
+             match o with
+             | Sim.Value3.X -> true
+             | v -> Sim.Value3.to_bool_opt v = Some t)
+           outs_t outs_o)
+
+let suite =
+  [
+    Alcotest.test_case "kiss2 roundtrip" `Quick test_kiss_roundtrip;
+    Alcotest.test_case "kiss2 parse example" `Quick test_kiss_parse_example;
+    Alcotest.test_case "kiss2 rejects garbage" `Quick test_kiss_rejects_garbage;
+    Alcotest.test_case "generator is deterministic" `Quick
+      test_generator_deterministic;
+    Alcotest.test_case "generator reachability/determinism" `Quick
+      test_generator_reachable_deterministic;
+    Alcotest.test_case "benchmarks match Table 1" `Quick
+      test_benchmarks_match_table1;
+    Alcotest.test_case "completed semantics total" `Quick
+      test_step_total_completion;
+    qcheck_observed_refines_total;
+  ]

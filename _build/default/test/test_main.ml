@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "satpg"
+    [
+      ("netlist", Test_netlist.suite);
+      ("sim", Test_sim.suite);
+      ("twolevel", Test_twolevel.suite);
+      ("fsm", Test_fsm.suite);
+      ("synth", Test_synth.suite);
+      ("retime", Test_retime.suite);
+      ("analysis", Test_analysis.suite);
+      ("fsim", Test_fsim.suite);
+      ("atpg", Test_atpg.suite);
+      ("core", Test_core.suite);
+      ("dft", Test_dft.suite);
+    ]

@@ -1,0 +1,107 @@
+(* Netlist construction, checking, levelization and statistics. *)
+
+let test_build_toy () =
+  let c = Helpers.toy_circuit () in
+  Alcotest.(check int) "pis" 2 (Netlist.Node.num_pis c);
+  Alcotest.(check int) "pos" 1 (Netlist.Node.num_pos c);
+  Alcotest.(check int) "dffs" 2 (Netlist.Node.num_dffs c);
+  Alcotest.(check int) "gates" 4 (Netlist.Node.num_gates c);
+  Alcotest.(check bool) "well formed" true (Netlist.Check.is_well_formed c)
+
+let test_levels () =
+  let c = Helpers.toy_circuit () in
+  (* n2 = OR(n1, b) must be after n1 *)
+  let n1 = Netlist.Node.find_by_name c "n1" in
+  let n2 = Netlist.Node.find_by_name c "n2" in
+  Alcotest.(check bool) "n2 deeper than n1" true
+    (c.Netlist.Node.level.(n2) > c.Netlist.Node.level.(n1))
+
+let test_comb_cycle_detected () =
+  (* construct a combinational cycle by connecting gate fanins forward *)
+  let b = Netlist.Build.create () in
+  let _a = Netlist.Build.add_pi b "a" in
+  (* gate 1 will read gate 2's id (created after), forming a cycle *)
+  let g1 = Netlist.Build.add_gate b Netlist.Node.Buf "g1" [| 2 |] in
+  let _g2 = Netlist.Build.add_gate b Netlist.Node.Buf "g2" [| g1 |] in
+  Netlist.Build.add_po b "z" g1;
+  Alcotest.check_raises "cycle"
+    (Netlist.Build.Combinational_cycle "g1")
+    (fun () -> ignore (Netlist.Build.finalize b))
+
+let test_const_node () =
+  let b = Netlist.Build.create () in
+  let k1 = Netlist.Build.add_const b "one" true in
+  Netlist.Build.add_po b "z" k1;
+  let c = Netlist.Build.finalize b in
+  Alcotest.(check bool) "well formed" true (Netlist.Check.is_well_formed c);
+  let sim = Sim.Scalar.create c in
+  Sim.Scalar.reset sim;
+  Sim.Scalar.eval_comb sim;
+  Alcotest.check Helpers.v3 "constant one" Sim.Value3.One
+    (Sim.Scalar.outputs sim).(0);
+  Sim.Scalar.tick sim;
+  Sim.Scalar.eval_comb sim;
+  Alcotest.check Helpers.v3 "still one" Sim.Value3.One
+    (Sim.Scalar.outputs sim).(0)
+
+let test_check_catches_bad_arity () =
+  let b = Netlist.Build.create () in
+  let a = Netlist.Build.add_pi b "a" in
+  Alcotest.check_raises "not arity"
+    (Invalid_argument "Build.add_gate: bad arity 2 for NOT")
+    (fun () -> ignore (Netlist.Build.add_gate b Netlist.Node.Not "n" [| a; a |]))
+
+let test_stats () =
+  let c = Helpers.toy_circuit () in
+  let s = Netlist.Stats.of_circuit c in
+  Alcotest.(check int) "gates" 4 s.Netlist.Stats.gates;
+  Alcotest.(check bool) "area positive" true (s.Netlist.Stats.area > 0.0);
+  Alcotest.(check bool) "delay positive" true (s.Netlist.Stats.delay > 0.0)
+
+let test_fanout_cone () =
+  let c = Helpers.toy_circuit () in
+  let q0 = Netlist.Node.find_by_name c "q0" in
+  let cone = Netlist.Stats.comb_fanout_cone c q0 in
+  (* q0 reaches n1 -> n2 -> q1(data) and n3 *)
+  let names =
+    List.map (fun id -> (Netlist.Node.node c id).Netlist.Node.name) cone
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("cone has " ^ expected) true
+        (List.mem expected names))
+    [ "n1"; "n2"; "n3"; "q1" ]
+
+let test_critical_path_monotone () =
+  (* adding a gate on the critical path cannot reduce delay *)
+  let c = Helpers.toy_circuit () in
+  let d1 = Netlist.Node.critical_path c in
+  let b = Netlist.Build.create () in
+  let a = Netlist.Build.add_pi b "a" in
+  let bi = Netlist.Build.add_pi b "b" in
+  let q0 = Netlist.Build.add_dff b "q0" in
+  let q1 = Netlist.Build.add_dff b "q1" in
+  let n0 = Netlist.Build.add_gate b Netlist.Node.And "n0" [| a; q1 |] in
+  let n1 = Netlist.Build.add_gate b Netlist.Node.Not "n1" [| q0 |] in
+  let n2 = Netlist.Build.add_gate b Netlist.Node.Or "n2" [| n1; bi |] in
+  let n3 = Netlist.Build.add_gate b Netlist.Node.Xor "n3" [| q0; q1 |] in
+  let n4 = Netlist.Build.add_gate b Netlist.Node.Not "extra" [| n3 |] in
+  Netlist.Build.connect_dff b q0 n0;
+  Netlist.Build.connect_dff b q1 n2;
+  Netlist.Build.add_po b "out" n4;
+  let c2 = Netlist.Build.finalize b in
+  Alcotest.(check bool) "longer" true (Netlist.Node.critical_path c2 > d1)
+
+let suite =
+  [
+    Alcotest.test_case "build toy circuit" `Quick test_build_toy;
+    Alcotest.test_case "levelization order" `Quick test_levels;
+    Alcotest.test_case "combinational cycle detected" `Quick
+      test_comb_cycle_detected;
+    Alcotest.test_case "constant nodes" `Quick test_const_node;
+    Alcotest.test_case "arity checking" `Quick test_check_catches_bad_arity;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "fanout cone" `Quick test_fanout_cone;
+    Alcotest.test_case "critical path monotone" `Quick
+      test_critical_path_monotone;
+  ]

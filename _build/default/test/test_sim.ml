@@ -1,0 +1,129 @@
+(* Three-valued logic, scalar simulation, bit-parallel simulation. *)
+
+let test_v3_tables () =
+  let open Sim.Value3 in
+  Alcotest.check Helpers.v3 "and" Zero (v_and Zero X);
+  Alcotest.check Helpers.v3 "and x" X (v_and One X);
+  Alcotest.check Helpers.v3 "or" One (v_or One X);
+  Alcotest.check Helpers.v3 "or x" X (v_or Zero X);
+  Alcotest.check Helpers.v3 "not x" X (v_not X);
+  Alcotest.check Helpers.v3 "xor" One (v_xor One Zero);
+  Alcotest.check Helpers.v3 "xor x" X (v_xor One X)
+
+(* X-monotonicity: refining an X input can only refine the gate output. *)
+let qcheck_x_monotone =
+  let open QCheck2 in
+  let gen_fn =
+    Gen.oneofl
+      [ Netlist.Node.And; Netlist.Node.Or; Netlist.Node.Nand;
+        Netlist.Node.Nor; Netlist.Node.Xor; Netlist.Node.Xnor ]
+  in
+  let gen_v3 = Gen.oneofl [ Sim.Value3.Zero; Sim.Value3.One; Sim.Value3.X ] in
+  Helpers.qcheck_case "gate eval is X-monotone"
+    Gen.(triple gen_fn (pair gen_v3 gen_v3) (pair Gen.bool Gen.bool))
+    (fun (fn, (a, b), (ca, cb)) ->
+      let refine v c =
+        match v with Sim.Value3.X -> Sim.Value3.of_bool c | v -> v
+      in
+      let abstract = Sim.Value3.eval_gate fn [| a; b |] in
+      let concrete =
+        Sim.Value3.eval_gate fn [| refine a ca; refine b cb |]
+      in
+      Sim.Value3.compatible abstract concrete)
+
+let test_scalar_step () =
+  let c = Helpers.toy_circuit () in
+  let sim = Sim.Scalar.create c in
+  Sim.Scalar.reset sim;
+  (* power-up: q0=0 q1=0, out = 0 xor 0 = 0 *)
+  let out = Sim.Scalar.step sim [| Sim.Value3.One; Sim.Value3.Zero |] in
+  Alcotest.check Helpers.v3 "cycle0 out" Sim.Value3.Zero out.(0);
+  (* after tick: q0' = a&q1 = 0, q1' = !q0|b = 1 -> out = 0 xor 1 = 1 *)
+  let out = Sim.Scalar.step sim [| Sim.Value3.One; Sim.Value3.Zero |] in
+  Alcotest.check Helpers.v3 "cycle1 out" Sim.Value3.One out.(0)
+
+let test_scalar_x_propagation () =
+  let c = Helpers.toy_circuit () in
+  let sim = Sim.Scalar.create c in
+  Sim.Scalar.reset sim;
+  let out = Sim.Scalar.step sim [| Sim.Value3.X; Sim.Value3.X |] in
+  (* out = q0 xor q1 with q0=q1=0: inputs don't matter in cycle 0 *)
+  Alcotest.check Helpers.v3 "out definite despite X inputs" Sim.Value3.Zero
+    out.(0)
+
+(* Parallel simulator agrees with the scalar one on random runs. *)
+let qcheck_parallel_vs_scalar =
+  let open QCheck2 in
+  Helpers.qcheck_case ~count:60 "parallel lane 0 = scalar"
+    Gen.(pair (int_range 0 1000) (int_range 1 40))
+    (fun (seed, len) ->
+      let c = Helpers.toy_circuit () in
+      let rng = Random.State.make [| seed |] in
+      let vectors =
+        List.init len (fun _ -> Sim.Vectors.random_vector rng 2)
+      in
+      let scalar = Sim.Scalar.create c in
+      Sim.Scalar.reset scalar;
+      let par = Sim.Parallel.create c in
+      Sim.Parallel.reset par;
+      List.for_all
+        (fun v ->
+          let so = Sim.Scalar.step scalar (Sim.Vectors.to_v3 v) in
+          let po = Sim.Parallel.step_broadcast par v in
+          Array.for_all Fun.id
+            (Array.map2
+               (fun s p ->
+                 match Sim.Value3.to_bool_opt s with
+                 | Some b -> (p land 1 = 1) = b
+                 | None -> false)
+               so po))
+        vectors)
+
+let test_parallel_stem_injection () =
+  let c = Helpers.toy_circuit () in
+  let par = Sim.Parallel.create c in
+  (* force q0 stuck-at-1 in lane 1 only *)
+  let q0 = Netlist.Node.find_by_name c "q0" in
+  Sim.Parallel.inject_stem par ~node:q0 ~lane:1 ~value:true;
+  Sim.Parallel.reset par;
+  let out = Sim.Parallel.step_broadcast par [| false; false |] in
+  (* out = q0 xor q1: lane0 good = 0, lane1 faulty = 1 *)
+  Alcotest.(check int) "lane0 good" 0 (out.(0) land 1);
+  Alcotest.(check int) "lane1 faulty" 1 ((out.(0) lsr 1) land 1)
+
+let test_vectors_enumerate () =
+  let vs = Sim.Vectors.enumerate 3 in
+  Alcotest.(check int) "count" 8 (List.length vs);
+  let distinct = List.sort_uniq compare (List.map Array.to_list vs) in
+  Alcotest.(check int) "distinct" 8 (List.length distinct)
+
+let test_enumerate_words_cover () =
+  let chunks = Sim.Vectors.enumerate_words 7 in
+  let total = List.fold_left (fun a (n, _) -> a + n) 0 chunks in
+  Alcotest.(check int) "128 vectors" 128 total;
+  (* lane l of chunk k must encode vector code k*word_bits + l *)
+  List.iteri
+    (fun k (lanes, words) ->
+      for l = 0 to lanes - 1 do
+        let code = (k * Sim.Parallel.word_bits) + l in
+        Array.iteri
+          (fun i w ->
+            let expect = (code lsr i) land 1 in
+            Alcotest.(check int) "bit" expect ((w lsr l) land 1))
+          words
+      done)
+    chunks
+
+let suite =
+  [
+    Alcotest.test_case "value3 truth tables" `Quick test_v3_tables;
+    qcheck_x_monotone;
+    Alcotest.test_case "scalar stepping" `Quick test_scalar_step;
+    Alcotest.test_case "scalar X propagation" `Quick test_scalar_x_propagation;
+    qcheck_parallel_vs_scalar;
+    Alcotest.test_case "parallel stem injection" `Quick
+      test_parallel_stem_injection;
+    Alcotest.test_case "vector enumeration" `Quick test_vectors_enumerate;
+    Alcotest.test_case "word enumeration covers space" `Quick
+      test_enumerate_words_cover;
+  ]

@@ -1,0 +1,124 @@
+(* Cube algebra and the espresso-lite minimizer. *)
+
+let n = 6
+
+let gen_cube =
+  QCheck2.Gen.(
+    let* lits = list_size (return n) (int_range 0 2) in
+    return
+      (List.fold_left
+         (fun (c, i) l ->
+           let lit =
+             match l with
+             | 0 -> Twolevel.Cube.lit_neg
+             | 1 -> Twolevel.Cube.lit_pos
+             | _ -> Twolevel.Cube.lit_dc
+           in
+           (Twolevel.Cube.set_lit c i lit, i + 1))
+         (Twolevel.Cube.full n, 0)
+         lits
+       |> fst))
+
+let gen_cover k = QCheck2.Gen.(map (Twolevel.Cover.make n) (list_size (int_range 0 k) gen_cube))
+
+let points = List.init (1 lsl n) Fun.id
+
+let test_cube_roundtrip () =
+  let c = Twolevel.Cube.of_string "01-1-0" in
+  Alcotest.(check string) "roundtrip" "01-1-0" (Twolevel.Cube.to_string 6 c)
+
+let test_cube_member () =
+  let c = Twolevel.Cube.of_string "1-0" in
+  Alcotest.(check bool) "101 in" true (Twolevel.Cube.member 3 c 0b001);
+  Alcotest.(check bool) "011 out" false (Twolevel.Cube.member 3 c 0b110)
+
+let test_cube_contains () =
+  let big = Twolevel.Cube.of_string "1--" in
+  let small = Twolevel.Cube.of_string "1-0" in
+  Alcotest.(check bool) "contains" true (Twolevel.Cube.contains big small);
+  Alcotest.(check bool) "not contains" false (Twolevel.Cube.contains small big)
+
+let qcheck_intersection =
+  Helpers.qcheck_case "cube intersection = pointwise and"
+    QCheck2.Gen.(pair gen_cube gen_cube)
+    (fun (a, b) ->
+      let i = Twolevel.Cube.intersect a b in
+      List.for_all
+        (fun p ->
+          Twolevel.Cube.member n i p
+          = (Twolevel.Cube.member n a p && Twolevel.Cube.member n b p))
+        points)
+
+let qcheck_complement =
+  Helpers.qcheck_case "cover complement is pointwise negation"
+    (gen_cover 8)
+    (fun f ->
+      let fc = Twolevel.Cover.complement f in
+      List.for_all
+        (fun p -> Twolevel.Cover.eval fc p = not (Twolevel.Cover.eval f p))
+        points)
+
+let qcheck_tautology =
+  Helpers.qcheck_case "tautology agrees with truth table"
+    (gen_cover 10)
+    (fun f ->
+      Twolevel.Cover.tautology f
+      = List.for_all (fun p -> Twolevel.Cover.eval f p) points)
+
+let qcheck_espresso_equivalent =
+  Helpers.qcheck_case ~count:200 "espresso preserves the function on the care set"
+    QCheck2.Gen.(pair (gen_cover 10) (gen_cover 2))
+    (fun (on, dc) ->
+      let r = Twolevel.Minimize.espresso ~on ~dc () in
+      Twolevel.Minimize.equivalent_on_care ~on ~dc r)
+
+let qcheck_espresso_no_growth =
+  Helpers.qcheck_case ~count:100 "espresso never grows the cover"
+    (gen_cover 10)
+    (fun on ->
+      let dc = Twolevel.Cover.empty n in
+      let r = Twolevel.Minimize.espresso ~on ~dc () in
+      Twolevel.Cover.size r
+      <= Twolevel.Cover.size (Twolevel.Cover.drop_contained on))
+
+let test_espresso_classic () =
+  (* f = a'b + ab + ab' should reduce to a + b *)
+  let on =
+    Twolevel.Cover.make 2
+      [
+        Twolevel.Cube.of_string "01";
+        Twolevel.Cube.of_string "11";
+        Twolevel.Cube.of_string "10";
+      ]
+  in
+  let r = Twolevel.Minimize.espresso ~on ~dc:(Twolevel.Cover.empty 2) () in
+  Alcotest.(check int) "two cubes" 2 (Twolevel.Cover.size r);
+  Alcotest.(check int) "two literals" 2 (Twolevel.Cover.literals r)
+
+let test_dc_exploited () =
+  (* ON = {00}, DC = {01, 10, 11} -> constant 1 (a single full cube) *)
+  let on = Twolevel.Cover.make 2 [ Twolevel.Cube.of_string "00" ] in
+  let dc =
+    Twolevel.Cover.make 2
+      [
+        Twolevel.Cube.of_string "01";
+        Twolevel.Cube.of_string "1-";
+      ]
+  in
+  let r = Twolevel.Minimize.espresso ~on ~dc () in
+  Alcotest.(check int) "one cube" 1 (Twolevel.Cover.size r);
+  Alcotest.(check int) "no literals" 0 (Twolevel.Cover.literals r)
+
+let suite =
+  [
+    Alcotest.test_case "cube string roundtrip" `Quick test_cube_roundtrip;
+    Alcotest.test_case "cube membership" `Quick test_cube_member;
+    Alcotest.test_case "cube containment" `Quick test_cube_contains;
+    qcheck_intersection;
+    qcheck_complement;
+    qcheck_tautology;
+    qcheck_espresso_equivalent;
+    qcheck_espresso_no_growth;
+    Alcotest.test_case "espresso textbook example" `Quick test_espresso_classic;
+    Alcotest.test_case "espresso exploits don't cares" `Quick test_dc_exploited;
+  ]
