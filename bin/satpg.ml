@@ -4,6 +4,7 @@
      synth       synthesize a benchmark FSM and print circuit statistics
      retime      retime a synthesized circuit and compare the pair
      atpg        run one of the three ATPG engines on a circuit
+     lint        static analysis: FSM + netlist rules, testability metrics
      analyze     structural attributes + density of encoding
      kiss        dump a benchmark FSM in KISS2 format
      tables      regenerate the paper's tables (1-8) and Figure 3
@@ -83,11 +84,29 @@ let retime_cmd =
 (* --- atpg ------------------------------------------------------------------ *)
 
 let atpg_cmd =
-  let run () fsm alg script engine retimed =
+  let scoap_flag =
+    Arg.(value & flag
+         & info [ "scoap" ]
+             ~doc:
+               "Steer PODEM's backtrace by SCOAP controllability costs \
+                (hitec/sest only; bypasses the result cache).")
+  in
+  let run () fsm alg script engine retimed scoap =
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
-    let r = Core.Cache.atpg engine ~name circuit in
+    let r =
+      if scoap then begin
+        let guide = Lint.Scoap.controllability (Lint.Scoap.compute circuit) in
+        match engine with
+        | Core.Cache.Hitec -> Atpg.Hitec.generate ~guide circuit
+        | Core.Cache.Sest -> Atpg.Sest.generate ~guide circuit
+        | Core.Cache.Attest ->
+          Fmt.epr "note: attest is simulation-based; --scoap has no effect@.";
+          Atpg.Attest.generate circuit
+      end
+      else Core.Cache.atpg engine ~name circuit
+    in
     Fmt.pr "%s on %s:@." (Core.Cache.atpg_kind_name engine) name;
     Fmt.pr "  faults        %d@." (Array.length r.Atpg.Types.faults);
     Fmt.pr "  coverage      %.1f%%@." r.Atpg.Types.fault_coverage;
@@ -101,7 +120,73 @@ let atpg_cmd =
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run an ATPG engine on a circuit")
     Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
-          $ engine_arg $ retimed_flag)
+          $ engine_arg $ retimed_flag $ scoap_flag)
+
+(* --- lint ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit one JSON document instead of text.")
+  in
+  let fail_flag =
+    Arg.(value & flag
+         & info [ "fail-on-error" ]
+             ~doc:
+               "Exit with status 1 when any Error-level diagnostic fires or \
+                the original/retimed invariant untestable counts differ.")
+  in
+  let scoap_flag =
+    Arg.(value & flag
+         & info [ "scoap" ]
+             ~doc:"Include per-node SCOAP scores in the JSON output.")
+  in
+  let run () fsm alg script json fail_on_error scoap =
+    let p = Core.Flow.pair fsm alg script in
+    let machine = Fsm.Benchmarks.machine p.Core.Flow.fsm in
+    let fsm_diags = Lint.Report.lint_fsm machine in
+    let so = Lint.Report.lint_netlist p.Core.Flow.original in
+    let sr = Lint.Report.lint_netlist p.Core.Flow.retimed in
+    let invariant_match =
+      so.Lint.Report.invariant_untestable = sr.Lint.Report.invariant_untestable
+    in
+    if json then
+      print_endline
+        (Lint.Json.to_string
+           (Lint.Json.Obj
+              [
+                ("fsm", Lint.Report.fsm_to_json ~name:fsm fsm_diags);
+                ( "original",
+                  Lint.Report.netlist_to_json ~include_scoap:scoap
+                    ~name:p.Core.Flow.name p.Core.Flow.original so );
+                ( "retimed",
+                  Lint.Report.netlist_to_json ~include_scoap:scoap
+                    ~name:(p.Core.Flow.name ^ ".re")
+                    p.Core.Flow.retimed sr );
+                ("invariant_match", Lint.Json.Bool invariant_match);
+              ]))
+    else begin
+      Fmt.pr "%a" Lint.Report.pp_fsm (fsm, fsm_diags);
+      Fmt.pr "%a" Lint.Report.pp_netlist (p.Core.Flow.name, so);
+      Fmt.pr "%a" Lint.Report.pp_netlist (p.Core.Flow.name ^ ".re", sr);
+      Fmt.pr "Theorem-1 invariant untestable counts: %d vs %d (%s)@."
+        so.Lint.Report.invariant_untestable sr.Lint.Report.invariant_untestable
+        (if invariant_match then "match" else "MISMATCH")
+    end;
+    let any_error =
+      Lint.Diag.has_errors fsm_diags
+      || Lint.Diag.has_errors so.Lint.Report.diags
+      || Lint.Diag.has_errors sr.Lint.Report.diags
+    in
+    if fail_on_error && (any_error || not invariant_match) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a benchmark: FSM rules plus netlist rules on \
+          the original and retimed circuits")
+    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
+          $ json_flag $ fail_flag $ scoap_flag)
 
 (* --- analyze --------------------------------------------------------------- *)
 
@@ -253,7 +338,7 @@ let tables_cmd =
 let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
   Cmd.group (Cmd.info "satpg" ~doc)
-    [ synth_cmd; retime_cmd; atpg_cmd; analyze_cmd; kiss_cmd; export_cmd;
-      scan_cmd; compare_cmd; tables_cmd ]
+    [ synth_cmd; retime_cmd; atpg_cmd; lint_cmd; analyze_cmd; kiss_cmd;
+      export_cmd; scan_cmd; compare_cmd; tables_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -18,10 +18,12 @@ type t = {
   ps0 : Sim.Value3.t array;          (* [dff position], assignable *)
   frontier : int list array;         (* per frame: D-frontier gate ids *)
   po_driver : bool array;            (* per node: drives a primary output *)
+  guide : (int array * int array) option;
+  (* optional SCOAP (cc0, cc1) per node, used by backtrace input choice *)
   stats : Types.stats;
 }
 
-let create ?fault circuit ~frames ~stats =
+let create ?fault ?guide circuit ~frames ~stats =
   let n = Netlist.Node.num_nodes circuit in
   let dff_pos = Array.make n (-1) in
   Array.iteri (fun j id -> dff_pos.(id) <- j) circuit.Netlist.Node.dffs;
@@ -40,6 +42,7 @@ let create ?fault circuit ~frames ~stats =
       (let po = Array.make n false in
        Array.iter (fun (_, id) -> po.(id) <- true) circuit.Netlist.Node.pos;
        po);
+    guide;
     stats;
   }
 

@@ -17,11 +17,18 @@ type t = {
   ps0 : Sim.Value3.t array;          (** [dff position]; assignable *)
   frontier : int list array;         (** per frame: D-frontier gate ids *)
   po_driver : bool array;            (** per node: drives a primary output *)
+  guide : (int array * int array) option;
+  (** optional SCOAP [(cc0, cc1)] per node id; when present, PODEM's
+      backtrace picks X inputs by controllability cost instead of pin
+      order (cheapest when one input suffices, hardest first when all
+      inputs are required) *)
   stats : Types.stats;
 }
 
 val create :
-  ?fault:Fsim.Fault.t -> Netlist.Node.t -> frames:int -> stats:Types.stats -> t
+  ?fault:Fsim.Fault.t ->
+  ?guide:int array * int array ->
+  Netlist.Node.t -> frames:int -> stats:Types.stats -> t
 
 (** Faulty-machine read of gate pin [pin] (honors branch-fault injection). *)
 val read_faulty : t -> int -> int -> int -> int -> Sim.Value3.t

@@ -6,4 +6,8 @@
 val config : unit -> Types.config
 
 val generate :
-  ?config:Types.config -> ?seed:int -> Netlist.Node.t -> Types.result
+  ?config:Types.config ->
+  ?seed:int ->
+  ?guide:int array * int array ->
+  Netlist.Node.t ->
+  Types.result

@@ -63,6 +63,37 @@ let controlling = function
   | Netlist.Node.Not | Netlist.Node.Buf | Netlist.Node.Xor | Netlist.Node.Xnor
     -> None
 
+(* Pick an X-valued fanin pin of [nd], or -1.  Unguided: the first X in
+   pin order (the historical behaviour).  With SCOAP guidance: when one
+   input suffices ([choice]), the cheapest one to drive to [target];
+   when all inputs must be set, the hardest first, so an infeasible
+   requirement fails as early as possible. *)
+let pick_x_input fr frame (nd : Netlist.Node.node) ~target ~choice =
+  match fr.Frames.guide with
+  | None ->
+    let x_input = ref (-1) in
+    Array.iteri
+      (fun p s ->
+        if !x_input < 0 && fr.Frames.good.(frame).(s) = Sim.Value3.X then
+          x_input := p)
+      nd.Netlist.Node.fanins;
+    !x_input
+  | Some (cc0, cc1) ->
+    let cost s = if target then cc1.(s) else cc0.(s) in
+    let best = ref (-1) and best_cost = ref 0 in
+    Array.iteri
+      (fun p s ->
+        if fr.Frames.good.(frame).(s) = Sim.Value3.X then begin
+          let k = cost s in
+          if !best < 0 || (if choice then k < !best_cost else k > !best_cost)
+          then begin
+            best := p;
+            best_cost := k
+          end
+        end)
+      nd.Netlist.Node.fanins;
+    !best
+
 (* Walk an objective (frame, node, value) in the good machine down to an
    unassigned pseudo-input decision, or None if every path is assigned. *)
 let backtrace fr frame node value =
@@ -102,23 +133,16 @@ let backtrace fr frame node value =
          | Netlist.Node.And | Netlist.Node.Nand | Netlist.Node.Or
          | Netlist.Node.Nor | Netlist.Node.Not | Netlist.Node.Buf ->
            let ctrl = controlling fn in
-           (* choose an X input *)
-           let x_input = ref (-1) in
-           Array.iteri
-             (fun p s ->
-               if !x_input < 0 && fr.Frames.good.(frame).(s) = Sim.Value3.X
-               then x_input := p)
-             nd.Netlist.Node.fanins;
-           if !x_input < 0 then None
-           else
-             let target =
-               match ctrl with
-               | None -> v_in (* Buf/Not chains *)
-               | Some cv ->
-                 if v_in = cv then cv (* one controlling input suffices *)
-                 else not cv (* all inputs must be non-controlling *)
-             in
-             go frame nd.Netlist.Node.fanins.(!x_input) target (steps + 1))
+           let target, choice =
+             match ctrl with
+             | None -> (v_in, true) (* Buf/Not chains *)
+             | Some cv ->
+               if v_in = cv then (cv, true) (* one controlling input suffices *)
+               else (not cv, false) (* all inputs must be non-controlling *)
+           in
+           let pin = pick_x_input fr frame nd ~target ~choice in
+           if pin < 0 then None
+           else go frame nd.Netlist.Node.fanins.(pin) target (steps + 1))
   in
   go frame node value 0
 
@@ -158,19 +182,15 @@ let choose_objective fr (fault : Fsim.Fault.t) =
            | Netlist.Node.Gate fn -> fn
            | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> assert false
          in
-         (* set an X input to the gate's non-controlling value *)
-         let x_input = ref (-1) in
-         Array.iteri
-           (fun p s ->
-             if !x_input < 0 && fr.Frames.good.(frame).(s) = Sim.Value3.X
-             then x_input := p)
-           nd.Netlist.Node.fanins;
-         if !x_input < 0 then Dead_end
-         else
-           let nc =
-             match controlling fn with Some cv -> not cv | None -> true
-           in
-           Obj (frame, nd.Netlist.Node.fanins.(!x_input), nc)
+         (* set an X input to the gate's non-controlling value; to advance
+            the frontier every X input must eventually be non-controlling,
+            so guided selection takes the hardest first *)
+         let nc =
+           match controlling fn with Some cv -> not cv | None -> true
+         in
+         let pin = pick_x_input fr frame nd ~target:nc ~choice:false in
+         if pin < 0 then Dead_end
+         else Obj (frame, nd.Netlist.Node.fanins.(pin), nc)
        | _ :: _ -> Dead_end)
   end
 
@@ -254,7 +274,7 @@ let cube_matches_code cube code =
     cube;
   !ok
 
-let justify ?(directory = []) c ~required ~cfg ~stats
+let justify ?(directory = []) ?guide c ~required ~cfg ~stats
     ~(learn : learn_state option) =
   let nbits = Array.length required in
   let visited = Hashtbl.create 64 in
@@ -305,7 +325,7 @@ let justify ?(directory = []) c ~required ~cfg ~stats
     let local_backtracks = ref 0 in
     let probe_limit = 60 in
     let sg = cube_signature required in
-    let fr = Frames.create c ~frames:1 ~stats in
+    let fr = Frames.create ?guide c ~frames:1 ~stats in
     if from_init then
       Array.iteri
         (fun j id ->

@@ -51,10 +51,12 @@ val compatible_with_init : Netlist.Node.t -> Sim.Value3.t array -> bool
 
 (** Justify a frame-0 state cube on the good machine; returns the input
     prefix (power-up onward) reaching a compatible state, or [None].
-    [directory] is the simulation-seeded (state, prefix) list.
+    [directory] is the simulation-seeded (state, prefix) list; [guide]
+    is the optional SCOAP [(cc0, cc1)] controllability cost table.
     @raise Out_of_budget when the budget runs out. *)
 val justify :
   ?directory:(int * Sim.Vectors.sequence) list ->
+  ?guide:int array * int array ->
   Netlist.Node.t ->
   required:Sim.Value3.t array ->
   cfg:Types.config ->

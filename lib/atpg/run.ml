@@ -75,13 +75,18 @@ let state_directory c seqs =
   List.rev !dir
 
 (* Attempt one fault deterministically. *)
-let attempt_fault ?directory c fault cfg fstats learn =
+let attempt_fault ?directory ?guide c fault cfg fstats learn =
   try
-    let fr = Frames.create ~fault c ~frames:cfg.Types.max_frames_fwd ~stats:fstats in
+    let fr =
+      Frames.create ~fault ?guide c ~frames:cfg.Types.max_frames_fwd
+        ~stats:fstats
+    in
     match Podem.phase_a fr fault cfg fstats with
     | Podem.Detected ->
       let required = Array.copy fr.Frames.ps0 in
-      (match Podem.justify ?directory c ~required ~cfg ~stats:fstats ~learn with
+      (match
+         Podem.justify ?directory ?guide c ~required ~cfg ~stats:fstats ~learn
+       with
        | Some prefix ->
          let forward =
            List.init fr.Frames.k (fun t ->
@@ -99,7 +104,7 @@ let attempt_fault ?directory c fault cfg fstats learn =
   with Podem.Out_of_budget -> Types.Gave_up
 
 let generate ?(config = Types.scaled_config ()) ?(seed = 1)
-    ?(random_sequences_count = 2) ?(random_sequence_length = 120) c =
+    ?(random_sequences_count = 2) ?(random_sequence_length = 120) ?guide c =
   let cfg = config in
   let faults = Fsim.Collapse.list c in
   let n = Array.length faults in
@@ -162,7 +167,9 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
            if Types.work_units stats > total_budget then raise Exit;
            let fstats = Types.new_stats () in
            let learn_arg = if cfg.Types.learn then Some learn_state else None in
-           let outcome = attempt_fault ~directory c fault cfg fstats learn_arg in
+           let outcome =
+             attempt_fault ~directory ?guide c fault cfg fstats learn_arg
+           in
            merge_stats ~into:stats fstats;
            (match outcome with
            | Types.Tested seq ->

@@ -32,9 +32,12 @@ val state_directory :
   Netlist.Node.t -> Sim.Vectors.sequence list ->
   (int * Sim.Vectors.sequence) list
 
-(** Deterministic attempt on one fault (exposed for tests/benches). *)
+(** Deterministic attempt on one fault (exposed for tests/benches).
+    [guide] is the optional SCOAP [(cc0, cc1)] cost table steering
+    PODEM's backtrace input choice. *)
 val attempt_fault :
   ?directory:(int * Sim.Vectors.sequence) list ->
+  ?guide:int array * int array ->
   Netlist.Node.t ->
   Fsim.Fault.t ->
   Types.config ->
@@ -42,11 +45,13 @@ val attempt_fault :
   Podem.learn_state option ->
   Types.fault_outcome
 
-(** Run the whole flow on a circuit. *)
+(** Run the whole flow on a circuit.  [guide] as in {!attempt_fault};
+    omitted (the default) the engine behaves exactly as before. *)
 val generate :
   ?config:Types.config ->
   ?seed:int ->
   ?random_sequences_count:int ->
   ?random_sequence_length:int ->
+  ?guide:int array * int array ->
   Netlist.Node.t ->
   Types.result

@@ -6,4 +6,5 @@
 let config () =
   Types.scaled_config ~base:{ Types.default_config with learn = true } ()
 
-let generate ?config:(cfg = config ()) ?seed c = Run.generate ~config:cfg ?seed c
+let generate ?config:(cfg = config ()) ?seed ?guide c =
+  Run.generate ~config:cfg ?seed ?guide c

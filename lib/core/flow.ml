@@ -42,6 +42,11 @@ let build ?(period_slack = default_period_slack) fsm_name algorithm script =
   let retimed, retimed_period, prefix_length =
     Retime.Apply.retime_aggressive ?prefix_input ~period_slack original
   in
+  (* error-level lint gate on the retimed circuit (the original was gated
+     by the synthesis flow) *)
+  Lint.Report.assert_clean
+    ~what:("retiming of " ^ synth.Synth.Flow.name)
+    retimed;
   {
     name = synth.Synth.Flow.name;
     fsm = entry;

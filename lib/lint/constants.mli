@@ -1,0 +1,14 @@
+(** Constant-provable nodes via ternary reachability: primary inputs X,
+    registers seeded with their power-up values and widened (0 ⊔ 1 = X)
+    to a fixpoint.  A binary result proves the node holds that value at
+    {e every} cycle under {e every} input sequence.
+
+    Requires a cycle-free circuit ([order] is trusted); run the cycle
+    rule first. *)
+
+(** Per-node abstract value at the fixpoint ([Zero]/[One] = proved
+    constant, [X] = not provably constant). *)
+val values : Netlist.Node.t -> Sim.Value3.t array
+
+(** [Some b] when node [id] is proved constant at [b]. *)
+val constant_value : Sim.Value3.t array -> int -> bool option

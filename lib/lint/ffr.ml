@@ -1,0 +1,59 @@
+(* Fanout-free regions: the classic ATPG partition of the combinational
+   logic.  A gate is the root of its region when its output is a stem
+   (fanout <> 1), drives a primary output, or feeds a register; every
+   other gate belongs to the region of its unique reader.  Faults inside
+   an FFR all funnel through the root, so the hardest SCOAP score inside
+   a region is a per-region hard-to-test figure the ATPG cost model and
+   the NET007 rule both use. *)
+
+type region = { root : int; members : int list }
+(* members in ascending node id, root included *)
+
+let extract c =
+  let n = Netlist.Node.num_nodes c in
+  let po_driver = Array.make n false in
+  Array.iter (fun (_, id) -> po_driver.(id) <- true) c.Netlist.Node.pos;
+  let root = Array.make n (-1) in
+  let rec root_of id =
+    if root.(id) >= 0 then root.(id)
+    else begin
+      let r =
+        if po_driver.(id) then id
+        else
+          match c.Netlist.Node.fanouts.(id) with
+          | [| reader |] ->
+            (match (Netlist.Node.node c reader).Netlist.Node.kind with
+             | Netlist.Node.Gate _ -> root_of reader
+             | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> id)
+          | _ -> id
+      in
+      root.(id) <- r;
+      r
+    end
+  in
+  let members = Hashtbl.create 97 in
+  Array.iter
+    (fun (nd : Netlist.Node.node) ->
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Gate _ ->
+        let r = root_of nd.Netlist.Node.id in
+        let cur = try Hashtbl.find members r with Not_found -> [] in
+        Hashtbl.replace members r (nd.Netlist.Node.id :: cur)
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ())
+    c.Netlist.Node.nodes;
+  Hashtbl.fold (fun root ms acc -> { root; members = List.rev ms } :: acc)
+    members []
+  |> List.sort (fun a b -> compare a.root b.root)
+
+(* Hardest (max) per-node SCOAP detection cost inside the region. *)
+let score scoap region =
+  List.fold_left
+    (fun acc id -> max acc (Scoap.testability scoap id))
+    0 region.members
+
+(* Regions sorted hardest first (score, then root id for determinism). *)
+let ranked c scoap =
+  extract c
+  |> List.map (fun r -> (score scoap r, r))
+  |> List.sort (fun (sa, ra) (sb, rb) ->
+         if sa <> sb then compare sb sa else compare ra.root rb.root)

@@ -1,0 +1,18 @@
+(** Fanout-free regions of the combinational logic: every gate funnels
+    into the unique stem/PO/register-input "root" it reaches through
+    single-fanout wires.  Used for per-region hard-to-test scoring. *)
+
+type region = {
+  root : int;          (** region output: a stem, PO driver, or DFF feeder *)
+  members : int list;  (** gate ids, ascending, root included *)
+}
+
+(** All regions, ordered by root id.  Only gates form regions; PIs and
+    DFF outputs are region inputs. *)
+val extract : Netlist.Node.t -> region list
+
+(** Hardest {!Scoap.testability} score among the region's members. *)
+val score : Scoap.t -> region -> int
+
+(** Regions with their scores, hardest first (ties by root id). *)
+val ranked : Netlist.Node.t -> Scoap.t -> (int * region) list

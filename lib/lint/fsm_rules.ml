@@ -1,0 +1,98 @@
+(* FSM lint rules over Fsm.Machine:
+
+   FSM001  Warning  unreachable state (from reset, completed semantics)
+   FSM002  Warning  dead state: reachable but no specified transition
+                    leaves it (a trap under the completed semantics)
+   FSM003  Error    nondeterministic transitions: overlapping input cubes
+                    of one state with conflicting behaviour
+   FSM004  Info     incompletely specified machine: (state, input) pairs
+                    with no matching transition (one aggregated diag) *)
+
+let rule_unreachable = "FSM001"
+let rule_dead_state = "FSM002"
+let rule_nondet = "FSM003"
+let rule_incomplete = "FSM004"
+
+let state_loc (m : Fsm.Machine.t) i =
+  Diag.State { index = i; name = m.Fsm.Machine.state_names.(i) }
+
+let unreachable_states (m : Fsm.Machine.t) =
+  let n = Fsm.Machine.num_states m in
+  let reach = Array.make n false in
+  List.iter (fun s -> reach.(s) <- true) (Fsm.Machine.reachable_states m);
+  let out = ref [] in
+  for s = n - 1 downto 0 do
+    if not reach.(s) then
+      out :=
+        Diag.make ~rule:rule_unreachable ~severity:Diag.Warning
+          ~loc:(state_loc m s) "unreachable from the reset state"
+        :: !out
+  done;
+  !out
+
+let dead_states (m : Fsm.Machine.t) =
+  let n = Fsm.Machine.num_states m in
+  let reach = Array.make n false in
+  List.iter (fun s -> reach.(s) <- true) (Fsm.Machine.reachable_states m);
+  let leaves = Array.make n false in
+  Array.iter
+    (fun (t : Fsm.Machine.transition) ->
+      if t.Fsm.Machine.dst <> t.Fsm.Machine.src then
+        leaves.(t.Fsm.Machine.src) <- true)
+    m.Fsm.Machine.transitions;
+  let out = ref [] in
+  for s = n - 1 downto 0 do
+    if reach.(s) && not leaves.(s) then
+      out :=
+        Diag.make ~rule:rule_dead_state ~severity:Diag.Warning
+          ~loc:(state_loc m s)
+          "dead state: no transition leaves it (trap under the completed \
+           semantics)"
+        :: !out
+  done;
+  !out
+
+let nondeterministic (m : Fsm.Machine.t) =
+  List.map
+    (fun (i, j) ->
+      let src = m.Fsm.Machine.transitions.(i).Fsm.Machine.src in
+      Diag.make ~rule:rule_nondet ~severity:Diag.Error ~loc:(Diag.Transition i)
+        (Printf.sprintf
+           "nondeterministic: transitions %d and %d of state %s overlap \
+            with conflicting behaviour"
+           i j m.Fsm.Machine.state_names.(src)))
+    (Fsm.Machine.nondeterminism m)
+
+(* Count the (state, input) pairs no transition matches; the completed
+   semantics turns them into all-0 self-loops, which synthesis exploits
+   as don't cares — an Info, not a defect. *)
+let incompletely_specified (m : Fsm.Machine.t) =
+  let codes = 1 lsl m.Fsm.Machine.num_inputs in
+  let n = Fsm.Machine.num_states m in
+  let missing = ref 0 in
+  let states_hit = ref 0 in
+  for s = 0 to n - 1 do
+    let holes = ref 0 in
+    for code = 0 to codes - 1 do
+      match Fsm.Machine.step_opt m ~state:s ~input_code:code with
+      | Some _ -> ()
+      | None -> incr holes
+    done;
+    if !holes > 0 then begin
+      incr states_hit;
+      missing := !missing + !holes
+    end
+  done;
+  if !missing = 0 then []
+  else
+    [
+      Diag.make ~rule:rule_incomplete ~severity:Diag.Info ~loc:Diag.Circuit
+        (Printf.sprintf
+           "incompletely specified: %d (state, input) pair(s) across %d \
+            state(s) have no transition (completed as all-0 self-loops)"
+           !missing !states_hit);
+    ]
+
+let lint m =
+  unreachable_states m @ dead_states m @ nondeterministic m
+  @ incompletely_specified m

@@ -1,0 +1,26 @@
+(** Minimal JSON tree used by the lint reporters.  Numbers are integers
+    (every lint metric is integral), which keeps the print/parse cycle
+    exact for the round-trip tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with full string escaping. *)
+val to_string : t -> string
+
+exception Parse_error of string
+
+(** Inverse of {!to_string} on the subset this module emits.
+    @raise Parse_error on malformed input. *)
+val parse : string -> t
+
+(** Object field lookup; [None] on missing key or non-object. *)
+val member : string -> t -> t option
+
+(** Structural equality (object field order is significant). *)
+val equal : t -> t -> bool

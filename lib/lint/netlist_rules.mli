@@ -1,0 +1,64 @@
+(** Netlist lint rules.  Rule catalogue:
+
+    - [NET001] (Error): combinational cycle, proved by DFS — [order] is
+      not trusted.
+    - [NET002] (Error): structural defect ({!Netlist.Check} wrapped).
+    - [NET003] (Warning): dead logic — fanout-free node driving no PO.
+    - [NET004] (Warning): unobservable logic — no structural path to a PO.
+    - [NET005] (Warning): constant-provable node (ternary propagation).
+    - [NET006] (Info): statically untestable fault, with its proof cause.
+    - [NET007] (Info): hard-to-test fanout-free region (SCOAP-scored).
+
+    NET003..NET007 trust [order] and must only run after NET001/NET002
+    pass ({!Report} stages this). *)
+
+val rule_cycle : string
+val rule_structure : string
+val rule_dead : string
+val rule_unobservable : string
+val rule_constant : string
+val rule_untestable : string
+val rule_hard_ffr : string
+
+val combinational_cycles : Netlist.Node.t -> Diag.t list
+val structure : Netlist.Node.t -> Diag.t list
+val dead_logic : Netlist.Node.t -> Diag.t list
+
+(** Per-node: can the output reach some PO structurally (registers
+    transparent)?  Invariant under retiming. *)
+val structurally_observable : Netlist.Node.t -> bool array
+
+(** Like {!structurally_observable} but propagation through a gate is
+    blocked when a sibling input is proved constant at the controlling
+    value ([values] from {!Constants.values}). *)
+val fault_observable : Netlist.Node.t -> Sim.Value3.t array -> bool array
+
+val unobservable : Netlist.Node.t -> structural_obs:bool array -> Diag.t list
+val constants : Netlist.Node.t -> Sim.Value3.t array -> Diag.t list
+
+type cause = Unexcitable | Unpropagatable
+
+val cause_to_string : cause -> string
+
+(** Static untestability proof for one fault, or [None]. [obs] must come
+    from {!fault_observable}. *)
+val fault_cause :
+  Netlist.Node.t -> Sim.Value3.t array -> bool array -> Fsim.Fault.t ->
+  cause option
+
+(** [(total collapsed faults, proved untestable ones with causes)]. *)
+val untestable_faults :
+  Netlist.Node.t -> Sim.Value3.t array -> bool array ->
+  int * (Fsim.Fault.t * cause) list
+
+val untestable_diags :
+  Netlist.Node.t -> (Fsim.Fault.t * cause) list -> Diag.t list
+
+(** Statically-untestable count over the full fault universe restricted
+    to gate/PI sites — the retiming-invariant metric asserted by the
+    Theorem-1 property test (register sites are excluded because the
+    register count legitimately changes under retiming). *)
+val invariant_untestable_count :
+  Netlist.Node.t -> Sim.Value3.t array -> bool array -> int
+
+val hard_ffrs : ?top:int -> Netlist.Node.t -> Scoap.t -> Diag.t list

@@ -1,0 +1,166 @@
+(* Lint driver: stages the rules, assembles the summary, renders text and
+   JSON, and provides the error-level gate the synthesis/retiming flows
+   assert after every transformation. *)
+
+type netlist_summary = {
+  diags : Diag.t list;
+  total_faults : int;
+  untestable : int;
+  invariant_untestable : int;
+  scoap : Scoap.t option;
+}
+
+(* Staged: the value analyses trust [order], so they only run when the
+   error-level rules (cycles, structure) pass. *)
+let lint_netlist ?(ffr_top = 3) c =
+  let errors = Netlist_rules.combinational_cycles c @ Netlist_rules.structure c in
+  if Diag.has_errors errors then
+    {
+      diags = Diag.sort errors;
+      total_faults = 0;
+      untestable = 0;
+      invariant_untestable = 0;
+      scoap = None;
+    }
+  else begin
+    let values = Constants.values c in
+    let structural_obs = Netlist_rules.structurally_observable c in
+    let obs = Netlist_rules.fault_observable c values in
+    let scoap = Scoap.compute c in
+    let total_faults, proved = Netlist_rules.untestable_faults c values obs in
+    let diags =
+      errors
+      @ Netlist_rules.dead_logic c
+      @ Netlist_rules.unobservable c ~structural_obs
+      @ Netlist_rules.constants c values
+      @ Netlist_rules.untestable_diags c proved
+      @ Netlist_rules.hard_ffrs ~top:ffr_top c scoap
+    in
+    {
+      diags = Diag.sort diags;
+      total_faults;
+      untestable = List.length proved;
+      invariant_untestable =
+        Netlist_rules.invariant_untestable_count c values obs;
+      scoap = Some scoap;
+    }
+  end
+
+let lint_fsm m = Diag.sort (Fsm_rules.lint m)
+
+(* The post-transform gate: error-level rules only (cheap), raising with
+   every firing rule so the failure names the defect precisely. *)
+let assert_clean ~what c =
+  let errors =
+    List.filter
+      (fun d -> d.Diag.severity = Diag.Error)
+      (Netlist_rules.combinational_cycles c @ Netlist_rules.structure c)
+  in
+  match errors with
+  | [] -> ()
+  | ds ->
+    let msgs = List.map (fun d -> Fmt.str "%a" Diag.pp d) ds in
+    failwith
+      (Printf.sprintf "lint gate failed after %s: %s" what
+         (String.concat "; " msgs))
+
+(* --- text ------------------------------------------------------------------- *)
+
+let pp_counts ppf diags =
+  Fmt.pf ppf "%d error(s), %d warning(s), %d info"
+    (Diag.count_severity Diag.Error diags)
+    (Diag.count_severity Diag.Warning diags)
+    (Diag.count_severity Diag.Info diags)
+
+let pp_netlist ppf (name, s) =
+  Fmt.pf ppf "lint %s: %a@." name pp_counts s.diags;
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Diag.pp d) s.diags;
+  Fmt.pf ppf
+    "  faults: %d collapsed, %d statically untestable; invariant \
+     (gate/PI-site) untestable count %d@."
+    s.total_faults s.untestable s.invariant_untestable
+
+let pp_fsm ppf (name, diags) =
+  Fmt.pf ppf "lint fsm %s: %a@." name pp_counts diags;
+  List.iter (fun d -> Fmt.pf ppf "  %a@." Diag.pp d) diags
+
+(* --- JSON ------------------------------------------------------------------- *)
+
+let summary_json diags rest =
+  Json.Obj
+    ([
+       ("errors", Json.Int (Diag.count_severity Diag.Error diags));
+       ("warnings", Json.Int (Diag.count_severity Diag.Warning diags));
+       ("infos", Json.Int (Diag.count_severity Diag.Info diags));
+     ]
+    @ rest)
+
+let scoap_json c (s : Scoap.t) =
+  Json.List
+    (Array.to_list
+       (Array.map
+          (fun (nd : Netlist.Node.node) ->
+            let id = nd.Netlist.Node.id in
+            Json.Obj
+              [
+                ("node", Json.String nd.Netlist.Node.name);
+                ("cc0", Json.Int s.Scoap.cc0.(id));
+                ("cc1", Json.Int s.Scoap.cc1.(id));
+                ("sc0", Json.Int s.Scoap.sc0.(id));
+                ("sc1", Json.Int s.Scoap.sc1.(id));
+                ("co", Json.Int s.Scoap.co.(id));
+                ("so", Json.Int s.Scoap.so.(id));
+              ])
+          c.Netlist.Node.nodes))
+
+let netlist_to_json ?(include_scoap = false) ~name c s =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("kind", Json.String "netlist");
+       ("diagnostics", Json.List (List.map Diag.to_json s.diags));
+       ( "summary",
+         summary_json s.diags
+           [
+             ("total_faults", Json.Int s.total_faults);
+             ("untestable", Json.Int s.untestable);
+             ("invariant_untestable", Json.Int s.invariant_untestable);
+           ] );
+     ]
+    @
+    match s.scoap with
+    | Some sc when include_scoap -> [ ("scoap", scoap_json c sc) ]
+    | _ -> [])
+
+let fsm_to_json ~name diags =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("kind", Json.String "fsm");
+      ("diagnostics", Json.List (List.map Diag.to_json diags));
+      ("summary", summary_json diags []);
+    ]
+
+(* --- catalogue --------------------------------------------------------------- *)
+
+let catalogue =
+  [
+    (Netlist_rules.rule_cycle, Diag.Error, "combinational cycle");
+    (Netlist_rules.rule_structure, Diag.Error,
+     "structural defect (dangling fanin, bad arity, unconnected DFF, \
+      duplicate node/PO name)");
+    (Netlist_rules.rule_dead, Diag.Warning, "dead (fanout-free, non-PO) logic");
+    (Netlist_rules.rule_unobservable, Diag.Warning,
+     "unobservable logic: no structural path to any PO");
+    (Netlist_rules.rule_constant, Diag.Warning,
+     "constant-provable node (ternary propagation)");
+    (Netlist_rules.rule_untestable, Diag.Info,
+     "statically untestable fault (unexcitable or unpropagatable)");
+    (Netlist_rules.rule_hard_ffr, Diag.Info,
+     "hard-to-test fanout-free region (SCOAP-scored)");
+    (Fsm_rules.rule_unreachable, Diag.Warning, "state unreachable from reset");
+    (Fsm_rules.rule_dead_state, Diag.Warning, "dead (trap) state");
+    (Fsm_rules.rule_nondet, Diag.Error, "nondeterministic transitions");
+    (Fsm_rules.rule_incomplete, Diag.Info,
+     "incompletely specified (state, input) pairs");
+  ]

@@ -119,12 +119,10 @@ let finalize b =
   for id = 0 to n - 1 do
     visit id
   done;
-  {
-    Node.nodes;
-    pis = Array.of_list (List.rev b.pis);
-    pos = Array.of_list (List.rev b.pos);
-    dffs = Array.of_list (List.rev b.dffs);
-    fanouts;
-    order = Array.of_list (List.rev !order);
-    level;
-  }
+  Node.make ~nodes
+    ~pis:(Array.of_list (List.rev b.pis))
+    ~pos:(Array.of_list (List.rev b.pos))
+    ~dffs:(Array.of_list (List.rev b.dffs))
+    ~fanouts
+    ~order:(Array.of_list (List.rev !order))
+    ~level

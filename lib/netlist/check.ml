@@ -7,6 +7,7 @@ type problem =
   | Dff_unconnected of string
   | Po_dangling of string
   | Duplicate_name of string
+  | Duplicate_po of string
 
 let problem_to_string = function
   | Dangling_fanin s -> Printf.sprintf "dangling fanin at %s" s
@@ -14,6 +15,7 @@ let problem_to_string = function
   | Dff_unconnected s -> Printf.sprintf "DFF %s has no data input" s
   | Po_dangling s -> Printf.sprintf "PO %s driven by missing node" s
   | Duplicate_name s -> Printf.sprintf "duplicate node name %s" s
+  | Duplicate_po s -> Printf.sprintf "duplicate primary-output name %s" s
 
 let problems c =
   let n = Node.num_nodes c in
@@ -22,6 +24,8 @@ let problems c =
   Array.iter
     (fun nd ->
       let arity = Array.length nd.Node.fanins in
+      (* A DFF's out-of-range data input is reported as [Dff_unconnected]
+         only; the generic fanin sweep below covers the other kinds. *)
       (match nd.Node.kind with
        | Node.Pi _ -> if arity <> 0 then add (Bad_arity nd.Node.name)
        | Node.Dff _ ->
@@ -30,9 +34,12 @@ let problems c =
            add (Dff_unconnected nd.Node.name)
        | Node.Gate fn ->
          if not (Node.arity_ok fn arity) then add (Bad_arity nd.Node.name));
-      Array.iter
-        (fun f -> if f < 0 || f >= n then add (Dangling_fanin nd.Node.name))
-        nd.Node.fanins)
+      (match nd.Node.kind with
+       | Node.Dff _ -> ()
+       | Node.Pi _ | Node.Gate _ ->
+         Array.iter
+           (fun f -> if f < 0 || f >= n then add (Dangling_fanin nd.Node.name))
+           nd.Node.fanins))
     c.Node.nodes;
   Array.iter
     (fun (name, id) -> if id < 0 || id >= n then add (Po_dangling name))
@@ -43,6 +50,12 @@ let problems c =
       if Hashtbl.mem seen nd.Node.name then add (Duplicate_name nd.Node.name)
       else Hashtbl.add seen nd.Node.name ())
     c.Node.nodes;
+  let po_seen = Hashtbl.create 17 in
+  Array.iter
+    (fun (name, _) ->
+      if Hashtbl.mem po_seen name then add (Duplicate_po name)
+      else Hashtbl.add po_seen name ())
+    c.Node.pos;
   List.rev !out
 
 let is_well_formed c = problems c = []

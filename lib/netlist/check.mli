@@ -7,6 +7,7 @@ type problem =
   | Dff_unconnected of string
   | Po_dangling of string
   | Duplicate_name of string
+  | Duplicate_po of string
 
 val problem_to_string : problem -> string
 

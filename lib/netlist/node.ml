@@ -27,7 +27,20 @@ type t = {
   fanouts : int array array;      (* per node: ids of reading nodes *)
   order : int array;              (* gate ids in combinational topo order *)
   level : int array;              (* per node: combinational level, sources 0 *)
+  name_index : (string, int) Hashtbl.t Lazy.t;
+  (* name -> id, built on first lookup; first node wins on duplicates *)
 }
+
+let make ~nodes ~pis ~pos ~dffs ~fanouts ~order ~level =
+  let name_index =
+    lazy
+      (let t = Hashtbl.create (2 * Array.length nodes) in
+       Array.iter
+         (fun nd -> if not (Hashtbl.mem t nd.name) then Hashtbl.add t nd.name nd.id)
+         nodes;
+       t)
+  in
+  { nodes; pis; pos; dffs; fanouts; order; level; name_index }
 
 let gate_fn_name = function
   | And -> "AND" | Or -> "OR" | Nand -> "NAND" | Nor -> "NOR"
@@ -67,13 +80,7 @@ let dff_init c id =
   | Dff { init } -> init
   | Pi _ | Gate _ -> invalid_arg "Node.dff_init: not a DFF"
 
-let find_by_name c name =
-  let rec loop i =
-    if i >= Array.length c.nodes then raise Not_found
-    else if String.equal c.nodes.(i).name name then i
-    else loop (i + 1)
-  in
-  loop 0
+let find_by_name c name = Hashtbl.find (Lazy.force c.name_index) name
 
 (* Default per-gate delay model (arbitrary "nsec"-like units), loosely shaped
    after mcnc.genlib: inverters fast, wide gates slower. *)

@@ -31,7 +31,17 @@ type t = {
   fanouts : int array array;    (** per node: ids of reading nodes *)
   order : int array;            (** gate ids in combinational topo order *)
   level : int array;            (** per node: combinational level; sources 0 *)
+  name_index : (string, int) Hashtbl.t Lazy.t;
+  (** name -> id, built lazily on first {!find_by_name} *)
 }
+
+(** Assemble a circuit record (the only way to obtain a consistent
+    [name_index]); {!Build.finalize} and hand-built test fixtures both go
+    through here. *)
+val make :
+  nodes:node array -> pis:int array -> pos:(string * int) array ->
+  dffs:int array -> fanouts:int array array -> order:int array ->
+  level:int array -> t
 
 (** Printable name of a gate function (e.g. ["NAND"]). *)
 val gate_fn_name : gate_fn -> string
@@ -58,7 +68,8 @@ val is_pi : t -> int -> bool
     @raise Invalid_argument if the node is not a DFF. *)
 val dff_init : t -> int -> bool
 
-(** Linear scan by name.  @raise Not_found when absent. *)
+(** Name lookup through a lazily-built hash index (amortized O(1)).
+    @raise Not_found when absent. *)
 val find_by_name : t -> string -> int
 
 (** Default per-cell delay model (loosely shaped after mcnc.genlib):

@@ -43,6 +43,9 @@ let synthesize ?(use_seq_dc = true) ?(minimize_states = true)
       (Assign.algorithm_tag algorithm)
       (script_tag script)
   in
+  (* error-level lint gate: a mapped netlist with a combinational cycle or
+     structural defect must never leave the synthesis flow *)
+  Lint.Report.assert_clean ~what:("synthesis of " ^ name) circuit;
   { name; machine = m; codes; bits; circuit; reset_line }
 
 (* State code of the machine's reset state — always 0 by construction. *)

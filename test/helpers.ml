@@ -53,6 +53,11 @@ let synthesize_small ?(alg = Synth.Assign.Input_dominant)
   Synth.Flow.synthesize ~reset_line ~algorithm:alg ~script
     (small_fsm ?seed ?states ())
 
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
 let qcheck_case ?(count = 100) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)

@@ -11,5 +11,6 @@ let () =
       ("fsim", Test_fsim.suite);
       ("atpg", Test_atpg.suite);
       ("core", Test_core.suite);
+      ("lint", Test_lint.suite);
       ("dft", Test_dft.suite);
     ]
