@@ -5,6 +5,7 @@
      dune exec bench/main.exe                 everything
      dune exec bench/main.exe -- tables       only the table regeneration
      dune exec bench/main.exe -- micro        only the micro-benchmarks
+     dune exec bench/main.exe -- atpg         engine grid -> BENCH_atpg.json
      SATPG_BUDGET=4 dune exec bench/main.exe  higher-fidelity ATPG runs
 
    Ablations (design choices from DESIGN.md §6) run with the tables:
@@ -84,6 +85,58 @@ let run_tables () =
   ablation_learning ();
   say "@.(table regeneration took %.1fs; scale with SATPG_BUDGET)@."
     (Unix.gettimeofday () -. t0)
+
+(* --------------------------------------------------- engine benchmark JSON *)
+
+(* Engine x benchmark grid on the dk16.ji.sd pair, written to
+   BENCH_atpg.json (schema documented in results/README.md): one record per
+   run with deterministic work units, wall seconds and fault coverage. *)
+let run_atpg_json ?(file = "BENCH_atpg.json") () =
+  let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  let engines =
+    [
+      ("hitec", fun c -> Atpg.Hitec.generate c);
+      ("attest", fun c -> Atpg.Attest.generate c);
+      ("sest", fun c -> Atpg.Sest.generate c);
+    ]
+  in
+  let circuits =
+    [ (p.Core.Flow.name, p.Core.Flow.original);
+      (p.Core.Flow.name ^ ".re", p.Core.Flow.retimed) ]
+  in
+  let records =
+    List.concat_map
+      (fun (engine, generate) ->
+        List.map
+          (fun (bench, circuit) ->
+            let t0 = Unix.gettimeofday () in
+            let r = generate circuit in
+            let wall = Unix.gettimeofday () -. t0 in
+            say "  %-7s %-12s FC %5.1f%%  work %9d  wall %6.2fs@." engine
+              bench r.Atpg.Types.fault_coverage
+              (Atpg.Types.work_units r.Atpg.Types.stats)
+              wall;
+            Obs.Json.Obj
+              [
+                ("engine", Obs.Json.String engine);
+                ("benchmark", Obs.Json.String bench);
+                ( "work_units",
+                  Obs.Json.Int (Atpg.Types.work_units r.Atpg.Types.stats) );
+                ("wall_s", Obs.Json.Float wall);
+                ("coverage", Obs.Json.Float r.Atpg.Types.fault_coverage);
+              ])
+          circuits)
+      engines
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string (Obs.Json.List records));
+  output_char oc '\n';
+  close_out oc;
+  say "wrote %s (%d records)@." file (List.length records)
+
+let run_atpg () =
+  say "ATPG engine benchmark (dk16.ji.sd pair, 3 engines):@.";
+  run_atpg_json ()
 
 (* ---------------------------------------------------------- micro benchmarks *)
 
@@ -200,7 +253,9 @@ let () =
   (match mode with
    | "tables" -> run_tables ()
    | "micro" -> run_micro ()
+   | "atpg" -> run_atpg ()
    | _ ->
      run_micro ();
-     run_tables ());
+     run_tables ();
+     run_atpg ());
   Fmt.flush Fmt.stdout ()

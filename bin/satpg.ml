@@ -4,10 +4,16 @@
      synth       synthesize a benchmark FSM and print circuit statistics
      retime      retime a synthesized circuit and compare the pair
      atpg        run one of the three ATPG engines on a circuit
+     profile     instrumented engine run on a pair + hot-spot tables
      lint        static analysis: FSM + netlist rules, testability metrics
      analyze     structural attributes + density of encoding
      kiss        dump a benchmark FSM in KISS2 format
      tables      regenerate the paper's tables (1-8) and Figure 3
+
+   Observability (off by default, zero overhead when off):
+     --trace FILE    Chrome trace-event JSON (Perfetto / chrome://tracing)
+     --metrics FILE  JSON snapshot of the global metrics registry
+     --events FILE   per-fault JSONL event records
 *)
 
 open Cmdliner
@@ -19,6 +25,63 @@ let setup_logs style_renderer level =
 
 let logging =
   Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+(* --- observability plumbing ------------------------------------------------- *)
+
+let obs_args =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "Write a Chrome trace-event JSON file of the run; load it in \
+                Perfetto (ui.perfetto.dev) or chrome://tracing.  Timestamps \
+                are deterministic work units; wall-clock microseconds ride \
+                along as a per-event argument.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:
+               "Write a JSON snapshot of the metrics registry (counters, \
+                gauges, histograms) at exit.")
+  in
+  let events =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE"
+             ~doc:
+               "Write per-fault JSONL event records (one JSON object per \
+                line): outcome, work, backtracks, decisions, frames, \
+                drop credit.")
+  in
+  Term.(const (fun t m e -> (t, m, e)) $ trace $ metrics $ events)
+
+(* Install sinks for the given artifact files (or unconditionally with
+   [force], as `satpg profile` does), run [f], then write the files.  With
+   all three flags absent and no force, nothing is installed and the run
+   is bit-identical to an uninstrumented one. *)
+let with_obs ?(force = false) (trace, metrics, events) f =
+  let tsink =
+    if force || trace <> None then
+      Some (Obs.Trace.create ~wallclock:Unix.gettimeofday ())
+    else None
+  in
+  let esink =
+    if force || events <> None then Some (Obs.Events.create ()) else None
+  in
+  (match tsink with Some s -> Obs.Trace.install s | None -> ());
+  (match esink with Some s -> Obs.Events.install s | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.uninstall ();
+      Obs.Events.uninstall ();
+      (match trace, tsink with
+       | Some file, Some s -> Obs.Trace.write s file
+       | _ -> ());
+      (match events, esink with
+       | Some file, Some s -> Obs.Events.write s file
+       | _ -> ());
+      match metrics with Some file -> Obs.Metrics.write file | None -> ())
+    f
 
 let fsm_arg =
   let doc = "Benchmark FSM name (dk16, pma, s510, s820, s832, scf)." in
@@ -57,7 +120,8 @@ let retimed_flag =
 (* --- synth ----------------------------------------------------------------- *)
 
 let synth_cmd =
-  let run () fsm alg script =
+  let run () obs fsm alg script =
+    with_obs obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     Fmt.pr "%s: %a@." p.Core.Flow.name Netlist.Node.pp_summary p.Core.Flow.original;
     Fmt.pr "  %a@." Netlist.Stats.pp (Netlist.Stats.of_circuit p.Core.Flow.original);
@@ -65,12 +129,13 @@ let synth_cmd =
       (Fsm.Machine.num_states p.Core.Flow.synth.Synth.Flow.machine)
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a benchmark FSM")
-    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg)
+    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg $ script_arg)
 
 (* --- retime ---------------------------------------------------------------- *)
 
 let retime_cmd =
-  let run () fsm alg script =
+  let run () obs fsm alg script =
+    with_obs obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     Fmt.pr "original: %a@." Netlist.Node.pp_summary p.Core.Flow.original;
     Fmt.pr "retimed : %a@." Netlist.Node.pp_summary p.Core.Flow.retimed;
@@ -79,7 +144,7 @@ let retime_cmd =
       p.Core.Flow.prefix_length
   in
   Cmd.v (Cmd.info "retime" ~doc:"Retime a synthesized circuit")
-    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg)
+    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg $ script_arg)
 
 (* --- atpg ------------------------------------------------------------------ *)
 
@@ -91,12 +156,21 @@ let atpg_cmd =
                "Steer PODEM's backtrace by SCOAP controllability costs \
                 (hitec/sest only; bypasses the result cache).")
   in
-  let run () fsm alg script engine retimed scoap =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Print the result summary as one JSON object (coverage, work \
+                accounting, per-status fault counts) instead of text.")
+  in
+  let run () obs fsm alg script engine retimed scoap json =
+    with_obs obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
     let r =
       if scoap then begin
+        Core.Cache.note_bypass ();
         let guide = Lint.Scoap.controllability (Lint.Scoap.compute circuit) in
         match engine with
         | Core.Cache.Hitec -> Atpg.Hitec.generate ~guide circuit
@@ -107,20 +181,120 @@ let atpg_cmd =
       end
       else Core.Cache.atpg engine ~name circuit
     in
-    Fmt.pr "%s on %s:@." (Core.Cache.atpg_kind_name engine) name;
-    Fmt.pr "  faults        %d@." (Array.length r.Atpg.Types.faults);
-    Fmt.pr "  coverage      %.1f%%@." r.Atpg.Types.fault_coverage;
-    Fmt.pr "  efficiency    %.1f%%@." r.Atpg.Types.fault_efficiency;
-    Fmt.pr "  work units    %d@." (Atpg.Types.work_units r.Atpg.Types.stats);
-    Fmt.pr "  states seen   %d@."
-      (Hashtbl.length r.Atpg.Types.stats.Atpg.Types.states);
-    Fmt.pr "  test sequences %d (total %d vectors)@."
-      (List.length r.Atpg.Types.test_sets)
-      (List.fold_left (fun a s -> a + List.length s) 0 r.Atpg.Types.test_sets)
+    let cache = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
+    if json then
+      print_endline
+        (Obs.Json.to_string
+           (Atpg.Types.result_to_json
+              ~extra:
+                [
+                  ("circuit", Obs.Json.String name);
+                  ( "engine",
+                    Obs.Json.String (Core.Cache.atpg_kind_name engine) );
+                  ("cache", Obs.Json.String cache);
+                ]
+              r))
+    else begin
+      Fmt.pr "%s on %s:@." (Core.Cache.atpg_kind_name engine) name;
+      Fmt.pr "  cache         %s@." cache;
+      Fmt.pr "  faults        %d@." (Array.length r.Atpg.Types.faults);
+      Fmt.pr "  coverage      %.1f%%@." r.Atpg.Types.fault_coverage;
+      Fmt.pr "  efficiency    %.1f%%@." r.Atpg.Types.fault_efficiency;
+      Fmt.pr "  work units    %d@." (Atpg.Types.work_units r.Atpg.Types.stats);
+      Fmt.pr "  states seen   %d@."
+        (Hashtbl.length r.Atpg.Types.stats.Atpg.Types.states);
+      Fmt.pr "  test sequences %d (total %d vectors)@."
+        (List.length r.Atpg.Types.test_sets)
+        (List.fold_left (fun a s -> a + List.length s) 0 r.Atpg.Types.test_sets)
+    end
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run an ATPG engine on a circuit")
+    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg $ script_arg
+          $ engine_arg $ retimed_flag $ scoap_flag $ json_flag)
+
+(* --- profile --------------------------------------------------------------- *)
+
+let profile_cmd =
+  let topk_arg =
+    Arg.(value & opt int 10
+         & info [ "k"; "top" ] ~docv:"K"
+             ~doc:"Number of rows in each hot-spot table.")
+  in
+  let run () fsm alg script engine k =
+    let p = Core.Flow.pair fsm alg script in
+    let generate circuit =
+      match engine with
+      | Core.Cache.Hitec -> Atpg.Hitec.generate circuit
+      | Core.Cache.Sest -> Atpg.Sest.generate circuit
+      | Core.Cache.Attest -> Atpg.Attest.generate circuit
+    in
+    let profile_one tag circuit =
+      (* fresh sinks per run: the work-unit clock restarts with each engine's
+         stats, so sharing one sink would flatten the second run's spans *)
+      let tsink = Obs.Trace.create () in
+      let esink = Obs.Events.create () in
+      Obs.Trace.install tsink;
+      Obs.Events.install esink;
+      let r =
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Trace.uninstall ();
+            Obs.Events.uninstall ())
+          (fun () -> generate circuit)
+      in
+      let name = p.Core.Flow.name ^ tag in
+      Fmt.pr "%s on %s: coverage %.1f%%, %d work units@."
+        (Core.Cache.atpg_kind_name engine) name r.Atpg.Types.fault_coverage
+        (Atpg.Types.work_units r.Atpg.Types.stats);
+      Fmt.pr "  work by span:@.";
+      Fmt.pr "    %-32s %8s %12s@." "span" "count" "work-units";
+      List.iteri
+        (fun i (nm, count, total) ->
+          if i < k then Fmt.pr "    %-32s %8d %12d@." nm count total)
+        (Obs.Trace.durations tsink);
+      let field_int f rec_ =
+        Option.value ~default:0
+          (Option.bind (Obs.Json.member f rec_) Obs.Json.to_int_opt)
+      in
+      let field_str f rec_ =
+        Option.value ~default:"?"
+          (Option.bind (Obs.Json.member f rec_) Obs.Json.to_string_opt)
+      in
+      let faults =
+        List.filter_map
+          (fun rec_ ->
+            match Obs.Json.member "ev" rec_ with
+            | Some (Obs.Json.String "fault") ->
+              let w = field_int "work" rec_ in
+              let b = field_int "backtracks" rec_ in
+              Some
+                ( field_str "fault" rec_, field_str "outcome" rec_,
+                  w, b, w + (50 * b) )
+            | _ -> None)
+          (Obs.Events.records esink)
+      in
+      let faults =
+        List.sort (fun (_, _, _, _, a) (_, _, _, _, b) -> compare b a) faults
+      in
+      Fmt.pr "  worst faults:@.";
+      Fmt.pr "    %-24s %-10s %10s %10s %12s@." "fault" "outcome" "work"
+        "backtracks" "work-units";
+      List.iteri
+        (fun i (f, o, w, b, wu) ->
+          if i < k then Fmt.pr "    %-24s %-10s %10d %10d %12d@." f o w b wu)
+        faults
+    in
+    profile_one "" p.Core.Flow.original;
+    profile_one ".re" p.Core.Flow.retimed
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run an ATPG engine on the original/retimed pair with \
+          instrumentation forced on and print top-K hot-spot tables: work \
+          by span, plus the per-fault worst offenders")
     Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
-          $ engine_arg $ retimed_flag $ scoap_flag)
+          $ engine_arg $ topk_arg)
 
 (* --- lint ------------------------------------------------------------------ *)
 
@@ -247,7 +421,8 @@ let scan_cmd =
          & info [ "p"; "partial" ]
              ~doc:"Cycle-breaking partial scan instead of full scan.")
   in
-  let run () fsm alg script retimed partial =
+  let run () obs fsm alg script retimed partial =
+    with_obs obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
@@ -270,7 +445,7 @@ let scan_cmd =
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Insert a scan chain and compare ATPG before/after")
-    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
+    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg $ script_arg
           $ retimed_flag $ partial_flag)
 
 (* --- compare --------------------------------------------------------------- *)
@@ -311,7 +486,8 @@ let tables_cmd =
     let doc = "Which table to regenerate (1-8, fig3, shape, or all)." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"TABLE" ~doc)
   in
-  let run () which =
+  let run () obs which =
+    with_obs obs @@ fun () ->
     let ppf = Fmt.stdout in
     (match which with
      | "1" -> Core.Tables.T1.pp ppf (Core.Tables.T1.compute ())
@@ -333,12 +509,12 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Regenerate the paper's tables (SATPG_BUDGET scales ATPG effort)")
-    Term.(const run $ logging $ table_arg)
+    Term.(const run $ logging $ obs_args $ table_arg)
 
 let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
   Cmd.group (Cmd.info "satpg" ~doc)
-    [ synth_cmd; retime_cmd; atpg_cmd; lint_cmd; analyze_cmd; kiss_cmd;
-      export_cmd; scan_cmd; compare_cmd; tables_cmd ]
+    [ synth_cmd; retime_cmd; atpg_cmd; profile_cmd; lint_cmd; analyze_cmd;
+      kiss_cmd; export_cmd; scan_cmd; compare_cmd; tables_cmd ]
 
 let () = exit (Cmd.eval main)

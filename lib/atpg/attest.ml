@@ -174,45 +174,79 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 3) c =
   let test_sets = ref [] in
   let rng = Random.State.make [| seed; 0x44 |] in
   let dist = dff_distance_to_po c in
-  let apply_fault_sim seq =
+  let resolved = ref 0 in
+  let apply_fault_sim ~phase seq =
     let run = Fsim.Engine.simulate ~skip:detected c faults seq in
-    stats.Types.work <-
-      stats.Types.work + (List.length seq * Netlist.Node.num_gates c);
+    let work = List.length seq * Netlist.Node.num_gates c in
+    stats.Types.work <- stats.Types.work + work;
     Run.note_run_states stats run;
-    let newly = ref 0 in
+    let dropped = ref [] in
     Array.iteri
       (fun i d ->
         if d && not detected.(i) then begin
           detected.(i) <- true;
           status.(i) <- Fsim.Fault.Detected;
-          incr newly
+          incr resolved;
+          dropped := i :: !dropped
         end)
       run.Fsim.Engine.detected;
-    !newly
+    let dropped = List.rev !dropped in
+    Obs.Trace.set_time (Types.work_units stats);
+    Run.emit_fault_sim_event ~engine:"attest" ~phase ~stats
+      ~resolved:!resolved ~vectors:(List.length seq) ~work dropped;
+    dropped
   in
-  List.iter
-    (fun seq -> if apply_fault_sim seq > 0 then test_sets := seq :: !test_sets)
-    (Run.random_sequences c ~seed ~count:3 ~length:120);
+  Obs.Trace.span "atpg.random_phase" (fun () ->
+      List.iter
+        (fun seq ->
+          if apply_fault_sim ~phase:"random" seq <> [] then
+            test_sets := seq :: !test_sets)
+        (Run.random_sequences c ~seed ~count:3 ~length:120));
   let max_steps = max 20 (cfg.Types.backtrack_limit / 4) in
-  (try
-     Array.iteri
-       (fun i fault ->
-         if status.(i) = Fsim.Fault.Untested then begin
-           if Types.work_units stats > cfg.Types.total_work_limit then
-             raise Exit;
-           let before = stats.Types.work in
-           (match
-              search_fault c dist fault ~rng ~max_steps
-                ~candidates_per_step:8 ~stats
-            with
-            | Some seq ->
-              if apply_fault_sim seq > 0 then test_sets := seq :: !test_sets;
-              if not detected.(i) then status.(i) <- Fsim.Fault.Aborted
-            | None -> status.(i) <- Fsim.Fault.Aborted);
-           ignore before
-         end)
-       faults
-   with Exit -> ());
+  let attempt_one i fault =
+    (* per-fault stats so the event carries this fault's exact cost; the
+       directed search has no backtracking, only simulation work *)
+    let fstats = Types.new_stats () in
+    let outcome, drop_credit =
+      match
+        search_fault c dist fault ~rng ~max_steps ~candidates_per_step:8
+          ~stats:fstats
+      with
+      | Some seq ->
+        Run.merge_stats ~into:stats fstats;
+        Obs.Trace.set_time (Types.work_units stats);
+        let dropped = apply_fault_sim ~phase:"validate" seq in
+        if dropped <> [] then test_sets := seq :: !test_sets;
+        if not detected.(i) then status.(i) <- Fsim.Fault.Aborted;
+        ( Types.Tested seq,
+          List.length dropped - (if List.mem i dropped then 1 else 0) )
+      | None ->
+        Run.merge_stats ~into:stats fstats;
+        Obs.Trace.set_time (Types.work_units stats);
+        status.(i) <- Fsim.Fault.Aborted;
+        (Types.Gave_up, 0)
+    in
+    Run.emit_fault_event c ~engine:"attest" ~index:i ~fault ~fstats
+      ~outcome:(Run.outcome_string outcome) ~status:status.(i) ~drop_credit
+      ~stats ~resolved:!resolved
+  in
+  Obs.Trace.span "atpg.deterministic_phase" (fun () ->
+      try
+        Array.iteri
+          (fun i fault ->
+            if status.(i) = Fsim.Fault.Untested then begin
+              if Types.work_units stats > cfg.Types.total_work_limit then
+                raise Exit;
+              if Obs.Trace.enabled () then
+                Obs.Trace.span
+                  ~args:
+                    [ ("fault", Obs.Json.String (Fsim.Fault.to_string c fault)) ]
+                  "atpg.fault"
+                  (fun () -> attempt_one i fault)
+              else attempt_one i fault
+            end)
+          faults
+      with Exit -> ());
   Array.iteri
     (fun i s -> if s = Fsim.Fault.Untested then status.(i) <- Fsim.Fault.Aborted)
     status;

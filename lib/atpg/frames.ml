@@ -23,7 +23,12 @@ type t = {
   stats : Types.stats;
 }
 
+(* global frame-expansion counter for `satpg --metrics` *)
+let m_frames = Obs.Metrics.counter "atpg.frames.expanded"
+
 let create ?fault ?guide circuit ~frames ~stats =
+  stats.Types.frames <- stats.Types.frames + frames;
+  Obs.Metrics.add m_frames frames;
   let n = Netlist.Node.num_nodes circuit in
   let dff_pos = Array.make n (-1) in
   Array.iteri (fun j id -> dff_pos.(id) <- j) circuit.Netlist.Node.dffs;

@@ -17,6 +17,16 @@
 
 exception Out_of_budget
 
+(* Global hot-path counters for `satpg --metrics`: plain O(1) increments
+   beside the per-run [Types.stats] bookkeeping (which stays the source of
+   truth for work units). *)
+let m_decisions = Obs.Metrics.counter "atpg.podem.decisions"
+let m_backtracks = Obs.Metrics.counter "atpg.podem.backtracks"
+let m_conflicts = Obs.Metrics.counter "atpg.podem.conflicts"
+let m_learn_failed = Obs.Metrics.counter "atpg.learn.failed_cube_hits"
+let m_learn_prefix = Obs.Metrics.counter "atpg.learn.prefix_reuses"
+let m_directory = Obs.Metrics.counter "atpg.justify.directory_hits"
+
 type var = Pi of int * int | Ps of int
 
 type decision = { var : var; mutable value : bool; mutable flipped : bool }
@@ -205,6 +215,7 @@ let phase_a fr (fault : Fsim.Fault.t) cfg stats =
   in
   let rec backtrack () =
     stats.Types.backtracks <- stats.Types.backtracks + 1;
+    Obs.Metrics.incr m_backtracks;
     check_budget cfg stats;
     match !stack with
     | [] -> Exhausted { escape_seen = !escape_seen }
@@ -227,12 +238,15 @@ let phase_a fr (fault : Fsim.Fault.t) cfg stats =
     check_budget cfg stats;
     match choose_objective fr fault with
     | Success -> Detected
-    | Dead_end -> backtrack ()
+    | Dead_end ->
+      Obs.Metrics.incr m_conflicts;
+      backtrack ()
     | Obj (frame, node, v) ->
       (match backtrace fr frame node v with
        | None -> backtrack ()
        | Some (var, value) ->
          stats.Types.decisions <- stats.Types.decisions + 1;
+         Obs.Metrics.incr m_decisions;
          let d = { var; value; flipped = false } in
          stack := d :: !stack;
          assign fr var value;
@@ -297,16 +311,22 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
     else if Hashtbl.mem visited sg then None
     else
       match lookup_directory required with
-      | Some prefix -> Some prefix
+      | Some prefix ->
+        Obs.Metrics.incr m_directory;
+        Some prefix
       | None ->
     begin
       match learn with
-      | Some l when Hashtbl.mem l.failed_cubes sg -> None
+      | Some l when Hashtbl.mem l.failed_cubes sg ->
+        Obs.Metrics.incr m_learn_failed;
+        None
       | _ ->
         (match learn with
          | Some l ->
            (match Hashtbl.find_opt l.proven_prefix sg with
-            | Some prefix -> Some prefix
+            | Some prefix ->
+              Obs.Metrics.incr m_learn_prefix;
+              Some prefix
             | None -> solve_frame required depth sg)
          | None -> solve_frame required depth sg)
     end
@@ -360,6 +380,7 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
     in
     let rec backtrack () =
       stats.Types.backtracks <- stats.Types.backtracks + 1;
+      Obs.Metrics.incr m_backtracks;
       incr local_backtracks;
       check_budget cfg stats;
       if from_init && !local_backtracks > probe_limit then None
@@ -383,7 +404,9 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
     and search () =
       check_budget cfg stats;
       match objective () with
-      | Dead_end -> backtrack ()
+      | Dead_end ->
+        Obs.Metrics.incr m_conflicts;
+        backtrack ()
       | Success ->
         let vector () =
           Array.map
@@ -418,6 +441,7 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
          | None -> backtrack ()
          | Some (var, value) ->
            stats.Types.decisions <- stats.Types.decisions + 1;
+           Obs.Metrics.incr m_decisions;
            let d = { var; value; flipped = false } in
            stack := d :: !stack;
            assign fr var value;

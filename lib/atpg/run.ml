@@ -35,6 +35,7 @@ let merge_stats ~into:(g : Types.stats) (f : Types.stats) =
   g.Types.work <- g.Types.work + f.Types.work;
   g.Types.backtracks <- g.Types.backtracks + f.Types.backtracks;
   g.Types.decisions <- g.Types.decisions + f.Types.decisions;
+  g.Types.frames <- g.Types.frames + f.Types.frames;
   Hashtbl.iter
     (fun k () -> Hashtbl.replace g.Types.state_cubes k ())
     f.Types.state_cubes
@@ -74,6 +75,56 @@ let state_directory c seqs =
     seqs;
   List.rev !dir
 
+(* --- observability (shared with the Attest engine) ------------------------
+   Event records are emitted only when a sink is installed; they carry the
+   exact per-fault work/backtrack accounting, so summing the events of a run
+   reproduces its aggregate work units to the unit (tested in test_obs). *)
+
+let outcome_string = function
+  | Types.Tested _ -> "tested"
+  | Types.Proved_redundant -> "redundant"
+  | Types.Gave_up -> "aborted"
+
+let emit_fault_sim_event ~engine ~phase ~(stats : Types.stats) ~resolved
+    ~vectors ~work dropped =
+  if Obs.Events.enabled () then
+    Obs.Events.emit
+      [
+        ("ev", Obs.Json.String "fault_sim");
+        ("engine", Obs.Json.String engine);
+        ("phase", Obs.Json.String phase);
+        ("vectors", Obs.Json.Int vectors);
+        ("work", Obs.Json.Int work);
+        ("backtracks", Obs.Json.Int 0);
+        ("dropped", Obs.Json.List (List.map (fun i -> Obs.Json.Int i) dropped));
+        ("work_units_after", Obs.Json.Int (Types.work_units stats));
+        ("resolved_after", Obs.Json.Int resolved);
+      ]
+
+let emit_fault_event c ~engine ~index ~(fault : Fsim.Fault.t)
+    ~(fstats : Types.stats) ~outcome ~status ~drop_credit
+    ~(stats : Types.stats) ~resolved =
+  if Obs.Events.enabled () then
+    Obs.Events.emit
+      [
+        ("ev", Obs.Json.String "fault");
+        ("engine", Obs.Json.String engine);
+        ("index", Obs.Json.Int index);
+        ("fault", Obs.Json.String (Fsim.Fault.to_string c fault));
+        ("site", Obs.Json.Int (Fsim.Fault.site_node fault.Fsim.Fault.site));
+        ("stuck", Obs.Json.Bool fault.Fsim.Fault.stuck);
+        ("outcome", Obs.Json.String outcome);
+        ("status", Obs.Json.String (Fsim.Fault.status_to_string status));
+        ("work", Obs.Json.Int fstats.Types.work);
+        ("backtracks", Obs.Json.Int fstats.Types.backtracks);
+        ("decisions", Obs.Json.Int fstats.Types.decisions);
+        ("frames", Obs.Json.Int fstats.Types.frames);
+        ("state_cubes", Obs.Json.Int (Hashtbl.length fstats.Types.state_cubes));
+        ("drop_credit", Obs.Json.Int drop_credit);
+        ("work_units_after", Obs.Json.Int (Types.work_units stats));
+        ("resolved_after", Obs.Json.Int resolved);
+      ]
+
 (* Attempt one fault deterministically. *)
 let attempt_fault ?directory ?guide c fault cfg fstats learn =
   try
@@ -104,8 +155,14 @@ let attempt_fault ?directory ?guide c fault cfg fstats learn =
   with Podem.Out_of_budget -> Types.Gave_up
 
 let generate ?(config = Types.scaled_config ()) ?(seed = 1)
-    ?(random_sequences_count = 2) ?(random_sequence_length = 120) ?guide c =
+    ?(random_sequences_count = 2) ?(random_sequence_length = 120) ?engine
+    ?guide c =
   let cfg = config in
+  let engine =
+    match engine with
+    | Some e -> e
+    | None -> if cfg.Types.learn then "sest" else "hitec"
+  in
   let faults = Fsim.Collapse.list c in
   let n = Array.length faults in
   let status = Array.make n Fsim.Fault.Untested in
@@ -124,77 +181,114 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
   let learn_state =
     match learn with Some l -> l | None -> Podem.new_learn_state ()
   in
-  let apply_fault_sim seq =
+  (* Fault-simulate [seq] with dropping; returns the newly dropped fault
+     indices (ascending).  Emits one "fault_sim" event per call. *)
+  let apply_fault_sim ~phase seq =
     let run = Fsim.Engine.simulate ~skip:detected c faults seq in
-    stats.Types.work <-
-      stats.Types.work
-      + (List.length seq * Netlist.Node.num_gates c);
+    let work = List.length seq * Netlist.Node.num_gates c in
+    stats.Types.work <- stats.Types.work + work;
     note_run_states stats run;
-    let newly = ref 0 in
+    let dropped = ref [] in
     Array.iteri
       (fun i d ->
         if d && not detected.(i) then begin
           detected.(i) <- true;
           status.(i) <- Fsim.Fault.Detected;
-          incr newly;
-          incr resolved
+          incr resolved;
+          dropped := i :: !dropped
         end)
       run.Fsim.Engine.detected;
-    !newly
+    let dropped = List.rev !dropped in
+    Obs.Trace.set_time (Types.work_units stats);
+    emit_fault_sim_event ~engine ~phase ~stats ~resolved:!resolved
+      ~vectors:(List.length seq) ~work dropped;
+    dropped
   in
   (* random phase *)
   let random_seqs =
     random_sequences c ~seed ~count:random_sequences_count
       ~length:random_sequence_length
   in
-  List.iter
-    (fun seq ->
-      let newly = apply_fault_sim seq in
-      if newly > 0 then test_sets := seq :: !test_sets;
-      checkpoint ())
-    random_seqs;
-  let directory = state_directory c random_seqs in
-  stats.Types.work <-
-    stats.Types.work
-    + (List.fold_left (fun a s -> a + List.length s) 0 random_seqs
-       * Netlist.Node.num_gates c);
+  let directory =
+    Obs.Trace.span "atpg.random_phase" (fun () ->
+        List.iter
+          (fun seq ->
+            let dropped = apply_fault_sim ~phase:"random" seq in
+            if dropped <> [] then test_sets := seq :: !test_sets;
+            checkpoint ())
+          random_seqs;
+        let directory = state_directory c random_seqs in
+        let dir_work =
+          List.fold_left (fun a s -> a + List.length s) 0 random_seqs
+          * Netlist.Node.num_gates c
+        in
+        stats.Types.work <- stats.Types.work + dir_work;
+        Obs.Trace.set_time (Types.work_units stats);
+        if Obs.Events.enabled () then
+          Obs.Events.emit
+            [
+              ("ev", Obs.Json.String "state_directory");
+              ("engine", Obs.Json.String engine);
+              ("work", Obs.Json.Int dir_work);
+              ("backtracks", Obs.Json.Int 0);
+              ("work_units_after", Obs.Json.Int (Types.work_units stats));
+              ("resolved_after", Obs.Json.Int !resolved);
+            ];
+        directory)
+  in
   (* deterministic phase *)
   let total_budget = cfg.Types.total_work_limit in
-  (try
-     Array.iteri
-       (fun i fault ->
-         if status.(i) = Fsim.Fault.Untested then begin
-           if Types.work_units stats > total_budget then raise Exit;
-           let fstats = Types.new_stats () in
-           let learn_arg = if cfg.Types.learn then Some learn_state else None in
-           let outcome =
-             attempt_fault ~directory ?guide c fault cfg fstats learn_arg
-           in
-           merge_stats ~into:stats fstats;
-           (match outcome with
-           | Types.Tested seq ->
-             if cfg.Types.validate then begin
-               let before = detected.(i) in
-               let newly = apply_fault_sim seq in
-               if newly > 0 then test_sets := seq :: !test_sets;
-               if (not before) && not detected.(i) then
-                 (* the deterministic engine was fooled by its
-                    approximations; ground truth says undetected *)
-                 status.(i) <- Fsim.Fault.Aborted
-             end
-             else begin
-               detected.(i) <- true;
-               status.(i) <- Fsim.Fault.Detected;
-               test_sets := seq :: !test_sets
-             end
-           | Types.Proved_redundant ->
-             status.(i) <- Fsim.Fault.Redundant;
-             incr resolved
-           | Types.Gave_up -> status.(i) <- Fsim.Fault.Aborted);
-           checkpoint ()
-         end)
-       faults
-   with Exit -> ());
+  let attempt_one i fault =
+    let fstats = Types.new_stats () in
+    let learn_arg = if cfg.Types.learn then Some learn_state else None in
+    let outcome =
+      attempt_fault ~directory ?guide c fault cfg fstats learn_arg
+    in
+    merge_stats ~into:stats fstats;
+    Obs.Trace.set_time (Types.work_units stats);
+    let drop_credit = ref 0 in
+    (match outcome with
+    | Types.Tested seq ->
+      if cfg.Types.validate then begin
+        let before = detected.(i) in
+        let dropped = apply_fault_sim ~phase:"validate" seq in
+        drop_credit :=
+          List.length dropped - (if List.mem i dropped then 1 else 0);
+        if dropped <> [] then test_sets := seq :: !test_sets;
+        if (not before) && not detected.(i) then
+          (* the deterministic engine was fooled by its
+             approximations; ground truth says undetected *)
+          status.(i) <- Fsim.Fault.Aborted
+      end
+      else begin
+        detected.(i) <- true;
+        status.(i) <- Fsim.Fault.Detected;
+        test_sets := seq :: !test_sets
+      end
+    | Types.Proved_redundant ->
+      status.(i) <- Fsim.Fault.Redundant;
+      incr resolved
+    | Types.Gave_up -> status.(i) <- Fsim.Fault.Aborted);
+    checkpoint ();
+    emit_fault_event c ~engine ~index:i ~fault ~fstats
+      ~outcome:(outcome_string outcome) ~status:status.(i)
+      ~drop_credit:!drop_credit ~stats ~resolved:!resolved
+  in
+  Obs.Trace.span "atpg.deterministic_phase" (fun () ->
+      try
+        Array.iteri
+          (fun i fault ->
+            if status.(i) = Fsim.Fault.Untested then begin
+              if Types.work_units stats > total_budget then raise Exit;
+              if Obs.Trace.enabled () then
+                Obs.Trace.span
+                  ~args:[ ("fault", Obs.Json.String (Fsim.Fault.to_string c fault)) ]
+                  "atpg.fault"
+                  (fun () -> attempt_one i fault)
+              else attempt_one i fault
+            end)
+          faults
+      with Exit -> ());
   (* anything still untested ran out of global budget *)
   Array.iteri
     (fun i s -> if s = Fsim.Fault.Untested then status.(i) <- Fsim.Fault.Aborted)

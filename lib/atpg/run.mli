@@ -26,6 +26,29 @@ val random_sequences :
 val merge_stats : into:Types.stats -> Types.stats -> unit
 val note_run_states : Types.stats -> Fsim.Engine.run -> unit
 
+(** {1 Observability} — structured events shared by the engines.  All
+    emission is guarded by {!Obs.Events.enabled}; results are bit-identical
+    with or without an installed sink. *)
+
+(** ["tested"], ["redundant"] or ["aborted"]. *)
+val outcome_string : Types.fault_outcome -> string
+
+(** One ["fault_sim"] record: a fault-dropping simulation pass of
+    [vectors] vectors costing [work] gate evaluations, newly dropping the
+    given fault indices. *)
+val emit_fault_sim_event :
+  engine:string -> phase:string -> stats:Types.stats -> resolved:int ->
+  vectors:int -> work:int -> int list -> unit
+
+(** One ["fault"] record: the per-fault terminal line carrying the exact
+    work/backtrack/decision/frame accounting of the attempt ([fstats]),
+    the outcome, the post-validation status, and the number of {e other}
+    faults dropped by the produced test ([drop_credit]). *)
+val emit_fault_event :
+  Netlist.Node.t -> engine:string -> index:int -> fault:Fsim.Fault.t ->
+  fstats:Types.stats -> outcome:string -> status:Fsim.Fault.status ->
+  drop_credit:int -> stats:Types.stats -> resolved:int -> unit
+
 (** The state directory harvested from simulating [sequences]:
     (state code, input prefix reaching it) per first visit. *)
 val state_directory :
@@ -46,12 +69,15 @@ val attempt_fault :
   Types.fault_outcome
 
 (** Run the whole flow on a circuit.  [guide] as in {!attempt_fault};
-    omitted (the default) the engine behaves exactly as before. *)
+    omitted (the default) the engine behaves exactly as before.  [engine]
+    labels the emitted observability records (default ["sest"] when
+    [config.learn], else ["hitec"]). *)
 val generate :
   ?config:Types.config ->
   ?seed:int ->
   ?random_sequences_count:int ->
   ?random_sequence_length:int ->
+  ?engine:string ->
   ?guide:int array * int array ->
   Netlist.Node.t ->
   Types.result

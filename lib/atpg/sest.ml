@@ -7,4 +7,4 @@ let config () =
   Types.scaled_config ~base:{ Types.default_config with learn = true } ()
 
 let generate ?config:(cfg = config ()) ?seed ?guide c =
-  Run.generate ~config:cfg ?seed ?guide c
+  Run.generate ~config:cfg ?seed ~engine:"sest" ?guide c

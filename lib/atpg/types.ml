@@ -48,6 +48,7 @@ type stats = {
   mutable work : int;            (* gate evaluations *)
   mutable backtracks : int;
   mutable decisions : int;
+  mutable frames : int;          (* time frames expanded (Frames.create) *)
   states : (int, unit) Hashtbl.t;       (* distinct good states traversed *)
   state_cubes : (string, unit) Hashtbl.t; (* justification targets (with X) *)
 }
@@ -57,6 +58,7 @@ let new_stats () =
     work = 0;
     backtracks = 0;
     decisions = 0;
+    frames = 0;
     states = Hashtbl.create 256;
     state_cubes = Hashtbl.create 256;
   }
@@ -83,6 +85,40 @@ type result = {
   trajectory : (int * float) list;
   (* (work units, fault efficiency %) checkpoints, for Figure 3 *)
 }
+
+(* One-object JSON summary of a result (the `satpg atpg --json` payload),
+   built on the obs JSON encoder.  [extra] fields are prepended — callers
+   add circuit/engine/cache labels. *)
+let result_to_json ?(extra = []) r =
+  let count p =
+    Array.fold_left (fun a s -> if p s then a + 1 else a) 0 r.status
+  in
+  Obs.Json.Obj
+    (extra
+    @ [
+        ("faults", Obs.Json.Int (Array.length r.faults));
+        ("coverage_percent", Obs.Json.Float r.fault_coverage);
+        ("efficiency_percent", Obs.Json.Float r.fault_efficiency);
+        ("work_units", Obs.Json.Int (work_units r.stats));
+        ("work", Obs.Json.Int r.stats.work);
+        ("backtracks", Obs.Json.Int r.stats.backtracks);
+        ("decisions", Obs.Json.Int r.stats.decisions);
+        ("frames_expanded", Obs.Json.Int r.stats.frames);
+        ("states_seen", Obs.Json.Int (Hashtbl.length r.stats.states));
+        ("state_cubes", Obs.Json.Int (Hashtbl.length r.stats.state_cubes));
+        ( "status_counts",
+          Obs.Json.Obj
+            [
+              ("detected", Obs.Json.Int (count (( = ) Fsim.Fault.Detected)));
+              ("redundant", Obs.Json.Int (count (( = ) Fsim.Fault.Redundant)));
+              ("aborted", Obs.Json.Int (count (( = ) Fsim.Fault.Aborted)));
+              ("untested", Obs.Json.Int (count (( = ) Fsim.Fault.Untested)));
+            ] );
+        ("test_sequences", Obs.Json.Int (List.length r.test_sets));
+        ( "test_vectors",
+          Obs.Json.Int
+            (List.fold_left (fun a s -> a + List.length s) 0 r.test_sets) );
+      ])
 
 let summarize ?(trajectory = []) faults status test_sets stats =
   let total = Array.length faults in

@@ -25,6 +25,7 @@ type stats = {
   mutable work : int;        (** gate evaluations *)
   mutable backtracks : int;
   mutable decisions : int;
+  mutable frames : int;      (** time frames expanded ({!Frames.create}) *)
   states : (int, unit) Hashtbl.t;
   (** distinct good-machine states traversed (Table 6 instrumentation) *)
   state_cubes : (string, unit) Hashtbl.t;
@@ -53,6 +54,11 @@ type result = {
   trajectory : (int * float) list;
   (** (work units, fault efficiency %) checkpoints — Figure 3's curves *)
 }
+
+(** One-object JSON summary of a result (the [satpg atpg --json] payload):
+    coverage, efficiency, work accounting, states and per-status fault
+    counts.  [extra] fields are prepended (circuit/engine/cache labels). *)
+val result_to_json : ?extra:(string * Obs.Json.t) list -> result -> Obs.Json.t
 
 val summarize :
   ?trajectory:(int * float) list ->

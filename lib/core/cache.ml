@@ -1,5 +1,10 @@
 (* Per-process memoization of the expensive analyses, keyed by circuit name:
-   several tables consume the same ATPG runs and reachability results. *)
+   several tables consume the same ATPG runs and reachability results.
+
+   Every lookup feeds the core.cache.* counters so a run can tell whether
+   its numbers came from a fresh computation or a memo (the `satpg atpg`
+   command prints a `cache:` line from them); code paths that knowingly
+   sidestep the cache (e.g. --scoap guided runs) record a bypass. *)
 
 type atpg_kind = Hitec | Attest | Sest
 
@@ -8,6 +13,40 @@ let atpg_kind_name = function
   | Attest -> "attest"
   | Sest -> "sest"
 
+let hits = Obs.Metrics.counter "core.cache.hits"
+let misses = Obs.Metrics.counter "core.cache.misses"
+let bypasses = Obs.Metrics.counter "core.cache.bypasses"
+
+(* The cache outcome of the most recent [atpg]/[reach]/[structural] call
+   (or explicit bypass note), for one-line CLI reporting. *)
+type outcome = Hit | Miss | Bypassed
+
+let last = ref Miss
+
+let note_bypass () =
+  Obs.Metrics.incr bypasses;
+  last := Bypassed
+
+let outcome_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Bypassed -> "bypassed"
+
+let last_outcome () = !last
+
+let lookup tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some r ->
+    Obs.Metrics.incr hits;
+    last := Hit;
+    r
+  | None ->
+    Obs.Metrics.incr misses;
+    last := Miss;
+    let r = compute () in
+    Hashtbl.replace tbl key r;
+    r
+
 let atpg_results : (string, Atpg.Types.result) Hashtbl.t = Hashtbl.create 64
 let reach_results : (string, Analysis.Reach.result) Hashtbl.t = Hashtbl.create 64
 let structural_results : (string, Analysis.Structural.result) Hashtbl.t =
@@ -15,30 +54,14 @@ let structural_results : (string, Analysis.Structural.result) Hashtbl.t =
 
 let atpg kind ~name c =
   let key = atpg_kind_name kind ^ ":" ^ name in
-  match Hashtbl.find_opt atpg_results key with
-  | Some r -> r
-  | None ->
-    let r =
+  lookup atpg_results key (fun () ->
       match kind with
-      | Hitec -> Atpg.Run.generate ~config:(Atpg.Hitec.config ()) c
-      | Sest -> Atpg.Run.generate ~config:(Atpg.Sest.config ()) c
-      | Attest -> Atpg.Attest.generate c
-    in
-    Hashtbl.replace atpg_results key r;
-    r
+      | Hitec -> Atpg.Run.generate ~config:(Atpg.Hitec.config ()) ~engine:"hitec" c
+      | Sest -> Atpg.Run.generate ~config:(Atpg.Sest.config ()) ~engine:"sest" c
+      | Attest -> Atpg.Attest.generate c)
 
 let reach ~name c =
-  match Hashtbl.find_opt reach_results name with
-  | Some r -> r
-  | None ->
-    let r = Analysis.Reach.explore c in
-    Hashtbl.replace reach_results name r;
-    r
+  lookup reach_results name (fun () -> Analysis.Reach.explore c)
 
 let structural ~name c =
-  match Hashtbl.find_opt structural_results name with
-  | Some r -> r
-  | None ->
-    let r = Analysis.Structural.analyze c in
-    Hashtbl.replace structural_results name r;
-    r
+  lookup structural_results name (fun () -> Analysis.Structural.analyze c)

@@ -9,6 +9,22 @@ type atpg_kind =
 
 val atpg_kind_name : atpg_kind -> string
 
+(** {1 Cache observability}
+
+    Every lookup increments [core.cache.hits]/[core.cache.misses] in
+    {!Obs.Metrics.global}; paths that knowingly sidestep the cache record
+    a bypass.  {!last_outcome} reports the most recent of the three, for
+    one-line CLI reporting. *)
+
+type outcome = Hit | Miss | Bypassed
+
+val outcome_string : outcome -> string
+
+(** Record that a caller deliberately computed outside the cache. *)
+val note_bypass : unit -> unit
+
+val last_outcome : unit -> outcome
+
 (** Run (or recall) an engine on a named circuit. *)
 val atpg : atpg_kind -> name:string -> Netlist.Node.t -> Atpg.Types.result
 

@@ -34,19 +34,26 @@ let build ?(period_slack = default_period_slack) fsm_name algorithm script =
   let entry = Fsm.Benchmarks.find fsm_name in
   let machine = Fsm.Benchmarks.machine entry in
   let synth =
-    Synth.Flow.synthesize ~reset_line:entry.Fsm.Benchmarks.has_reset_line
-      ~algorithm ~script machine
+    Obs.Trace.span ~args:[ ("fsm", Obs.Json.String fsm_name) ] "flow.synth"
+      (fun () ->
+        Synth.Flow.synthesize ~reset_line:entry.Fsm.Benchmarks.has_reset_line
+          ~algorithm ~script machine)
   in
   let original = synth.Synth.Flow.circuit in
   let prefix_input = reset_prefix_input synth in
   let retimed, retimed_period, prefix_length =
-    Retime.Apply.retime_aggressive ?prefix_input ~period_slack original
+    Obs.Trace.span
+      ~args:[ ("circuit", Obs.Json.String synth.Synth.Flow.name) ]
+      "flow.retime"
+      (fun () ->
+        Retime.Apply.retime_aggressive ?prefix_input ~period_slack original)
   in
   (* error-level lint gate on the retimed circuit (the original was gated
      by the synthesis flow) *)
-  Lint.Report.assert_clean
-    ~what:("retiming of " ^ synth.Synth.Flow.name)
-    retimed;
+  Obs.Trace.span "flow.lint_retimed" (fun () ->
+      Lint.Report.assert_clean
+        ~what:("retiming of " ^ synth.Synth.Flow.name)
+        retimed);
   {
     name = synth.Synth.Flow.name;
     fsm = entry;

@@ -11,6 +11,12 @@ type run = {
   cycles : int;                (* vectors simulated *)
 }
 
+(* global counters for `satpg --metrics` *)
+let m_faults = Obs.Metrics.counter "fsim.faults_simulated"
+let m_dropped = Obs.Metrics.counter "fsim.faults_detected"
+let m_vectors = Obs.Metrics.counter "fsim.vectors"
+let m_batches = Obs.Metrics.counter "fsim.batches"
+
 let state_code_lane0 sim =
   let words = Sim.Parallel.get_state_words sim in
   let code = ref 0 in
@@ -72,6 +78,7 @@ let simulate ?indices ?skip c (faults : Fault.t array) vectors =
       in
       let batch, rest = take width [] rest in
       if batch <> [] then begin
+        Obs.Metrics.incr m_batches;
         Sim.Parallel.clear_faults faulty;
         List.iteri (fun lane i -> Fault.inject faulty faults.(i) ~lane) batch;
         Sim.Parallel.reset faulty;
@@ -108,6 +115,10 @@ let simulate ?indices ?skip c (faults : Fault.t array) vectors =
       if rest <> [] then batches rest
   in
   batches todo;
+  Obs.Metrics.add m_faults (List.length todo);
+  Obs.Metrics.add m_vectors (List.length vectors);
+  Obs.Metrics.add m_dropped
+    (Array.fold_left (fun a d -> if d then a + 1 else a) 0 detected);
   {
     detected;
     detect_time;

@@ -1,0 +1,43 @@
+(* Structured event sink: one JSON object per record, written out as JSONL
+   (one line per record).  The ATPG drivers emit one record per random/
+   validation fault-simulation pass and one per deterministically attempted
+   fault, carrying the exact work/backtrack/decision accounting — the
+   paper's Tables 2-4 rows and Figure 3 trajectories can be rebuilt offline
+   from the file alone (see DESIGN.md "Observability").
+
+   Emission is guarded by [enabled]: with no sink installed the hot path
+   pays one word test and builds nothing. *)
+
+type sink = { mutable records : Json.t list; mutable n : int }
+
+let current : sink option ref = ref None
+
+let create () = { records = []; n = 0 }
+let install s = current := Some s
+let uninstall () = current := None
+let active () = !current
+let enabled () = !current <> None
+
+let emit fields =
+  match !current with
+  | None -> ()
+  | Some s ->
+    s.records <- Json.Obj fields :: s.records;
+    s.n <- s.n + 1
+
+let records s = List.rev s.records
+let num_records s = s.n
+
+(* records are stored most-recent-first; rev_map yields oldest-first *)
+let to_lines s = List.rev_map Json.to_string s.records
+
+let write s file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines s))

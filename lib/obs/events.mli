@@ -1,0 +1,31 @@
+(** Structured event sink: one JSON object per record, written as JSONL.
+
+    The ATPG drivers emit one record per fault-simulation pass and one per
+    deterministically attempted fault, carrying the exact
+    work/backtrack/decision accounting, so Tables 2-4 rows and Figure 3
+    trajectories can be rebuilt offline from the file alone.  With no sink
+    installed, {!emit} is a single word test. *)
+
+type sink
+
+val create : unit -> sink
+val install : sink -> unit
+val uninstall : unit -> unit
+val active : unit -> sink option
+val enabled : unit -> bool
+
+(** Append one record (an object built from [fields]) to the installed
+    sink; no-op without one.  Call sites should guard expensive field
+    construction with {!enabled}. *)
+val emit : (string * Json.t) list -> unit
+
+(** Records in emission order. *)
+val records : sink -> Json.t list
+
+val num_records : sink -> int
+
+(** One compact JSON document per line, emission order. *)
+val to_lines : sink -> string list
+
+(** Write {!to_lines} to [file]. *)
+val write : sink -> string -> unit

@@ -1,8 +1,9 @@
-(** Alias of {!Obs.Json}, the tree-wide minimal JSON module (it moved below
-    lint so the observability layer can use it too).  Kept so the lint
-    reporters and their callers stay source-compatible. *)
+(** Minimal JSON tree shared by every reporter: lint, metrics snapshots,
+    the Chrome trace writer and the per-fault event sink.  Integers stay
+    exact through a print/parse cycle; finite floats round-trip
+    bit-exactly (NaN/infinity render as [null]). *)
 
-type t = Obs.Json.t =
+type t =
   | Null
   | Bool of bool
   | Int of int

@@ -1,0 +1,151 @@
+(* Hierarchical spans emitted as Chrome trace events (the JSON array format
+   that chrome://tracing and Perfetto load directly).
+
+   Timestamps are deterministic: the sink carries a work-unit clock that
+   instrumented code advances with [set_time]/[tick] (ATPG drivers feed it
+   their gate-evaluation work counter), so the same run always produces the
+   same trace, byte for byte.  An optional wall clock — injected by the
+   caller so this library stays dependency-free — adds a "wall_us" argument
+   to every event for real-time profiling without perturbing determinism of
+   the timeline itself.
+
+   Off is free: every entry point checks the installed-sink word and spans
+   call the wrapped thunk directly when no sink is installed. *)
+
+type phase = B | E | I
+
+type event = {
+  e_name : string;
+  ph : phase;
+  ts : int;                       (* deterministic work-unit timestamp *)
+  wall_us : int option;
+  args : (string * Json.t) list;
+}
+
+type sink = {
+  mutable events : event list;    (* most recent first *)
+  mutable n_events : int;
+  mutable clock : int;            (* work-unit clock, monotone *)
+  mutable depth : int;            (* currently open spans *)
+  wall : (unit -> float) option;  (* absolute seconds, e.g. Unix.gettimeofday *)
+  wall0 : float;                  (* subtracted so traces start near 0 *)
+}
+
+let current : sink option ref = ref None
+
+let create ?wallclock () =
+  {
+    events = [];
+    n_events = 0;
+    clock = 0;
+    depth = 0;
+    wall = wallclock;
+    wall0 = (match wallclock with Some f -> f () | None -> 0.0);
+  }
+
+let install s = current := Some s
+let uninstall () = current := None
+let active () = !current
+let enabled () = !current <> None
+
+let set_time t =
+  match !current with
+  | None -> ()
+  | Some s -> if t > s.clock then s.clock <- t
+
+let tick () =
+  match !current with None -> () | Some s -> s.clock <- s.clock + 1
+
+let emit_event s name ph args =
+  let wall_us =
+    match s.wall with
+    | None -> None
+    | Some f -> Some (int_of_float ((f () -. s.wall0) *. 1e6))
+  in
+  s.events <- { e_name = name; ph; ts = s.clock; wall_us; args } :: s.events;
+  s.n_events <- s.n_events + 1
+
+let span ?(args = []) name f =
+  match !current with
+  | None -> f ()
+  | Some s ->
+    emit_event s name B args;
+    s.depth <- s.depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        s.depth <- s.depth - 1;
+        emit_event s name E [])
+      f
+
+let instant ?(args = []) name =
+  match !current with None -> () | Some s -> emit_event s name I args
+
+let depth s = s.depth
+let num_events s = s.n_events
+
+(* Total work-unit duration per span name, from balanced B/E pairs, sorted
+   by decreasing total: the profiler's "work by span" table.  Spans still
+   open (unbalanced) are ignored. *)
+let durations s =
+  let totals : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let stack = ref [] in
+  List.iter
+    (fun e ->
+      match e.ph with
+      | B -> stack := (e.e_name, e.ts) :: !stack
+      | E ->
+        (match !stack with
+         | (name, ts0) :: rest when String.equal name e.e_name ->
+           stack := rest;
+           let c, t =
+             Option.value ~default:(0, 0) (Hashtbl.find_opt totals name)
+           in
+           Hashtbl.replace totals name (c + 1, t + (e.ts - ts0))
+         | _ -> ())
+      | I -> ())
+    (List.rev s.events);
+  Hashtbl.fold (fun name (c, t) acc -> (name, c, t) :: acc) totals []
+  |> List.sort (fun (na, _, ta) (nb, _, tb) ->
+         if ta <> tb then compare tb ta else String.compare na nb)
+
+let phase_string = function B -> "B" | E -> "E" | I -> "i"
+
+let event_json e =
+  let base =
+    [
+      ("name", Json.String e.e_name);
+      ("cat", Json.String "satpg");
+      ("ph", Json.String (phase_string e.ph));
+      ("ts", Json.Int e.ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let base = match e.ph with I -> base @ [ ("s", Json.String "t") ] | _ -> base in
+  let args =
+    match e.wall_us with
+    | None -> e.args
+    | Some w -> ("wall_us", Json.Int w) :: e.args
+  in
+  Json.Obj (if args = [] then base else base @ [ ("args", Json.Obj args) ])
+
+let to_chrome s =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.rev_map event_json s.events));
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.String "work-units");
+            ("tool", Json.String "satpg");
+          ] );
+    ]
+
+let write s file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_chrome s));
+      output_char oc '\n')

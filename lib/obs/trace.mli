@@ -1,0 +1,50 @@
+(** Hierarchical spans emitted as Chrome trace-event JSON (loadable in
+    chrome://tracing and Perfetto).
+
+    Timestamps are deterministic work units fed by the instrumented code
+    via {!set_time}/{!tick}; an optional caller-supplied wall clock adds a
+    ["wall_us"] argument per event without affecting the timeline.  With no
+    sink installed every entry point is a single word test — spans run the
+    wrapped thunk directly. *)
+
+type sink
+
+(** [wallclock] returns absolute seconds (e.g. [Unix.gettimeofday]); it is
+    injected by the caller so this library has no dependencies.  Omit it
+    for fully deterministic traces. *)
+val create : ?wallclock:(unit -> float) -> unit -> sink
+
+val install : sink -> unit
+val uninstall : unit -> unit
+val active : unit -> sink option
+val enabled : unit -> bool
+
+(** Advance the installed sink's work-unit clock to [t] (monotone: earlier
+    values are ignored).  No-op without a sink. *)
+val set_time : int -> unit
+
+(** Advance the clock by one unit (for flows with no work counter). *)
+val tick : unit -> unit
+
+(** [span name f] brackets [f ()] in begin/end events (balanced even when
+    [f] raises); calls [f] directly when no sink is installed. *)
+val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** A zero-duration instant event. *)
+val instant : ?args:(string * Json.t) list -> string -> unit
+
+(** Currently open span count (0 once all spans closed). *)
+val depth : sink -> int
+
+val num_events : sink -> int
+
+(** Total work-unit duration per span name from balanced begin/end pairs:
+    [(name, count, total)] sorted by decreasing total. *)
+val durations : sink -> (string * int * int) list
+
+(** The full Chrome trace document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms", ...}]. *)
+val to_chrome : sink -> Json.t
+
+(** Write {!to_chrome} to [file]. *)
+val write : sink -> string -> unit

@@ -8,6 +8,12 @@
 let log = Logs.Src.create "retime" ~doc:"retiming"
 module Log = (val Logs.src_log log : Logs.LOG)
 
+(* global counters for `satpg --metrics` *)
+let m_feas_calls = Obs.Metrics.counter "retime.feas.calls"
+let m_feas_relaxations = Obs.Metrics.counter "retime.feas.relaxations"
+let m_search_probes = Obs.Metrics.counter "retime.search.probes"
+let m_deepen_moves = Obs.Metrics.counter "retime.deepen.moves"
+
 (* Combinational arrival times of the retimed graph: edges with retimed
    weight <= 0 propagate combinationally.  Returns None if that subgraph has
    a cycle (the retiming is broken). *)
@@ -60,6 +66,7 @@ let period_of g r =
 
 (* FEAS: returns a legal retiming achieving period <= p, or None. *)
 let feas g ~period:p =
+  Obs.Metrics.incr m_feas_calls;
   let n = Graph.num_gates g in
   let r = Array.make n 0 in
   let rec loop i =
@@ -71,6 +78,7 @@ let feas g ~period:p =
         if Graph.legal g r then Some (Array.copy r) else None
       else if i >= n then None
       else begin
+        Obs.Metrics.incr m_feas_relaxations;
         for v = 0 to n - 1 do
           if delta.(v) > p +. 1e-9 then r.(v) <- r.(v) + 1
         done;
@@ -82,24 +90,26 @@ let feas g ~period:p =
 (* Minimum feasible period by binary search between the largest single gate
    delay and the original circuit's period. *)
 let min_period ?(iterations = 24) g =
-  let zero = Array.make (Graph.num_gates g) 0 in
-  let upper0 = period_of g zero in
-  let lower0 = Array.fold_left max 0.0 g.Graph.delays in
-  let best = ref (zero, upper0) in
-  let rec search lower upper i =
-    if i >= iterations || upper -. lower < 0.005 then ()
-    else begin
-      let mid = (lower +. upper) /. 2.0 in
-      match feas g ~period:mid with
-      | Some r ->
-        let p = period_of g r in
-        if p < snd !best then best := (r, p);
-        search lower (min mid p) (i + 1)
-      | None -> search mid upper (i + 1)
-    end
-  in
-  search lower0 upper0 0;
-  !best
+  Obs.Trace.span "retime.min_period" (fun () ->
+      let zero = Array.make (Graph.num_gates g) 0 in
+      let upper0 = period_of g zero in
+      let lower0 = Array.fold_left max 0.0 g.Graph.delays in
+      let best = ref (zero, upper0) in
+      let rec search lower upper i =
+        if i >= iterations || upper -. lower < 0.005 then ()
+        else begin
+          Obs.Metrics.incr m_search_probes;
+          let mid = (lower +. upper) /. 2.0 in
+          match feas g ~period:mid with
+          | Some r ->
+            let p = period_of g r in
+            if p < snd !best then best := (r, p);
+            search lower (min mid p) (i + 1)
+          | None -> search mid upper (i + 1)
+        end
+      in
+      search lower0 upper0 0;
+      !best)
 
 (* Retiming for an explicit target period (used to build the partially
    retimed versions of Table 7).  Returns the achieved period. *)
@@ -127,7 +137,7 @@ let deepen g r ~period ~max_lag ~max_regs =
         && period_of g r <= period +. 1e-9
         && Graph.total_registers_shared g r <= max_regs
       in
-      if not ok then r.(v) <- r.(v) - 1;
+      if not ok then r.(v) <- r.(v) - 1 else Obs.Metrics.incr m_deepen_moves;
       ok
     end
   in

@@ -19,13 +19,20 @@ type result = {
 
 let synthesize ?(use_seq_dc = true) ?(minimize_states = true)
     ?(reset_line = false) ~algorithm ~script machine =
-  let m = if minimize_states then Minimize_states.minimize machine else machine in
-  let codes, bits = Assign.assign algorithm m in
-  let encoded = Encode.encode ~use_seq_dc m (codes, bits) in
+  let phase name f = Obs.Trace.span ("synth." ^ name) f in
+  let m =
+    phase "minimize_states" (fun () ->
+        if minimize_states then Minimize_states.minimize machine else machine)
+  in
+  let codes, bits = phase "assign" (fun () -> Assign.assign algorithm m) in
+  let encoded =
+    phase "encode" (fun () -> Encode.encode ~use_seq_dc m (codes, bits))
+  in
   let net = Network.of_encoded encoded in
-  (match script with
-   | Rugged -> Scripts.script_rugged net
-   | Delay -> Scripts.script_delay net);
+  phase "script" (fun () ->
+      match script with
+      | Rugged -> Scripts.script_rugged net
+      | Delay -> Scripts.script_delay net);
   let spec =
     {
       Emit.circuit_name = machine.Fsm.Machine.name;
@@ -37,7 +44,7 @@ let synthesize ?(use_seq_dc = true) ?(minimize_states = true)
   in
   let generic = Emit.to_netlist spec net in
   let objective = match script with Rugged -> `Area | Delay -> `Delay in
-  let circuit = Techmap.map ~objective generic in
+  let circuit = phase "techmap" (fun () -> Techmap.map ~objective generic) in
   let name =
     Printf.sprintf "%s.%s.%s" machine.Fsm.Machine.name
       (Assign.algorithm_tag algorithm)
@@ -45,7 +52,8 @@ let synthesize ?(use_seq_dc = true) ?(minimize_states = true)
   in
   (* error-level lint gate: a mapped netlist with a combinational cycle or
      structural defect must never leave the synthesis flow *)
-  Lint.Report.assert_clean ~what:("synthesis of " ^ name) circuit;
+  phase "lint_gate" (fun () ->
+      Lint.Report.assert_clean ~what:("synthesis of " ^ name) circuit);
   { name; machine = m; codes; bits; circuit; reset_line }
 
 (* State code of the machine's reset state — always 0 by construction. *)

@@ -12,5 +12,6 @@ let () =
       ("atpg", Test_atpg.suite);
       ("core", Test_core.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
       ("dft", Test_dft.suite);
     ]

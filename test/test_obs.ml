@@ -1,0 +1,315 @@
+(* Observability tests: metrics registry semantics, span nesting/balance,
+   Chrome-trace JSON round-trips, the JSONL <-> Atpg.Types.stats accounting
+   invariant (events alone rebuild a run's aggregate work units and fault
+   statuses, so Table-2-style ratios are recoverable offline), and the
+   bit-identical-results property with tracing off vs on. *)
+
+module J = Obs.Json
+
+(* Every test must leave the global sinks uninstalled, or instrumentation
+   leaks into unrelated suites. *)
+let with_sinks f =
+  let tsink = Obs.Trace.create () in
+  let esink = Obs.Events.create () in
+  Obs.Trace.install tsink;
+  Obs.Events.install esink;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.uninstall ();
+      Obs.Events.uninstall ())
+    (fun () -> f tsink esink)
+
+(* A cheap config so the ATPG-backed tests stay fast; the invariant under
+   test is exact at any budget. *)
+let small_config =
+  {
+    Atpg.Types.default_config with
+    Atpg.Types.backtrack_limit = 50;
+    work_limit = 50_000;
+    total_work_limit = 2_000_000;
+  }
+
+let dk16_pair =
+  lazy (Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Rugged)
+
+(* --- json -------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    J.Obj
+      [
+        ("i", J.Int (-42));
+        ("big", J.Int max_int);
+        ("f", J.Float 3.25);
+        ("tiny", J.Float 1.0e-17);
+        ("s", J.String "quote \" slash \\ newline \n tab \t");
+        ("l", J.List [ J.Null; J.Bool true; J.Bool false; J.Int 0 ]);
+        ("o", J.Obj [ ("nested", J.List [ J.Float 0.1 ]) ]);
+      ]
+  in
+  Alcotest.(check bool)
+    "parse inverts to_string" true
+    (J.equal doc (J.parse (J.to_string doc)))
+
+let test_json_float_property () =
+  let open QCheck in
+  Test.make ~count:500 ~name:"finite floats round-trip bit-exactly" float
+    (fun f ->
+      assume (Float.is_finite f);
+      J.equal (J.Float f) (J.parse (J.to_string (J.Float f))))
+
+let test_json_nonfinite () =
+  Alcotest.(check string) "nan renders null" "null" (J.to_string (J.Float Float.nan));
+  Alcotest.(check string)
+    "inf renders null" "null"
+    (J.to_string (J.Float Float.infinity))
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let test_registry () =
+  let r = Obs.Metrics.create () in
+  let c1 = Obs.Metrics.counter ~registry:r "a.count" in
+  let c2 = Obs.Metrics.counter ~registry:r "a.count" in
+  Obs.Metrics.add c1 5;
+  Obs.Metrics.incr c2;
+  Alcotest.(check int) "same name, same handle" 6 (Obs.Metrics.count c1);
+  let g = Obs.Metrics.gauge ~registry:r "a.gauge" in
+  Obs.Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "gauge last-write-wins" 2.5 (Obs.Metrics.value g);
+  let h = Obs.Metrics.histogram ~registry:r "a.hist" in
+  List.iter (Obs.Metrics.observe h) [ 0; 1; 2; 3; 100 ];
+  Alcotest.(check int) "observations" 5 (Obs.Metrics.observations h);
+  Alcotest.(check int) "sum" 106 (Obs.Metrics.sum h);
+  Alcotest.(check int) "bucket of 0" 0 (Obs.Metrics.bucket_of 0);
+  Alcotest.(check int) "bucket of 1" 1 (Obs.Metrics.bucket_of 1);
+  Alcotest.(check int) "bucket of 2" 1 (Obs.Metrics.bucket_of 2);
+  Alcotest.(check int) "bucket of 3" 2 (Obs.Metrics.bucket_of 3);
+  (* snapshot parses and holds the expected counter value *)
+  let snap = J.parse (J.to_string (Obs.Metrics.snapshot ~registry:r ())) in
+  let count =
+    Option.bind (J.member "counters" snap) (J.member "a.count")
+  in
+  Alcotest.(check (option int))
+    "snapshot counter" (Some 6)
+    (Option.bind count J.to_int_opt);
+  (* reset zeroes but keeps the registration (handles stay valid) *)
+  Obs.Metrics.reset ~registry:r ();
+  Obs.Metrics.incr c1;
+  Alcotest.(check int) "reset keeps handles" 1 (Obs.Metrics.count c2)
+
+(* --- spans ------------------------------------------------------------------- *)
+
+let test_span_balance () =
+  with_sinks @@ fun tsink _ ->
+  Obs.Trace.set_time 10;
+  Obs.Trace.span "outer" (fun () ->
+      Obs.Trace.set_time 20;
+      Obs.Trace.span "inner" (fun () -> Obs.Trace.set_time 30);
+      Obs.Trace.instant "mark");
+  (try
+     Obs.Trace.span "raising" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "all spans closed" 0 (Obs.Trace.depth tsink);
+  (* 2 events per span (x3) + 1 instant *)
+  Alcotest.(check int) "event count" 7 (Obs.Trace.num_events tsink);
+  let durs = Obs.Trace.durations tsink in
+  let find n = List.find (fun (nm, _, _) -> nm = n) durs in
+  let _, outer_n, outer_t = find "outer" in
+  let _, _, inner_t = find "inner" in
+  Alcotest.(check int) "outer count" 1 outer_n;
+  Alcotest.(check int) "outer duration" 20 outer_t;
+  Alcotest.(check int) "inner duration" 10 inner_t
+
+let test_chrome_roundtrip () =
+  let doc =
+    with_sinks @@ fun tsink _ ->
+    Obs.Trace.span "a" (fun () ->
+        Obs.Trace.tick ();
+        Obs.Trace.span "b" (fun () -> Obs.Trace.tick ()));
+    Obs.Trace.to_chrome tsink
+  in
+  let parsed = J.parse (J.to_string doc) in
+  Alcotest.(check bool) "chrome doc round-trips" true (J.equal doc parsed);
+  match J.member "traceEvents" parsed with
+  | Some (J.List evs) ->
+    let phase e =
+      Option.bind (J.member "ph" e) J.to_string_opt |> Option.value ~default:""
+    in
+    let count p = List.length (List.filter (fun e -> phase e = p) evs) in
+    Alcotest.(check int) "begin/end balanced" (count "B") (count "E");
+    Alcotest.(check int) "two spans" 2 (count "B");
+    (* timestamps are monotone in file order for a single-threaded trace *)
+    let ts =
+      List.filter_map
+        (fun e -> Option.bind (J.member "ts" e) J.to_int_opt)
+        evs
+    in
+    Alcotest.(check bool)
+      "timestamps monotone" true
+      (fst
+         (List.fold_left
+            (fun (ok, prev) t -> (ok && t >= prev, t))
+            (true, min_int) ts))
+  | _ -> Alcotest.fail "traceEvents missing"
+
+(* --- JSONL <-> stats invariant ----------------------------------------------- *)
+
+let field_int name rec_ =
+  match Option.bind (J.member name rec_) J.to_int_opt with
+  | Some v -> v
+  | None -> Alcotest.failf "record lacks int field %s" name
+
+let field_str name rec_ =
+  match Option.bind (J.member name rec_) J.to_string_opt with
+  | Some v -> v
+  | None -> Alcotest.failf "record lacks string field %s" name
+
+(* Run [generate] with sinks installed; return (result, parsed JSONL). *)
+let run_with_events generate =
+  with_sinks @@ fun _ esink ->
+  let r = generate () in
+  (r, List.map J.parse (Obs.Events.to_lines esink))
+
+(* Rebuild the aggregate accounting and per-fault statuses from the event
+   records alone and compare them to the in-memory result. *)
+let check_events_vs_stats (r : Atpg.Types.result) events =
+  let work = ref 0 and backtracks = ref 0 in
+  let n = Array.length r.Atpg.Types.faults in
+  let status = Array.make n Fsim.Fault.Untested in
+  List.iter
+    (fun e ->
+      work := !work + field_int "work" e;
+      backtracks := !backtracks + field_int "backtracks" e;
+      match field_str "ev" e with
+      | "fault_sim" ->
+        (match J.member "dropped" e with
+         | Some (J.List l) ->
+           List.iter
+             (fun i ->
+               match J.to_int_opt i with
+               | Some i -> status.(i) <- Fsim.Fault.Detected
+               | None -> Alcotest.fail "non-int dropped index")
+             l
+         | _ -> Alcotest.fail "fault_sim lacks dropped list")
+      | "fault" ->
+        let i = field_int "index" e in
+        status.(i) <-
+          (match field_str "status" e with
+           | "detected" -> Fsim.Fault.Detected
+           | "redundant" -> Fsim.Fault.Redundant
+           | "aborted" -> Fsim.Fault.Aborted
+           | "untested" -> Fsim.Fault.Untested
+           | s -> Alcotest.failf "unknown status %s" s)
+      | "state_directory" -> ()
+      | ev -> Alcotest.failf "unknown event kind %s" ev)
+    events;
+  (* faults never reached (global budget) are reported aborted *)
+  Array.iteri
+    (fun i s -> if s = Fsim.Fault.Untested then status.(i) <- Fsim.Fault.Aborted)
+    status;
+  Alcotest.(check int) "sum of event work" r.Atpg.Types.stats.Atpg.Types.work !work;
+  Alcotest.(check int)
+    "sum of event backtracks" r.Atpg.Types.stats.Atpg.Types.backtracks
+    !backtracks;
+  Alcotest.(check int)
+    "work + 50*backtracks = work units"
+    (Atpg.Types.work_units r.Atpg.Types.stats)
+    (!work + (50 * !backtracks));
+  Alcotest.(check bool)
+    "statuses rebuilt from events" true
+    (r.Atpg.Types.status = status);
+  (* the running total in the last record agrees with the final stats *)
+  match List.rev events with
+  | last :: _ ->
+    Alcotest.(check int)
+      "final work_units_after"
+      (Atpg.Types.work_units r.Atpg.Types.stats)
+      (field_int "work_units_after" last)
+  | [] -> Alcotest.fail "no events emitted"
+
+let test_events_invariant_run () =
+  let p = Lazy.force dk16_pair in
+  let r, events =
+    run_with_events (fun () ->
+        Atpg.Run.generate ~config:small_config p.Core.Flow.original)
+  in
+  check_events_vs_stats r events
+
+let test_events_invariant_attest () =
+  let p = Lazy.force dk16_pair in
+  let r, events =
+    run_with_events (fun () ->
+        Atpg.Attest.generate
+          ~config:
+            {
+              small_config with
+              Atpg.Types.work_limit = 20_000;
+              total_work_limit = 500_000;
+            }
+          p.Core.Flow.original)
+  in
+  check_events_vs_stats r events
+
+(* Table-2-style check: the retimed/original work-unit ratio of a benchmark
+   pair, computed from the JSONL records alone, matches the ratio of the
+   engines' own aggregate counters. *)
+let test_table2_ratio_from_events () =
+  let p = Lazy.force dk16_pair in
+  let run circuit =
+    run_with_events (fun () ->
+        Atpg.Run.generate ~config:small_config circuit)
+  in
+  let ro, eo = run p.Core.Flow.original in
+  let rr, er = run p.Core.Flow.retimed in
+  let units events =
+    List.fold_left
+      (fun a e -> a + field_int "work" e + (50 * field_int "backtracks" e))
+      0 events
+  in
+  let from_events = float_of_int (units er) /. float_of_int (units eo) in
+  let from_stats =
+    float_of_int (Atpg.Types.work_units rr.Atpg.Types.stats)
+    /. float_of_int (Atpg.Types.work_units ro.Atpg.Types.stats)
+  in
+  Alcotest.(check (float 1e-9)) "ratio rebuilt offline" from_stats from_events
+
+(* --- tracing on/off determinism ---------------------------------------------- *)
+
+let test_instrumentation_is_inert () =
+  let p = Lazy.force dk16_pair in
+  let bare = Atpg.Run.generate ~config:small_config p.Core.Flow.original in
+  let traced, _ =
+    run_with_events (fun () ->
+        Atpg.Run.generate ~config:small_config p.Core.Flow.original)
+  in
+  Alcotest.(check int)
+    "work units identical"
+    (Atpg.Types.work_units bare.Atpg.Types.stats)
+    (Atpg.Types.work_units traced.Atpg.Types.stats);
+  Alcotest.(check int)
+    "decisions identical" bare.Atpg.Types.stats.Atpg.Types.decisions
+    traced.Atpg.Types.stats.Atpg.Types.decisions;
+  Alcotest.(check bool)
+    "statuses identical" true
+    (bare.Atpg.Types.status = traced.Atpg.Types.status);
+  Alcotest.(check (float 0.0))
+    "coverage identical" bare.Atpg.Types.fault_coverage
+    traced.Atpg.Types.fault_coverage
+
+let suite =
+  [
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    QCheck_alcotest.to_alcotest (test_json_float_property ());
+    Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite;
+    Alcotest.test_case "metrics registry" `Quick test_registry;
+    Alcotest.test_case "span nesting and balance" `Quick test_span_balance;
+    Alcotest.test_case "chrome trace round-trip" `Quick test_chrome_roundtrip;
+    Alcotest.test_case "events rebuild stats (hitec)" `Quick
+      test_events_invariant_run;
+    Alcotest.test_case "events rebuild stats (attest)" `Quick
+      test_events_invariant_attest;
+    Alcotest.test_case "table-2 ratio from JSONL alone" `Quick
+      test_table2_ratio_from_events;
+    Alcotest.test_case "tracing on/off is bit-identical" `Quick
+      test_instrumentation_is_inert;
+  ]
