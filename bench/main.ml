@@ -83,22 +83,24 @@ let run_tables () =
   ablation_dropping ();
   say "@.";
   ablation_learning ();
-  say "@.(table regeneration took %.1fs; scale with SATPG_BUDGET)@."
-    (Unix.gettimeofday () -. t0)
+  say "@.(table regeneration took %.1fs; scale with SATPG_BUDGET, persist \
+       with SATPG_STORE)@."
+    (Unix.gettimeofday () -. t0);
+  say "%a@." Core.Cache.pp_summary ()
 
 (* --------------------------------------------------- engine benchmark JSON *)
 
 (* Engine x benchmark grid on the dk16.ji.sd pair, written to
    BENCH_atpg.json (schema documented in results/README.md): one record per
-   run with deterministic work units, wall seconds and fault coverage. *)
+   run with deterministic work units, wall seconds, fault coverage and the
+   cache outcome.  Runs go through Core.Cache, so with SATPG_STORE set a
+   warm rerun serves every record from disk and its wall_s measures the
+   store, not the engine. *)
 let run_atpg_json ?(file = "BENCH_atpg.json") () =
   let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
   let engines =
-    [
-      ("hitec", fun c -> Atpg.Hitec.generate c);
-      ("attest", fun c -> Atpg.Attest.generate c);
-      ("sest", fun c -> Atpg.Sest.generate c);
-    ]
+    [ ("hitec", Core.Cache.Hitec); ("attest", Core.Cache.Attest);
+      ("sest", Core.Cache.Sest) ]
   in
   let circuits =
     [ (p.Core.Flow.name, p.Core.Flow.original);
@@ -106,16 +108,19 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
   in
   let records =
     List.concat_map
-      (fun (engine, generate) ->
+      (fun (engine, kind) ->
         List.map
           (fun (bench, circuit) ->
             let t0 = Unix.gettimeofday () in
-            let r = generate circuit in
+            let r = Core.Cache.atpg kind ~name:bench circuit in
             let wall = Unix.gettimeofday () -. t0 in
-            say "  %-7s %-12s FC %5.1f%%  work %9d  wall %6.2fs@." engine
-              bench r.Atpg.Types.fault_coverage
+            let cache =
+              Core.Cache.outcome_string (Core.Cache.last_outcome ())
+            in
+            say "  %-7s %-12s FC %5.1f%%  work %9d  wall %6.2fs  cache %s@."
+              engine bench r.Atpg.Types.fault_coverage
               (Atpg.Types.work_units r.Atpg.Types.stats)
-              wall;
+              wall cache;
             Obs.Json.Obj
               [
                 ("engine", Obs.Json.String engine);
@@ -124,6 +129,7 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
                   Obs.Json.Int (Atpg.Types.work_units r.Atpg.Types.stats) );
                 ("wall_s", Obs.Json.Float wall);
                 ("coverage", Obs.Json.Float r.Atpg.Types.fault_coverage);
+                ("cache", Obs.Json.String cache);
               ])
           circuits)
       engines

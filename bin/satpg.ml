@@ -8,7 +8,12 @@
      lint        static analysis: FSM + netlist rules, testability metrics
      analyze     structural attributes + density of encoding
      kiss        dump a benchmark FSM in KISS2 format
+     cache       persistent result store: stats / clear / verify
      tables      regenerate the paper's tables (1-8) and Figure 3
+
+   Expensive results (ATPG runs, reachability, structural analysis) are
+   memoized by content — circuit structural hash + configuration
+   fingerprint — and persisted across runs when SATPG_STORE=dir is set.
 
    Observability (off by default, zero overhead when off):
      --trace FILE    Chrome trace-event JSON (Perfetto / chrome://tracing)
@@ -206,7 +211,8 @@ let atpg_cmd =
       Fmt.pr "  test sequences %d (total %d vectors)@."
         (List.length r.Atpg.Types.test_sets)
         (List.fold_left (fun a s -> a + List.length s) 0 r.Atpg.Types.test_sets)
-    end
+    end;
+    Fmt.epr "%a@." Core.Cache.pp_summary ()
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run an ATPG engine on a circuit")
     Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg $ script_arg
@@ -384,6 +390,63 @@ let analyze_cmd =
     Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
           $ retimed_flag)
 
+(* --- cache ----------------------------------------------------------------- *)
+
+let cache_cmd =
+  let action_arg =
+    let of_tag =
+      Arg.enum [ ("stats", `Stats); ("clear", `Clear); ("verify", `Verify) ]
+    in
+    let doc =
+      "stats (record counts and sizes per kind), clear (delete every \
+       record) or verify (deep-check that every record decodes)."
+    in
+    Arg.(value & pos 0 of_tag `Stats & info [] ~docv:"ACTION" ~doc)
+  in
+  let run () action =
+    match Store.Disk.dir () with
+    | None ->
+      Fmt.epr "result store disabled; set %s=DIR to enable it@."
+        Store.Disk.env_var;
+      exit 1
+    | Some d ->
+      (match action with
+       | `Stats ->
+         Fmt.pr "store: %s@." d;
+         List.iter
+           (fun (kind, count, bytes) ->
+             Fmt.pr "  %-11s %6d records %10d bytes@."
+               (Store.Disk.kind_name kind) count bytes)
+           (Store.Disk.stats ())
+       | `Clear ->
+         let n = Store.Disk.clear () in
+         Fmt.pr "store: %s — removed %d records@." d n
+       | `Verify ->
+         let results = Store.Disk.verify () in
+         let bad =
+           List.filter
+             (fun ((_ : Store.Disk.entry), r) -> Result.is_error r)
+             results
+         in
+         List.iter
+           (fun ((e : Store.Disk.entry), r) ->
+             match r with
+             | Ok () -> ()
+             | Error why -> Fmt.pr "CORRUPT %s: %s@." e.Store.Disk.path why)
+           results;
+         Fmt.pr "store: %s — %d records, %d ok, %d corrupt@." d
+           (List.length results)
+           (List.length results - List.length bad)
+           (List.length bad);
+         if bad <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect or maintain the persistent result store (SATPG_STORE); \
+          records are content-addressed, so clearing is always safe")
+    Term.(const run $ logging $ action_arg)
+
 (* --- kiss ------------------------------------------------------------------ *)
 
 let kiss_cmd =
@@ -504,7 +567,10 @@ let tables_cmd =
        Core.Report.run_all ppf ();
        Core.Report.pp_shape_checks ppf ()
      | other -> Fmt.epr "unknown table %s@." other);
-    Fmt.flush ppf ()
+    Fmt.flush ppf ();
+    (* counters to stderr so table output stays byte-identical across
+       cold and warm (store-served) runs *)
+    Fmt.epr "%a@." Core.Cache.pp_summary ()
   in
   Cmd.v
     (Cmd.info "tables"
@@ -515,6 +581,6 @@ let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
   Cmd.group (Cmd.info "satpg" ~doc)
     [ synth_cmd; retime_cmd; atpg_cmd; profile_cmd; lint_cmd; analyze_cmd;
-      kiss_cmd; export_cmd; scan_cmd; compare_cmd; tables_cmd ]
+      cache_cmd; kiss_cmd; export_cmd; scan_cmd; compare_cmd; tables_cmd ]
 
 let () = exit (Cmd.eval main)

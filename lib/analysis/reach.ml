@@ -13,6 +13,8 @@ type result = {
 
 let max_state_bits = 60
 
+let default_max_states = 2_000_000
+
 let state_code_of_words words lane =
   let code = ref 0 in
   Array.iteri
@@ -32,7 +34,7 @@ let initial_state c =
   pack_bools
     (Array.map (fun id -> Netlist.Node.dff_init c id) c.Netlist.Node.dffs)
 
-let explore ?(max_states = 2_000_000) c =
+let explore ?(max_states = default_max_states) c =
   let nbits = Netlist.Node.num_dffs c in
   if nbits > max_state_bits then
     invalid_arg "Reach.explore: too many state bits";

@@ -18,6 +18,10 @@ type result = {
 (** Maximum number of DFFs supported by the packed-int representation. *)
 val max_state_bits : int
 
+(** Default [max_states] safety valve of {!explore} (part of the result
+    store's configuration fingerprint). *)
+val default_max_states : int
+
 (** Pack a DFF vector into a state code. *)
 val pack_bools : bool array -> int
 

@@ -105,9 +105,12 @@ let build c =
     by_rank;
   }
 
+let default_depth_budget = 1_500_000
+let default_cycle_budget = 3_000_000
+
 (* Maximum sequential depth: deepest host-to-host simple path (gates visited
    at most once), weight = registers crossed. *)
-let seq_depth ?(budget = 1_500_000) gr =
+let seq_depth ?(budget = default_depth_budget) gr =
   let visited = Array.make gr.num_gates false in
   let best = ref 0 in
   let expansions = ref 0 in
@@ -148,7 +151,7 @@ let seq_depth ?(budget = 1_500_000) gr =
    re-exploring dead ends.  Cycles are identified by their physical register
    set {(chain id, depth)}; at most one cycle is counted per register set,
    the behaviour of the Lioy et al. algorithm the paper discusses. *)
-let cycles ?(budget = 3_000_000) gr =
+let cycles ?(budget = default_cycle_budget) gr =
   let n = gr.num_gates in
   let sets = Hashtbl.create 1024 in
   let max_len = ref 0 in

@@ -26,6 +26,12 @@ type result = {
       bounds, but still pair-consistent) *)
 }
 
+(** Default expansion budgets of {!seq_depth} and {!cycles} (part of the
+    result store's configuration fingerprint). *)
+val default_depth_budget : int
+
+val default_cycle_budget : int
+
 type graph
 
 (** Build the canonical gate graph of a circuit. *)

@@ -25,13 +25,24 @@ let default_config =
     learn = false;
   }
 
-(* Scale every budget by the SATPG_BUDGET environment variable (float). *)
+(* Scale every budget by the SATPG_BUDGET environment variable (float).
+   An unparsable value is loudly ignored (a silent fallback made typos
+   look like default-budget runs); a non-positive or non-finite scale is
+   rejected outright — it would produce zero/negative budgets and an ATPG
+   run that aborts every fault while claiming to have tried. *)
 let scaled_config ?(base = default_config) () =
   match Sys.getenv_opt "SATPG_BUDGET" with
-  | None -> base
+  | None | Some "" -> base
   | Some s ->
     (match float_of_string_opt s with
-     | None -> base
+     | None ->
+       Logs.warn (fun m ->
+           m "SATPG_BUDGET=%S is not a number; budgets left unscaled" s);
+       base
+     | Some f when (not (Float.is_finite f)) || f <= 0.0 ->
+       invalid_arg
+         (Printf.sprintf
+            "SATPG_BUDGET must be a positive finite scale, got %s" s)
      | Some f ->
        let scale x =
          if x = max_int then x

@@ -18,7 +18,9 @@ type config = {
 val default_config : config
 
 (** [scaled_config ?base ()] multiplies every budget of [base] by the
-    [SATPG_BUDGET] environment variable (a float), when set. *)
+    [SATPG_BUDGET] environment variable (a float), when set.  An
+    unparsable value logs a warning and leaves the budgets unscaled.
+    @raise Invalid_argument on a non-positive or non-finite scale. *)
 val scaled_config : ?base:config -> unit -> config
 
 type stats = {

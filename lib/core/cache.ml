@@ -1,10 +1,19 @@
-(* Per-process memoization of the expensive analyses, keyed by circuit name:
-   several tables consume the same ATPG runs and reachability results.
+(* Memoization of the expensive analyses, keyed by *content*: the
+   canonical structural hash of the circuit (Netlist.Structhash) joined
+   with a fingerprint of the configuration the computation reads
+   (Store.Key).  The circuit name is display-only metadata — it labels
+   records for humans but never enters a key, so two structurally
+   different circuits submitted under the same name get distinct results
+   by construction (the aliasing bug the name-keyed memo had), and the
+   same circuit under two names shares one computation.
 
-   Every lookup feeds the core.cache.* counters so a run can tell whether
-   its numbers came from a fresh computation or a memo (the `satpg atpg`
-   command prints a `cache:` line from them); code paths that knowingly
-   sidestep the cache (e.g. --scoap guided runs) record a bypass. *)
+   Two layers.  The per-process memory table serves repeat lookups within
+   a run; with SATPG_STORE=dir set, Store.Disk adds a persistent layer
+   underneath, so a warm rerun recomputes nothing.  Every lookup feeds
+   the core.cache.* counters — memory hits, disk hits/misses/writes,
+   corrupt-record errors — and the `satpg atpg`/`tables` commands report
+   them; code paths that knowingly sidestep the cache (e.g. --scoap
+   guided runs) record a bypass. *)
 
 type atpg_kind = Hitec | Attest | Sest
 
@@ -16,10 +25,14 @@ let atpg_kind_name = function
 let hits = Obs.Metrics.counter "core.cache.hits"
 let misses = Obs.Metrics.counter "core.cache.misses"
 let bypasses = Obs.Metrics.counter "core.cache.bypasses"
+let disk_hits = Obs.Metrics.counter "core.cache.disk_hits"
+let disk_misses = Obs.Metrics.counter "core.cache.disk_misses"
+let disk_writes = Obs.Metrics.counter "core.cache.disk_writes"
+let disk_errors = Obs.Metrics.counter "core.cache.disk_errors"
 
 (* The cache outcome of the most recent [atpg]/[reach]/[structural] call
    (or explicit bypass note), for one-line CLI reporting. *)
-type outcome = Hit | Miss | Bypassed
+type outcome = Hit | Disk_hit | Miss | Bypassed
 
 let last = ref Miss
 
@@ -29,39 +42,120 @@ let note_bypass () =
 
 let outcome_string = function
   | Hit -> "hit"
+  | Disk_hit -> "disk-hit"
   | Miss -> "miss"
   | Bypassed -> "bypassed"
 
 let last_outcome () = !last
 
-let lookup tbl key compute =
+(* Memory first, then (when SATPG_STORE is set) the disk record, then a
+   fresh computation whose result back-fills both layers.  A corrupt disk
+   record is counted and recomputed over, never propagated. *)
+let lookup tbl ~skind ~key ~name ~encode ~decode compute =
   match Hashtbl.find_opt tbl key with
   | Some r ->
     Obs.Metrics.incr hits;
     last := Hit;
     r
   | None ->
-    Obs.Metrics.incr misses;
-    last := Miss;
-    let r = compute () in
-    Hashtbl.replace tbl key r;
-    r
+    let from_disk =
+      if not (Store.Disk.enabled ()) then None
+      else
+        match Store.Disk.load skind ~key with
+        | Store.Disk.Found payload ->
+          (match decode payload with
+           | Some r ->
+             Obs.Metrics.incr disk_hits;
+             Some r
+           | None ->
+             Obs.Metrics.incr disk_errors;
+             None)
+        | Store.Disk.Absent ->
+          Obs.Metrics.incr disk_misses;
+          None
+        | Store.Disk.Corrupt _ ->
+          Obs.Metrics.incr disk_errors;
+          None
+    in
+    (match from_disk with
+     | Some r ->
+       last := Disk_hit;
+       Hashtbl.replace tbl key r;
+       r
+     | None ->
+       Obs.Metrics.incr misses;
+       last := Miss;
+       let r = compute () in
+       Hashtbl.replace tbl key r;
+       if Store.Disk.save skind ~key ~name (encode r) then
+         Obs.Metrics.incr disk_writes;
+       r)
 
 let atpg_results : (string, Atpg.Types.result) Hashtbl.t = Hashtbl.create 64
 let reach_results : (string, Analysis.Reach.result) Hashtbl.t = Hashtbl.create 64
 let structural_results : (string, Analysis.Structural.result) Hashtbl.t =
   Hashtbl.create 64
 
+(* Drop the per-process memory layer (disk records stay).  For tests and
+   long-lived callers that re-synthesize under changed budgets. *)
+let reset_memory () =
+  Hashtbl.reset atpg_results;
+  Hashtbl.reset reach_results;
+  Hashtbl.reset structural_results
+
 let atpg kind ~name c =
-  let key = atpg_kind_name kind ^ ":" ^ name in
-  lookup atpg_results key (fun () ->
+  let config =
+    match kind with
+    | Hitec -> Atpg.Hitec.config ()
+    | Sest -> Atpg.Sest.config ()
+    | Attest -> Atpg.Types.scaled_config ()
+  in
+  let key =
+    Store.Key.atpg ~engine:(atpg_kind_name kind) ~config
+      ~circuit_hash:(Netlist.Structhash.circuit c)
+  in
+  lookup atpg_results ~skind:Store.Disk.Atpg ~key ~name
+    ~encode:Store.Codec.atpg_result_to_json
+    ~decode:Store.Codec.atpg_result_of_json
+    (fun () ->
       match kind with
-      | Hitec -> Atpg.Run.generate ~config:(Atpg.Hitec.config ()) ~engine:"hitec" c
-      | Sest -> Atpg.Run.generate ~config:(Atpg.Sest.config ()) ~engine:"sest" c
-      | Attest -> Atpg.Attest.generate c)
+      | Hitec -> Atpg.Run.generate ~config ~engine:"hitec" c
+      | Sest -> Atpg.Run.generate ~config ~engine:"sest" c
+      | Attest -> Atpg.Attest.generate ~config c)
 
 let reach ~name c =
-  lookup reach_results name (fun () -> Analysis.Reach.explore c)
+  let max_states = Analysis.Reach.default_max_states in
+  let key =
+    Store.Key.reach ~max_states ~circuit_hash:(Netlist.Structhash.circuit c)
+  in
+  lookup reach_results ~skind:Store.Disk.Reach ~key ~name
+    ~encode:Store.Codec.reach_result_to_json
+    ~decode:Store.Codec.reach_result_of_json
+    (fun () -> Analysis.Reach.explore ~max_states c)
 
 let structural ~name c =
-  lookup structural_results name (fun () -> Analysis.Structural.analyze c)
+  let depth_budget = Analysis.Structural.default_depth_budget in
+  let cycle_budget = Analysis.Structural.default_cycle_budget in
+  let key =
+    Store.Key.structural ~depth_budget ~cycle_budget
+      ~circuit_hash:(Netlist.Structhash.circuit c)
+  in
+  lookup structural_results ~skind:Store.Disk.Structural ~key ~name
+    ~encode:Store.Codec.structural_result_to_json
+    ~decode:Store.Codec.structural_result_of_json
+    (fun () -> Analysis.Structural.analyze ~depth_budget ~cycle_budget c)
+
+(* One-line summary of the cache counters, for end-of-run reporting. *)
+let pp_summary ppf () =
+  Fmt.pf ppf
+    "cache: %d memory hits, %d disk hits, %d misses, %d bypassed%s"
+    (Obs.Metrics.count hits)
+    (Obs.Metrics.count disk_hits)
+    (Obs.Metrics.count misses)
+    (Obs.Metrics.count bypasses)
+    (match Store.Disk.dir () with
+     | Some d ->
+       Printf.sprintf " (store %s: %d writes, %d stale/corrupt)" d
+         (Obs.Metrics.count disk_writes)
+         (Obs.Metrics.count disk_errors)
+     | None -> "")

@@ -1,6 +1,12 @@
-(** Per-process memoization of the expensive analyses, keyed by circuit
-    name: several tables consume the same ATPG runs, reachability results
-    and structural measurements. *)
+(** Memoization of the expensive analyses, keyed by {e content}: the
+    canonical structural hash of the circuit ({!Netlist.Structhash})
+    joined with a fingerprint of the configuration the computation reads
+    ({!Store.Key}).  The [~name] argument is display-only metadata — it
+    never enters a key, so structurally different circuits submitted
+    under one name cannot alias.
+
+    With [SATPG_STORE=dir] set ({!Store.Disk}), results also persist
+    across processes: a warm rerun serves every lookup from disk. *)
 
 type atpg_kind =
   | Hitec   (** PODEM + justification, no learning *)
@@ -12,11 +18,14 @@ val atpg_kind_name : atpg_kind -> string
 (** {1 Cache observability}
 
     Every lookup increments [core.cache.hits]/[core.cache.misses] in
-    {!Obs.Metrics.global}; paths that knowingly sidestep the cache record
-    a bypass.  {!last_outcome} reports the most recent of the three, for
-    one-line CLI reporting. *)
+    {!Obs.Metrics.global}; the disk layer adds
+    [core.cache.disk_hits]/[disk_misses]/[disk_writes]/[disk_errors]
+    (the last counts corrupt or stale records that were recomputed
+    over).  Paths that knowingly sidestep the cache record a bypass.
+    {!last_outcome} reports the most recent outcome for one-line CLI
+    reporting. *)
 
-type outcome = Hit | Miss | Bypassed
+type outcome = Hit | Disk_hit | Miss | Bypassed
 
 val outcome_string : outcome -> string
 
@@ -25,7 +34,15 @@ val note_bypass : unit -> unit
 
 val last_outcome : unit -> outcome
 
-(** Run (or recall) an engine on a named circuit. *)
+(** One-line counter summary, e.g. for end-of-run reporting:
+    ["cache: 12 memory hits, 3 disk hits, ..."]. *)
+val pp_summary : Format.formatter -> unit -> unit
+
+(** Drop the per-process memory layer (disk records stay). *)
+val reset_memory : unit -> unit
+
+(** Run (or recall) an engine on a circuit; [name] labels the persisted
+    record but plays no part in the cache key. *)
 val atpg : atpg_kind -> name:string -> Netlist.Node.t -> Atpg.Types.result
 
 val reach : name:string -> Netlist.Node.t -> Analysis.Reach.result

@@ -83,34 +83,41 @@ let simulate ?indices ?skip c (faults : Fault.t array) vectors =
         List.iteri (fun lane i -> Fault.inject faulty faults.(i) ~lane) batch;
         Sim.Parallel.reset faulty;
         let batch_arr = Array.of_list batch in
-        let lane_done = Array.make (Array.length batch_arr) false in
+        let nlanes = Array.length batch_arr in
+        let lane_done = Array.make nlanes false in
         let lanes_done = ref 0 in
         let t = ref 0 in
-        List.iter2
-          (fun v gpo ->
-            if !lanes_done < Array.length batch_arr then begin
-              Sim.Parallel.set_input_broadcast faulty v;
-              Sim.Parallel.eval_comb faulty;
-              for k = 0 to n_po - 1 do
-                let _, po_id = c.Netlist.Node.pos.(k) in
-                let fw = Sim.Parallel.node_word faulty po_id in
-                let diff = fw lxor (if gpo.(k) = 1 then -1 else 0) in
-                if diff <> 0 then
-                  Array.iteri
-                    (fun lane fi ->
-                      if (not lane_done.(lane)) && (diff lsr lane) land 1 = 1
-                      then begin
-                        detected.(fi) <- true;
-                        detect_time.(fi) <- !t;
-                        lane_done.(lane) <- true;
-                        incr lanes_done
-                      end)
-                    batch_arr
-              done;
-              Sim.Parallel.tick faulty;
-              incr t
-            end)
-          vectors good_po
+        (* walk the vectors until every lane has detected — once the batch
+           is fully resolved the remaining cycles cannot change anything,
+           so stop instead of scanning the rest of the list *)
+        let rec cycle vs gs =
+          match vs, gs with
+          | [], _ | _, [] -> ()
+          | _ when !lanes_done >= nlanes -> ()
+          | v :: vs, gpo :: gs ->
+            Sim.Parallel.set_input_broadcast faulty v;
+            Sim.Parallel.eval_comb faulty;
+            for k = 0 to n_po - 1 do
+              let _, po_id = c.Netlist.Node.pos.(k) in
+              let fw = Sim.Parallel.node_word faulty po_id in
+              let diff = fw lxor (if gpo.(k) = 1 then -1 else 0) in
+              if diff <> 0 then
+                Array.iteri
+                  (fun lane fi ->
+                    if (not lane_done.(lane)) && (diff lsr lane) land 1 = 1
+                    then begin
+                      detected.(fi) <- true;
+                      detect_time.(fi) <- !t;
+                      lane_done.(lane) <- true;
+                      incr lanes_done
+                    end)
+                  batch_arr
+            done;
+            Sim.Parallel.tick faulty;
+            incr t;
+            cycle vs gs
+        in
+        cycle vectors good_po
       end;
       if rest <> [] then batches rest
   in

@@ -15,6 +15,14 @@ exception Parse_error of int * string
 
 let fail line msg = raise (Parse_error (line, msg))
 
+(* .i/.o/.p/.s operands: a raw int_of_string here would surface a malformed
+   file as a bare Failure — parse defensively and point at the line. *)
+let count_field line what s =
+  match int_of_string_opt s with
+  | Some v when v >= 0 -> v
+  | Some v -> fail line (Printf.sprintf "%s: negative count %d" what v)
+  | None -> fail line (Printf.sprintf "%s: bad integer %S" what s)
+
 let cube_of_string line s =
   let care = ref 0 and value = ref 0 in
   String.iteri
@@ -64,10 +72,10 @@ let parse_string ?(name = "kiss") text =
         in
         match fields with
         | [] -> ()
-        | [ ".i"; n ] -> ni := int_of_string n
-        | [ ".o"; n ] -> no := int_of_string n
-        | [ ".s"; n ] -> ns := int_of_string n
-        | [ ".p"; _ ] -> ()
+        | [ ".i"; n ] -> ni := count_field lineno ".i" n
+        | [ ".o"; n ] -> no := count_field lineno ".o" n
+        | [ ".s"; n ] -> ns := count_field lineno ".s" n
+        | [ ".p"; n ] -> ignore (count_field lineno ".p" n)
         | [ ".r"; s ] -> reset_name := Some s
         | [ ".e" ] -> ()
         | [ incube; src; dst; outcube ] ->

@@ -1,0 +1,102 @@
+(* Canonical structural hashing of netlists.
+
+   The digest covers exactly what the analyses and ATPG engines can
+   observe: the PI/PO/DFF interface orders, DFF power-up values, gate
+   functions and the fanin wiring (pin order included).  Node *names* and
+   node *ids* contribute nothing — the same circuit rebuilt with every
+   node renamed or the node array permuted hashes identically — so the
+   hash is a sound content key for result caching, where a name-keyed
+   memo would alias structurally different circuits.
+
+   Mechanically: every node gets a 64-bit FNV-1a digest derived from its
+   semantic identity — PIs from their input-vector index, DFF outputs
+   from their state-vector index plus init value, gates from their
+   function and the digests of their fanins in pin order (computed in
+   topological order, so DFF outputs break the sequential cycles).  The
+   circuit digest then folds the interface: each PO's driver digest in
+   output order and each DFF's data-input digest in state order. *)
+
+type t = int64
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let empty : t = fnv_offset
+
+let byte (h : t) b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let int h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h ((v lsr (8 * i)) land 0xff)
+  done;
+  !h
+
+let int64 h (v : int64) =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+let bool h b = int h (if b then 1 else 0)
+let string h s = String.fold_left (fun h c -> byte h (Char.code c)) h s
+let to_hex (h : t) = Printf.sprintf "%016Lx" h
+
+(* Domain tags keep differently-shaped feeds from colliding byte-wise. *)
+let tag_pi = 1
+let tag_dff_out = 2
+let tag_gate = 3
+let tag_po = 4
+let tag_dff_in = 5
+
+let gate_fn_code = function
+  | Node.And -> 0 | Node.Or -> 1 | Node.Nand -> 2 | Node.Nor -> 3
+  | Node.Not -> 4 | Node.Buf -> 5 | Node.Xor -> 6 | Node.Xnor -> 7
+
+let circuit_digest c =
+  let digest = Array.make (Node.num_nodes c) empty in
+  (* sources of combinational evaluation: identified by interface position,
+     never by name or node id *)
+  Array.iter
+    (fun id ->
+      match (Node.node c id).Node.kind with
+      | Node.Pi idx -> digest.(id) <- int (int empty tag_pi) idx
+      | Node.Dff _ | Node.Gate _ -> ())
+    c.Node.pis;
+  Array.iteri
+    (fun state_idx id ->
+      digest.(id) <-
+        bool (int (int empty tag_dff_out) state_idx) (Node.dff_init c id))
+    c.Node.dffs;
+  (* gates in combinational topological order: fanin digests are ready *)
+  Array.iter
+    (fun id ->
+      let n = Node.node c id in
+      match n.Node.kind with
+      | Node.Gate fn ->
+        let h = int (int empty tag_gate) (gate_fn_code fn) in
+        let h = int h (Array.length n.Node.fanins) in
+        digest.(id) <-
+          Array.fold_left (fun h f -> int64 h digest.(f)) h n.Node.fanins
+      | Node.Pi _ | Node.Dff _ -> ())
+    c.Node.order;
+  let h = empty in
+  let h = int h (Node.num_pis c) in
+  let h = int h (Node.num_pos c) in
+  let h = int h (Node.num_dffs c) in
+  let h =
+    Array.fold_left
+      (fun h (_po_name, drv) -> int64 (int h tag_po) digest.(drv))
+      h c.Node.pos
+  in
+  Array.fold_left
+    (fun h id ->
+      let n = Node.node c id in
+      let h = bool (int h tag_dff_in) (Node.dff_init c id) in
+      if Array.length n.Node.fanins > 0 then int64 h digest.(n.Node.fanins.(0))
+      else int h (-1))
+    h c.Node.dffs
+
+let circuit c = to_hex (circuit_digest c)

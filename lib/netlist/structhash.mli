@@ -1,0 +1,26 @@
+(** Canonical structural hashing of netlists.
+
+    {!circuit} digests the observable structure of a circuit — PI/PO/DFF
+    interface orders, DFF power-up values, gate functions and fanin
+    wiring — and is invariant under node renaming and node-array
+    permutation.  It is the content half of the result-store cache key
+    (see [Store.Key]): a name-keyed memo aliases structurally different
+    circuits submitted under one name; a content key cannot. *)
+
+(** A 64-bit FNV-1a accumulator.  The feeders are exposed so other
+    fingerprints (e.g. ATPG configurations) hash with the same stable
+    function — OCaml's polymorphic [Hashtbl.hash] is not guaranteed
+    stable across versions and truncates deep values. *)
+type t
+
+val empty : t
+val int : t -> int -> t
+val int64 : t -> int64 -> t
+val bool : t -> bool -> t
+val string : t -> string -> t
+
+(** 16 lowercase hex digits. *)
+val to_hex : t -> string
+
+(** Canonical structural hash of a circuit, as {!to_hex}. *)
+val circuit : Node.t -> string

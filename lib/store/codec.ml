@@ -1,0 +1,204 @@
+(* JSON codecs for the persisted result types.
+
+   Encoders are total; decoders are *corruption-tolerant*: any shape
+   mismatch, unknown enum string, bad vector character or internal
+   inconsistency yields [None] (the caller recomputes), never an
+   exception.  Everything a consumer reads off a result is preserved —
+   statuses, test sequences, the exact work accounting, traversed-state
+   and cube sets — so a decoded record is observationally identical to
+   the freshly computed one (tested round-trip property). *)
+
+open Obs.Json
+
+exception Corrupt
+
+let obj_field name j = match member name j with Some v -> v | None -> raise Corrupt
+let as_int = function Int i -> i | _ -> raise Corrupt
+let as_bool = function Bool b -> b | _ -> raise Corrupt
+let as_string = function String s -> s | _ -> raise Corrupt
+let as_list = function List l -> l | _ -> raise Corrupt
+
+let as_float = function
+  | Float f -> f
+  | Int i -> float_of_int i (* 100.0 may have been printed as 100.0 — kept *)
+  | _ -> raise Corrupt
+
+let int_field name j = as_int (obj_field name j)
+let guard decode j = match decode j with v -> Some v | exception Corrupt -> None
+
+(* ---------------------------------------------------------------- faults - *)
+
+let fault_to_json (f : Fsim.Fault.t) =
+  match f.Fsim.Fault.site with
+  | Fsim.Fault.Stem id ->
+    List [ String "stem"; Int id; Bool f.Fsim.Fault.stuck ]
+  | Fsim.Fault.Pin { gate; pin } ->
+    List [ String "pin"; Int gate; Int pin; Bool f.Fsim.Fault.stuck ]
+
+let fault_of_json = function
+  | List [ String "stem"; Int id; Bool stuck ] ->
+    { Fsim.Fault.site = Fsim.Fault.Stem id; stuck }
+  | List [ String "pin"; Int gate; Int pin; Bool stuck ] ->
+    { Fsim.Fault.site = Fsim.Fault.Pin { gate; pin }; stuck }
+  | _ -> raise Corrupt
+
+let status_of_string = function
+  | "untested" -> Fsim.Fault.Untested
+  | "detected" -> Fsim.Fault.Detected
+  | "redundant" -> Fsim.Fault.Redundant
+  | "aborted" -> Fsim.Fault.Aborted
+  | _ -> raise Corrupt
+
+(* -------------------------------------------------------------- sequences - *)
+
+let sequence_to_json (s : Sim.Vectors.sequence) =
+  List (Stdlib.List.map (fun v -> String (Sim.Vectors.vector_to_string v)) s)
+
+let sequence_of_json j =
+  Stdlib.List.map
+    (fun v ->
+      match Sim.Vectors.vector_of_string (as_string v) with
+      | vec -> vec
+      | exception Invalid_argument _ -> raise Corrupt)
+    (as_list j)
+
+(* ------------------------------------------------------------ ATPG result - *)
+
+let stats_to_json (s : Atpg.Types.stats) =
+  let states =
+    Stdlib.List.sort compare
+      (Hashtbl.fold (fun k () acc -> k :: acc) s.Atpg.Types.states [])
+  in
+  let cubes =
+    Stdlib.List.sort compare
+      (Hashtbl.fold (fun k () acc -> k :: acc) s.Atpg.Types.state_cubes [])
+  in
+  Obj
+    [
+      ("work", Int s.Atpg.Types.work);
+      ("backtracks", Int s.Atpg.Types.backtracks);
+      ("decisions", Int s.Atpg.Types.decisions);
+      ("frames", Int s.Atpg.Types.frames);
+      ("states", List (Stdlib.List.map (fun k -> Int k) states));
+      ("state_cubes", List (Stdlib.List.map (fun k -> String k) cubes));
+    ]
+
+let stats_of_json j =
+  let s = Atpg.Types.new_stats () in
+  s.Atpg.Types.work <- int_field "work" j;
+  s.Atpg.Types.backtracks <- int_field "backtracks" j;
+  s.Atpg.Types.decisions <- int_field "decisions" j;
+  s.Atpg.Types.frames <- int_field "frames" j;
+  Stdlib.List.iter
+    (fun k -> Hashtbl.replace s.Atpg.Types.states (as_int k) ())
+    (as_list (obj_field "states" j));
+  Stdlib.List.iter
+    (fun k -> Hashtbl.replace s.Atpg.Types.state_cubes (as_string k) ())
+    (as_list (obj_field "state_cubes" j));
+  s
+
+let atpg_result_to_json (r : Atpg.Types.result) =
+  Obj
+    [
+      ( "faults",
+        List (Array.to_list (Array.map fault_to_json r.Atpg.Types.faults)) );
+      ( "status",
+        List
+          (Array.to_list
+             (Array.map
+                (fun s -> String (Fsim.Fault.status_to_string s))
+                r.Atpg.Types.status)) );
+      ( "test_sets",
+        List (Stdlib.List.map sequence_to_json r.Atpg.Types.test_sets) );
+      ("stats", stats_to_json r.Atpg.Types.stats);
+      ("fault_coverage", Float r.Atpg.Types.fault_coverage);
+      ("fault_efficiency", Float r.Atpg.Types.fault_efficiency);
+      ( "trajectory",
+        List
+          (Stdlib.List.map
+             (fun (w, e) -> List [ Int w; Float e ])
+             r.Atpg.Types.trajectory) );
+    ]
+
+let atpg_result_of_json =
+  guard (fun j ->
+      let faults =
+        Array.of_list
+          (Stdlib.List.map fault_of_json (as_list (obj_field "faults" j)))
+      in
+      let status =
+        Array.of_list
+          (Stdlib.List.map
+             (fun s -> status_of_string (as_string s))
+             (as_list (obj_field "status" j)))
+      in
+      if Array.length faults <> Array.length status then raise Corrupt;
+      let test_sets =
+        Stdlib.List.map sequence_of_json (as_list (obj_field "test_sets" j))
+      in
+      let trajectory =
+        Stdlib.List.map
+          (function
+            | List [ w; e ] -> (as_int w, as_float e)
+            | _ -> raise Corrupt)
+          (as_list (obj_field "trajectory" j))
+      in
+      {
+        Atpg.Types.faults;
+        status;
+        test_sets;
+        stats = stats_of_json (obj_field "stats" j);
+        fault_coverage = as_float (obj_field "fault_coverage" j);
+        fault_efficiency = as_float (obj_field "fault_efficiency" j);
+        trajectory;
+      })
+
+(* ------------------------------------------------------------------ reach - *)
+
+let reach_result_to_json (r : Analysis.Reach.result) =
+  let states =
+    Stdlib.List.sort compare
+      (Hashtbl.fold (fun k () acc -> k :: acc) r.Analysis.Reach.states [])
+  in
+  Obj
+    [
+      ("total_bits", Int r.Analysis.Reach.total_bits);
+      ("initial", Int r.Analysis.Reach.initial);
+      ("states", List (Stdlib.List.map (fun k -> Int k) states));
+    ]
+
+let reach_result_of_json =
+  guard (fun j ->
+      let codes =
+        Stdlib.List.map as_int (as_list (obj_field "states" j))
+      in
+      let states = Hashtbl.create (max 16 (Stdlib.List.length codes)) in
+      Stdlib.List.iter (fun k -> Hashtbl.replace states k ()) codes;
+      let initial = int_field "initial" j in
+      if not (Hashtbl.mem states initial) then raise Corrupt;
+      {
+        Analysis.Reach.valid_states = Hashtbl.length states;
+        total_bits = int_field "total_bits" j;
+        states;
+        initial;
+      })
+
+(* ------------------------------------------------------------- structural - *)
+
+let structural_result_to_json (r : Analysis.Structural.result) =
+  Obj
+    [
+      ("seq_depth", Int r.Analysis.Structural.seq_depth);
+      ("max_cycle_length", Int r.Analysis.Structural.max_cycle_length);
+      ("num_cycles", Int r.Analysis.Structural.num_cycles);
+      ("exact", Bool r.Analysis.Structural.exact);
+    ]
+
+let structural_result_of_json =
+  guard (fun j ->
+      {
+        Analysis.Structural.seq_depth = int_field "seq_depth" j;
+        max_cycle_length = int_field "max_cycle_length" j;
+        num_cycles = int_field "num_cycles" j;
+        exact = as_bool (obj_field "exact" j);
+      })

@@ -1,0 +1,17 @@
+(** JSON codecs for the persisted result types.
+
+    Encoders are total.  Decoders return [None] on any malformation —
+    shape mismatch, unknown enum, bad vector character, internal
+    inconsistency — never raise: a corrupt record degrades to a
+    recompute.  A decoded record is observationally identical to the
+    freshly computed one (statuses, sequences, work accounting and the
+    traversed state/cube sets all survive the round trip). *)
+
+val atpg_result_to_json : Atpg.Types.result -> Obs.Json.t
+val atpg_result_of_json : Obs.Json.t -> Atpg.Types.result option
+
+val reach_result_to_json : Analysis.Reach.result -> Obs.Json.t
+val reach_result_of_json : Obs.Json.t -> Analysis.Reach.result option
+
+val structural_result_to_json : Analysis.Structural.result -> Obs.Json.t
+val structural_result_of_json : Obs.Json.t -> Analysis.Structural.result option

@@ -1,0 +1,36 @@
+(* Content-addressed cache keys.
+
+   A key names a computation, not a circuit file: the canonical structural
+   hash of the netlist (Netlist.Structhash — node names and ids excluded)
+   joined with a fingerprint of every budget/flag the computation read.
+   Display names never enter the key, so two structurally different
+   circuits submitted under one name cannot alias, and the same circuit
+   under two names shares one record.  Changing any budget (e.g. via
+   SATPG_BUDGET) changes the fingerprint and therefore the key: stale
+   records are never returned, only orphaned. *)
+
+let config_fingerprint (cfg : Atpg.Types.config) =
+  let open Netlist.Structhash in
+  let h = empty in
+  let h = int h cfg.Atpg.Types.max_frames_fwd in
+  let h = int h cfg.Atpg.Types.max_frames_bwd in
+  let h = int h cfg.Atpg.Types.backtrack_limit in
+  let h = int h cfg.Atpg.Types.work_limit in
+  let h = int h cfg.Atpg.Types.total_work_limit in
+  let h = bool h cfg.Atpg.Types.validate in
+  let h = bool h cfg.Atpg.Types.learn in
+  to_hex h
+
+let atpg ~engine ~config ~circuit_hash =
+  Printf.sprintf "%s-%s-%s" engine circuit_hash (config_fingerprint config)
+
+let reach ~max_states ~circuit_hash =
+  let fp = Netlist.Structhash.(to_hex (int empty max_states)) in
+  Printf.sprintf "%s-%s" circuit_hash fp
+
+let structural ~depth_budget ~cycle_budget ~circuit_hash =
+  let fp =
+    Netlist.Structhash.(
+      to_hex (int (int empty depth_budget) cycle_budget))
+  in
+  Printf.sprintf "%s-%s" circuit_hash fp

@@ -1,0 +1,19 @@
+(** Content-addressed cache keys: canonical circuit hash joined with a
+    fingerprint of every budget/flag the computation read.  Display names
+    never enter a key — aliasing by name is impossible by construction —
+    and any budget change (e.g. [SATPG_BUDGET]) derives a fresh key, so
+    records are invalidated by orphaning, never by comparison. *)
+
+(** Stable 16-hex-digit fingerprint of an ATPG configuration. *)
+val config_fingerprint : Atpg.Types.config -> string
+
+(** [<engine>-<circuit hash>-<config fingerprint>]. *)
+val atpg :
+  engine:string -> config:Atpg.Types.config -> circuit_hash:string -> string
+
+(** [<circuit hash>-<fingerprint of max_states>]. *)
+val reach : max_states:int -> circuit_hash:string -> string
+
+(** [<circuit hash>-<fingerprint of both expansion budgets>]. *)
+val structural :
+  depth_budget:int -> cycle_budget:int -> circuit_hash:string -> string

@@ -197,6 +197,26 @@ let test_budget_scaling_env () =
   Alcotest.(check int) "work doubled" (2 * base.Atpg.Types.work_limit)
     scaled.Atpg.Types.work_limit
 
+let with_budget v f =
+  Unix.putenv "SATPG_BUDGET" v;
+  Fun.protect ~finally:(fun () -> Unix.putenv "SATPG_BUDGET" "") f
+
+(* An unparsable scale warns and leaves the budgets alone; a scale that
+   would zero or negate the budgets is rejected outright. *)
+let test_budget_env_validation () =
+  let base = Atpg.Types.default_config in
+  with_budget "not-a-number" (fun () ->
+      Alcotest.(check int) "typo leaves budgets unscaled"
+        base.Atpg.Types.backtrack_limit
+        (Atpg.Types.scaled_config ~base ()).Atpg.Types.backtrack_limit);
+  List.iter
+    (fun bad ->
+      with_budget bad (fun () ->
+          match Atpg.Types.scaled_config ~base () with
+          | _ -> Alcotest.fail ("accepted SATPG_BUDGET=" ^ bad)
+          | exception Invalid_argument _ -> ()))
+    [ "0"; "-2"; "inf"; "nan" ]
+
 let suite =
   [
     Alcotest.test_case "frames good machine = scalar sim" `Quick
@@ -219,4 +239,6 @@ let suite =
     Alcotest.test_case "sest learning" `Quick test_sest_learning_helps_or_equal;
     Alcotest.test_case "trajectory monotone" `Quick test_trajectory_monotone;
     Alcotest.test_case "budget env scaling" `Quick test_budget_scaling_env;
+    Alcotest.test_case "budget env validation" `Quick
+      test_budget_env_validation;
   ]

@@ -104,6 +104,37 @@ let test_cache_distinct_keys () =
   Alcotest.(check bool) "different results" true
     (a.Analysis.Reach.total_bits <> b.Analysis.Reach.total_bits)
 
+(* Regression for the name-keyed cache aliasing bug: two structurally
+   different circuits submitted under the same display name must get
+   distinct results.  Under the old [name]-derived keys the second lookup
+   returned the first circuit's cached result. *)
+let test_cache_name_aliasing () =
+  let three_dff =
+    let b = Netlist.Build.create () in
+    let a = Netlist.Build.add_pi b "a" in
+    let q0 = Netlist.Build.add_dff b "q0" in
+    let q1 = Netlist.Build.add_dff b "q1" in
+    let q2 = Netlist.Build.add_dff b "q2" in
+    let n = Netlist.Build.add_gate b Netlist.Node.And "n" [| a; q2 |] in
+    Netlist.Build.connect_dff b q0 n;
+    Netlist.Build.connect_dff b q1 q0;
+    Netlist.Build.connect_dff b q2 q1;
+    Netlist.Build.add_po b "z" q2;
+    Netlist.Build.finalize b
+  in
+  let a = Core.Cache.reach ~name:"alias" (Helpers.toy_circuit ()) in
+  let b = Core.Cache.reach ~name:"alias" three_dff in
+  Alcotest.(check bool) "same name, different circuits, distinct results"
+    true
+    (a.Analysis.Reach.total_bits <> b.Analysis.Reach.total_bits)
+
+(* The flip side of content addressing: the same structure under two
+   names shares one cache entry. *)
+let test_cache_shares_by_content () =
+  let a = Core.Cache.reach ~name:"first" (Helpers.toy_circuit ()) in
+  let b = Core.Cache.reach ~name:"second" (Helpers.toy_circuit ()) in
+  Alcotest.(check bool) "same physical result" true (a == b)
+
 let test_paper_reference_sane () =
   Alcotest.(check int) "table2 rows" 16 (List.length Core.Paper.table2);
   Alcotest.(check int) "table5 rows" 16 (List.length Core.Paper.table5);
@@ -127,6 +158,10 @@ let suite =
       test_table5_invariance;
     Alcotest.test_case "density drops (one pair)" `Slow test_density_pair;
     Alcotest.test_case "cache keys distinct" `Quick test_cache_distinct_keys;
+    Alcotest.test_case "cache immune to name aliasing" `Quick
+      test_cache_name_aliasing;
+    Alcotest.test_case "cache shares by content" `Quick
+      test_cache_shares_by_content;
     Alcotest.test_case "paper reference data sane" `Quick
       test_paper_reference_sane;
   ]

@@ -99,6 +99,32 @@ let test_skip_respected () =
   Alcotest.(check bool) "nothing simulated" true
     (Array.for_all not run.Fsim.Engine.detected)
 
+(* The vector walk stops early once every lane in a batch has detected;
+   detection results and times must be bit-identical to a run where the
+   whole sequence is scanned (here: one fault per batch, so the early
+   exit triggers as soon as that fault is seen). *)
+let test_early_exit_identical () =
+  let c = Helpers.toy_circuit () in
+  let faults = Fsim.Collapse.list c in
+  let rng = Random.State.make [| 42 |] in
+  let vectors =
+    List.init 400 (fun _ ->
+        Sim.Vectors.random_vector rng (Netlist.Node.num_pis c))
+  in
+  let batched = Fsim.Engine.simulate c faults vectors in
+  Array.iteri
+    (fun i _ ->
+      let solo = Fsim.Engine.simulate ~indices:[ i ] c faults vectors in
+      Alcotest.(check bool)
+        (Printf.sprintf "fault %d detected agrees" i)
+        solo.Fsim.Engine.detected.(i)
+        batched.Fsim.Engine.detected.(i);
+      Alcotest.(check int)
+        (Printf.sprintf "fault %d detect time agrees" i)
+        solo.Fsim.Engine.detect_time.(i)
+        batched.Fsim.Engine.detect_time.(i))
+    faults
+
 let suite =
   [
     Alcotest.test_case "collapsed list sane" `Quick test_collapse_list_sane;
@@ -111,4 +137,6 @@ let suite =
     Alcotest.test_case "good states tracked" `Quick test_good_states_tracked;
     Alcotest.test_case "detect time recorded" `Quick test_detect_time_recorded;
     Alcotest.test_case "skip respected" `Quick test_skip_respected;
+    Alcotest.test_case "early exit preserves results" `Quick
+      test_early_exit_identical;
   ]

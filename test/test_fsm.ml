@@ -32,6 +32,16 @@ let test_kiss_rejects_garbage () =
   Alcotest.check_raises "bad cube" (Fsm.Kiss.Parse_error (2, "bad cube character z"))
     (fun () -> ignore (Fsm.Kiss.parse_string ".i 2\nzz A B 1\n"))
 
+(* Malformed header counts must surface as line-numbered parse errors,
+   not a bare [Failure "int_of_string"]. *)
+let test_kiss_rejects_bad_counts () =
+  Alcotest.check_raises "non-numeric .i"
+    (Fsm.Kiss.Parse_error (1, ".i: bad integer \"x\""))
+    (fun () -> ignore (Fsm.Kiss.parse_string ".i x\n.o 1\n.e\n"));
+  Alcotest.check_raises "negative .p"
+    (Fsm.Kiss.Parse_error (3, ".p: negative count -3"))
+    (fun () -> ignore (Fsm.Kiss.parse_string ".i 1\n.o 1\n.p -3\n.e\n"))
+
 let test_generator_deterministic () =
   let a = Helpers.small_fsm ~seed:3 () in
   let b = Helpers.small_fsm ~seed:3 () in
@@ -104,6 +114,8 @@ let suite =
     Alcotest.test_case "kiss2 roundtrip" `Quick test_kiss_roundtrip;
     Alcotest.test_case "kiss2 parse example" `Quick test_kiss_parse_example;
     Alcotest.test_case "kiss2 rejects garbage" `Quick test_kiss_rejects_garbage;
+    Alcotest.test_case "kiss2 rejects bad counts" `Quick
+      test_kiss_rejects_bad_counts;
     Alcotest.test_case "generator is deterministic" `Quick
       test_generator_deterministic;
     Alcotest.test_case "generator reachability/determinism" `Quick

@@ -11,6 +11,7 @@ let () =
       ("fsim", Test_fsim.suite);
       ("atpg", Test_atpg.suite);
       ("core", Test_core.suite);
+      ("store", Test_store.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
       ("dft", Test_dft.suite);

@@ -1,0 +1,343 @@
+(* Content-addressed result store: structural hashing, cache keys, JSON
+   codecs, the on-disk layer and the Core.Cache integration (including the
+   name-aliasing regression the content keys exist to prevent). *)
+
+(* ------------------------------------------------------------- fixtures *)
+
+(* Helpers.toy_circuit rebuilt with every node renamed and the independent
+   gates created in a different order — structurally the same machine. *)
+let toy_renamed () =
+  let b = Netlist.Build.create () in
+  let a = Netlist.Build.add_pi b "in_a" in
+  let bi = Netlist.Build.add_pi b "in_b" in
+  let q0 = Netlist.Build.add_dff b "r0" in
+  let q1 = Netlist.Build.add_dff b "r1" in
+  (* n3 before n0/n1/n2: creation order must not matter *)
+  let n3 = Netlist.Build.add_gate b Netlist.Node.Xor "g_out" [| q0; q1 |] in
+  let n0 = Netlist.Build.add_gate b Netlist.Node.And "g_and" [| a; q1 |] in
+  let n1 = Netlist.Build.add_gate b Netlist.Node.Not "g_not" [| q0 |] in
+  let n2 = Netlist.Build.add_gate b Netlist.Node.Or "g_or" [| n1; bi |] in
+  Netlist.Build.connect_dff b q0 n0;
+  Netlist.Build.connect_dff b q1 n2;
+  Netlist.Build.add_po b "zz" n3;
+  Netlist.Build.finalize b
+
+(* toy_circuit with one structural edit, selected by [tweak]. *)
+let toy_tweaked tweak =
+  let b = Netlist.Build.create () in
+  let a = Netlist.Build.add_pi b "a" in
+  let bi = Netlist.Build.add_pi b "b" in
+  let q0 =
+    Netlist.Build.add_dff b ~init:(tweak = `Dff_init) "q0"
+  in
+  let q1 = Netlist.Build.add_dff b "q1" in
+  let or_fn = if tweak = `Gate_fn then Netlist.Node.Nor else Netlist.Node.Or in
+  let n0 = Netlist.Build.add_gate b Netlist.Node.And "n0" [| a; q1 |] in
+  let n1 = Netlist.Build.add_gate b Netlist.Node.Not "n1" [| q0 |] in
+  let n2 = Netlist.Build.add_gate b or_fn "n2" [| n1; bi |] in
+  let n3 = Netlist.Build.add_gate b Netlist.Node.Xor "n3" [| q0; q1 |] in
+  Netlist.Build.connect_dff b q0 n0;
+  Netlist.Build.connect_dff b q1 n2;
+  (if tweak = `Extra_dff then begin
+     let q2 = Netlist.Build.add_dff b "q2" in
+     Netlist.Build.connect_dff b q2 n3
+   end);
+  Netlist.Build.add_po b "out" n3;
+  Netlist.Build.finalize b
+
+(* Run [f] against a fresh temporary store directory, with the memory
+   layer emptied; restores SATPG_STORE and cleans the directory after. *)
+let with_store f =
+  let dir = Filename.temp_file "satpg-test-store" "" in
+  Sys.remove dir;
+  let saved = Sys.getenv_opt Store.Disk.env_var in
+  Unix.putenv Store.Disk.env_var dir;
+  Core.Cache.reset_memory ();
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv Store.Disk.env_var
+        (match saved with Some v -> v | None -> "");
+      Core.Cache.reset_memory ();
+      rm_rf dir)
+    (fun () -> f dir)
+
+let check_sorted_tbl msg expected actual =
+  let keys t = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) t []) in
+  Alcotest.(check bool) msg true (keys expected = keys actual)
+
+(* ------------------------------------------------------ structural hash *)
+
+let test_hash_ignores_names () =
+  Alcotest.(check string) "renaming and reordering preserve the hash"
+    (Netlist.Structhash.circuit (Helpers.toy_circuit ()))
+    (Netlist.Structhash.circuit (toy_renamed ()))
+
+let test_hash_sees_structure () =
+  let base = Netlist.Structhash.circuit (Helpers.toy_circuit ()) in
+  Alcotest.(check string) "no tweak = same hash" base
+    (Netlist.Structhash.circuit (toy_tweaked `None));
+  List.iter
+    (fun (what, tweak) ->
+      Alcotest.(check bool) (what ^ " changes the hash") true
+        (Netlist.Structhash.circuit (toy_tweaked tweak) <> base))
+    [ ("gate function", `Gate_fn); ("DFF init", `Dff_init);
+      ("extra DFF", `Extra_dff) ]
+
+let test_config_fingerprint () =
+  let base = Atpg.Types.default_config in
+  let fp = Store.Key.config_fingerprint in
+  Alcotest.(check string) "deterministic" (fp base) (fp base);
+  Alcotest.(check bool) "budget change refreshes" true
+    (fp { base with Atpg.Types.backtrack_limit = 7 } <> fp base);
+  Alcotest.(check bool) "flag change refreshes" true
+    (fp { base with Atpg.Types.learn = true } <> fp base)
+
+let test_keys_exclude_names () =
+  let h = Netlist.Structhash.circuit (Helpers.toy_circuit ()) in
+  let k = Store.Key.atpg ~engine:"hitec" ~config:Atpg.Types.default_config
+      ~circuit_hash:h
+  in
+  (* same circuit, any display name: the key cannot differ by name
+     because no name is even accepted *)
+  Alcotest.(check bool) "engine enters the key" true
+    (k <> Store.Key.atpg ~engine:"sest" ~config:Atpg.Types.default_config
+            ~circuit_hash:h);
+  Alcotest.(check bool) "reach and structural keys differ" true
+    (Store.Key.reach ~max_states:10 ~circuit_hash:h
+     <> Store.Key.structural ~depth_budget:10 ~cycle_budget:10
+          ~circuit_hash:h)
+
+(* ---------------------------------------------------------- JSON codecs *)
+
+let test_codec_atpg_roundtrip () =
+  let r = Atpg.Run.generate (Helpers.toy_circuit ()) in
+  match Store.Codec.atpg_result_of_json (Store.Codec.atpg_result_to_json r) with
+  | None -> Alcotest.fail "decode failed"
+  | Some d ->
+    Alcotest.(check bool) "faults" true (d.Atpg.Types.faults = r.Atpg.Types.faults);
+    Alcotest.(check bool) "statuses" true
+      (d.Atpg.Types.status = r.Atpg.Types.status);
+    Alcotest.(check bool) "test sets" true
+      (d.Atpg.Types.test_sets = r.Atpg.Types.test_sets);
+    Alcotest.(check (float 1e-9)) "coverage" r.Atpg.Types.fault_coverage
+      d.Atpg.Types.fault_coverage;
+    Alcotest.(check bool) "trajectory" true
+      (d.Atpg.Types.trajectory = r.Atpg.Types.trajectory);
+    Alcotest.(check int) "work" r.Atpg.Types.stats.Atpg.Types.work
+      d.Atpg.Types.stats.Atpg.Types.work;
+    check_sorted_tbl "states" r.Atpg.Types.stats.Atpg.Types.states
+      d.Atpg.Types.stats.Atpg.Types.states;
+    check_sorted_tbl "state cubes" r.Atpg.Types.stats.Atpg.Types.state_cubes
+      d.Atpg.Types.stats.Atpg.Types.state_cubes
+
+let test_codec_reach_roundtrip () =
+  let r = Analysis.Reach.explore (Helpers.toy_circuit ()) in
+  match
+    Store.Codec.reach_result_of_json (Store.Codec.reach_result_to_json r)
+  with
+  | None -> Alcotest.fail "decode failed"
+  | Some d ->
+    Alcotest.(check int) "valid" r.Analysis.Reach.valid_states
+      d.Analysis.Reach.valid_states;
+    Alcotest.(check int) "bits" r.Analysis.Reach.total_bits
+      d.Analysis.Reach.total_bits;
+    Alcotest.(check int) "initial" r.Analysis.Reach.initial
+      d.Analysis.Reach.initial;
+    check_sorted_tbl "state set" r.Analysis.Reach.states
+      d.Analysis.Reach.states
+
+let test_codec_structural_roundtrip () =
+  let r = Analysis.Structural.analyze (Helpers.toy_circuit ()) in
+  Alcotest.(check bool) "identical record" true
+    (Store.Codec.structural_result_of_json
+       (Store.Codec.structural_result_to_json r)
+     = Some r)
+
+let test_codec_rejects_garbage () =
+  let open Obs.Json in
+  Alcotest.(check bool) "empty object" true
+    (Store.Codec.atpg_result_of_json (Obj []) = None);
+  Alcotest.(check bool) "not an object" true
+    (Store.Codec.reach_result_of_json (String "nope") = None);
+  (* well-shaped but internally inconsistent: unknown status enum *)
+  let r = Atpg.Run.generate (Helpers.toy_circuit ()) in
+  let mangled =
+    match Store.Codec.atpg_result_to_json r with
+    | Obj fields ->
+      Obj
+        (Stdlib.List.map
+           (function
+             | "status", List (_ :: rest) ->
+               ("status", List (String "bogus" :: rest))
+             | f -> f)
+           fields)
+    | _ -> Alcotest.fail "unexpected encoding"
+  in
+  Alcotest.(check bool) "unknown enum" true
+    (Store.Codec.atpg_result_of_json mangled = None)
+
+(* ------------------------------------------------------------ disk layer *)
+
+let test_disk_disabled () =
+  let saved = Sys.getenv_opt Store.Disk.env_var in
+  Unix.putenv Store.Disk.env_var "";
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv Store.Disk.env_var
+        (match saved with Some v -> v | None -> ""))
+    (fun () ->
+      Alcotest.(check bool) "disabled" false (Store.Disk.enabled ());
+      Alcotest.(check bool) "save is a no-op" false
+        (Store.Disk.save Store.Disk.Reach ~key:"k" ~name:"n"
+           (Obs.Json.Int 1));
+      Alcotest.(check bool) "load is absent" true
+        (Store.Disk.load Store.Disk.Reach ~key:"k" = Store.Disk.Absent))
+
+let test_disk_roundtrip () =
+  with_store (fun _dir ->
+      (* a decodable payload, so the deep verify below passes *)
+      let payload =
+        Store.Codec.reach_result_to_json
+          (Analysis.Reach.explore (Helpers.toy_circuit ()))
+      in
+      Alcotest.(check bool) "written" true
+        (Store.Disk.save Store.Disk.Reach ~key:"cafe" ~name:"toy" payload);
+      (match Store.Disk.load Store.Disk.Reach ~key:"cafe" with
+       | Store.Disk.Found p ->
+         Alcotest.(check string) "payload survives"
+           (Obs.Json.to_string payload) (Obs.Json.to_string p)
+       | _ -> Alcotest.fail "expected Found");
+      Alcotest.(check bool) "other key absent" true
+        (Store.Disk.load Store.Disk.Reach ~key:"beef" = Store.Disk.Absent);
+      Alcotest.(check bool) "other kind absent" true
+        (Store.Disk.load Store.Disk.Atpg ~key:"cafe" = Store.Disk.Absent);
+      let entries = Store.Disk.entries () in
+      Alcotest.(check int) "one record" 1 (List.length entries);
+      List.iter
+        (fun (_, check) ->
+          Alcotest.(check bool) "verifies" true (check = Ok ()))
+        (Store.Disk.verify ());
+      Alcotest.(check int) "clear removes it" 1 (Store.Disk.clear ());
+      Alcotest.(check int) "empty after clear" 0
+        (List.length (Store.Disk.entries ())))
+
+let test_disk_corrupt_record () =
+  with_store (fun _dir ->
+      ignore
+        (Store.Disk.save Store.Disk.Reach ~key:"cafe" ~name:"toy"
+           (Obs.Json.Int 1));
+      let entry = List.hd (Store.Disk.entries ()) in
+      let oc = open_out entry.Store.Disk.path in
+      output_string oc "{\"satpg_store\": tru";
+      close_out oc;
+      (match Store.Disk.load Store.Disk.Reach ~key:"cafe" with
+       | Store.Disk.Corrupt _ -> ()
+       | _ -> Alcotest.fail "expected Corrupt");
+      match Store.Disk.verify () with
+      | [ (_, Error _) ] -> ()
+      | _ -> Alcotest.fail "verify must flag the record")
+
+let test_disk_rejects_key_mismatch () =
+  with_store (fun dir ->
+      ignore
+        (Store.Disk.save Store.Disk.Reach ~key:"cafe" ~name:"toy"
+           (Obs.Json.Int 1));
+      (* a record copied under the wrong key must not be served *)
+      let reach_dir = Filename.concat dir "reach" in
+      let src = Filename.concat reach_dir "cafe.json" in
+      let dst = Filename.concat reach_dir "beef.json" in
+      let ic = open_in src and oc = open_out dst in
+      output_string oc (In_channel.input_all ic);
+      close_in ic;
+      close_out oc;
+      match Store.Disk.load Store.Disk.Reach ~key:"beef" with
+      | Store.Disk.Corrupt _ -> ()
+      | _ -> Alcotest.fail "expected Corrupt on key mismatch")
+
+(* ------------------------------------------------------ cache integration *)
+
+let test_cache_persists_across_memory_reset () =
+  with_store (fun _ ->
+      let c = Helpers.toy_circuit () in
+      let r1 = Core.Cache.atpg Core.Cache.Hitec ~name:"toy" c in
+      Alcotest.(check string) "cold run computes" "miss"
+        (Core.Cache.outcome_string (Core.Cache.last_outcome ()));
+      Core.Cache.reset_memory ();
+      let r2 = Core.Cache.atpg Core.Cache.Hitec ~name:"toy" c in
+      Alcotest.(check string) "warm run served from disk" "disk-hit"
+        (Core.Cache.outcome_string (Core.Cache.last_outcome ()));
+      Alcotest.(check bool) "statuses identical" true
+        (r1.Atpg.Types.status = r2.Atpg.Types.status);
+      Alcotest.(check bool) "tests identical" true
+        (r1.Atpg.Types.test_sets = r2.Atpg.Types.test_sets);
+      Alcotest.(check (float 1e-9)) "coverage identical"
+        r1.Atpg.Types.fault_coverage r2.Atpg.Types.fault_coverage)
+
+let test_cache_recovers_from_corruption () =
+  with_store (fun _ ->
+      let c = Helpers.toy_circuit () in
+      let r1 = Core.Cache.reach ~name:"toy" c in
+      let entry = List.hd (Store.Disk.entries ()) in
+      let oc = open_out entry.Store.Disk.path in
+      output_string oc "not json at all";
+      close_out oc;
+      Core.Cache.reset_memory ();
+      let r2 = Core.Cache.reach ~name:"toy" c in
+      Alcotest.(check string) "corrupt record degrades to recompute" "miss"
+        (Core.Cache.outcome_string (Core.Cache.last_outcome ()));
+      Alcotest.(check int) "same answer" r1.Analysis.Reach.valid_states
+        r2.Analysis.Reach.valid_states;
+      (* the rewrite self-heals the store *)
+      Core.Cache.reset_memory ();
+      ignore (Core.Cache.reach ~name:"toy" c);
+      Alcotest.(check string) "healed record serves again" "disk-hit"
+        (Core.Cache.outcome_string (Core.Cache.last_outcome ())))
+
+let test_cache_budget_enters_key () =
+  with_store (fun _ ->
+      let c = Helpers.toy_circuit () in
+      ignore (Core.Cache.atpg Core.Cache.Hitec ~name:"toy" c);
+      Core.Cache.reset_memory ();
+      Unix.putenv "SATPG_BUDGET" "0.5";
+      Fun.protect
+        ~finally:(fun () -> Unix.putenv "SATPG_BUDGET" "")
+        (fun () ->
+          ignore (Core.Cache.atpg Core.Cache.Hitec ~name:"toy" c);
+          Alcotest.(check string) "scaled budget derives a fresh key" "miss"
+            (Core.Cache.outcome_string (Core.Cache.last_outcome ()))))
+
+let suite =
+  [
+    Alcotest.test_case "hash invariant under renaming" `Quick
+      test_hash_ignores_names;
+    Alcotest.test_case "hash tracks structure" `Quick test_hash_sees_structure;
+    Alcotest.test_case "config fingerprint" `Quick test_config_fingerprint;
+    Alcotest.test_case "keys exclude names" `Quick test_keys_exclude_names;
+    Alcotest.test_case "codec atpg round-trip" `Quick
+      test_codec_atpg_roundtrip;
+    Alcotest.test_case "codec reach round-trip" `Quick
+      test_codec_reach_roundtrip;
+    Alcotest.test_case "codec structural round-trip" `Quick
+      test_codec_structural_roundtrip;
+    Alcotest.test_case "codec rejects garbage" `Quick
+      test_codec_rejects_garbage;
+    Alcotest.test_case "disk disabled = no-op" `Quick test_disk_disabled;
+    Alcotest.test_case "disk round-trip" `Quick test_disk_roundtrip;
+    Alcotest.test_case "disk corrupt record" `Quick test_disk_corrupt_record;
+    Alcotest.test_case "disk rejects key mismatch" `Quick
+      test_disk_rejects_key_mismatch;
+    Alcotest.test_case "cache persists across processes" `Quick
+      test_cache_persists_across_memory_reset;
+    Alcotest.test_case "cache recovers from corruption" `Quick
+      test_cache_recovers_from_corruption;
+    Alcotest.test_case "cache key tracks SATPG_BUDGET" `Quick
+      test_cache_budget_enters_key;
+  ]
