@@ -106,33 +106,41 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
     [ (p.Core.Flow.name, p.Core.Flow.original);
       (p.Core.Flow.name ^ ".re", p.Core.Flow.retimed) ]
   in
-  let records =
+  let cells =
     List.concat_map
       (fun (engine, kind) ->
-        List.map
-          (fun (bench, circuit) ->
-            let t0 = Unix.gettimeofday () in
-            let r = Core.Cache.atpg kind ~name:bench circuit in
-            let wall = Unix.gettimeofday () -. t0 in
-            let cache =
-              Core.Cache.outcome_string (Core.Cache.last_outcome ())
-            in
-            say "  %-7s %-12s FC %5.1f%%  work %9d  wall %6.2fs  cache %s@."
-              engine bench r.Atpg.Types.fault_coverage
-              (Atpg.Types.work_units r.Atpg.Types.stats)
-              wall cache;
-            Obs.Json.Obj
-              [
-                ("engine", Obs.Json.String engine);
-                ("benchmark", Obs.Json.String bench);
-                ( "work_units",
-                  Obs.Json.Int (Atpg.Types.work_units r.Atpg.Types.stats) );
-                ("wall_s", Obs.Json.Float wall);
-                ("coverage", Obs.Json.Float r.Atpg.Types.fault_coverage);
-                ("cache", Obs.Json.String cache);
-              ])
+        List.map (fun (bench, circuit) -> (engine, kind, bench, circuit))
           circuits)
       engines
+  in
+  (* The grid cells shard across domains (Exec.Pool merges results in
+     grid order, so the printed lines and the JSON records keep the
+     sequential layout); [last_outcome] is domain-local and read inside
+     the cell, right after its lookup. *)
+  let records =
+    Exec.Pool.map_list
+      (fun (engine, kind, bench, circuit) ->
+        let t0 = Unix.gettimeofday () in
+        let r = Core.Cache.atpg kind ~name:bench circuit in
+        let wall = Unix.gettimeofday () -. t0 in
+        let cache = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
+        (engine, bench, r, wall, cache))
+      cells
+    |> List.map (fun (engine, bench, r, wall, cache) ->
+           say "  %-7s %-12s FC %5.1f%%  work %9d  wall %6.2fs  cache %s@."
+             engine bench r.Atpg.Types.fault_coverage
+             (Atpg.Types.work_units r.Atpg.Types.stats)
+             wall cache;
+           Obs.Json.Obj
+             [
+               ("engine", Obs.Json.String engine);
+               ("benchmark", Obs.Json.String bench);
+               ( "work_units",
+                 Obs.Json.Int (Atpg.Types.work_units r.Atpg.Types.stats) );
+               ("wall_s", Obs.Json.Float wall);
+               ("coverage", Obs.Json.Float r.Atpg.Types.fault_coverage);
+               ("cache", Obs.Json.String cache);
+             ])
   in
   let oc = open_out file in
   output_string oc (Obs.Json.to_string (Obs.Json.List records));
@@ -255,7 +263,23 @@ let run_micro () =
   say "@."
 
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (* `bench/main.exe [mode] [-j N]` — -j mirrors satpg's flag. *)
+  let argv = Array.to_list Sys.argv in
+  let rec scan = function
+    | "-j" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some j -> Exec.Pool.set_jobs j
+       | None -> invalid_arg ("bench: -j expects an integer, got " ^ n));
+      scan rest
+    | _ :: rest -> scan rest
+    | [] -> ()
+  in
+  scan argv;
+  let mode =
+    match List.filteri (fun i _ -> i > 0) argv with
+    | m :: _ when m <> "-j" -> m
+    | _ -> "all"
+  in
   (match mode with
    | "tables" -> run_tables ()
    | "micro" -> run_micro ()

@@ -88,6 +88,33 @@ let with_obs ?(force = false) (trace, metrics, events) f =
       match metrics with Some file -> Obs.Metrics.write file | None -> ())
     f
 
+(* --- parallelism ------------------------------------------------------------ *)
+
+(* -j is the jedi state-assignment flag on the synthesis-facing commands,
+   so the job count is -J/--jobs everywhere. *)
+let jobs_arg =
+  let doc =
+    "Number of domains for parallel fault simulation, ATPG and table \
+     cells (default: $(b,SATPG_JOBS) if set, else the machine's core \
+     count).  Results are bit-identical at any value."
+  in
+  Arg.(value & opt (some int) None & info [ "J"; "jobs" ] ~docv:"N" ~doc)
+
+(* Applies --jobs and validates SATPG_JOBS up front, so a bad value is a
+   one-line usage error instead of a mid-run exception. *)
+let setup_jobs jobs =
+  (match jobs with
+   | None -> ()
+   | Some n when n >= 1 -> Exec.Pool.set_jobs n
+   | Some n ->
+     Fmt.epr "satpg: --jobs must be a positive domain count, got %d@." n;
+     exit 124);
+  match Exec.Pool.jobs () with
+  | (_ : int) -> ()
+  | exception Invalid_argument msg ->
+    Fmt.epr "satpg: %s@." msg;
+    exit 124
+
 let fsm_arg =
   let doc = "Benchmark FSM name (dk16, pma, s510, s820, s832, scf)." in
   Arg.(value & pos 0 string "dk16" & info [] ~docv:"FSM" ~doc)
@@ -168,7 +195,8 @@ let atpg_cmd =
                "Print the result summary as one JSON object (coverage, work \
                 accounting, per-status fault counts) instead of text.")
   in
-  let run () obs fsm alg script engine retimed scoap json =
+  let run () obs jobs fsm alg script engine retimed scoap json =
+    setup_jobs jobs;
     with_obs obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
@@ -215,8 +243,8 @@ let atpg_cmd =
     Fmt.epr "%a@." Core.Cache.pp_summary ()
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run an ATPG engine on a circuit")
-    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg $ script_arg
-          $ engine_arg $ retimed_flag $ scoap_flag $ json_flag)
+    Term.(const run $ logging $ obs_args $ jobs_arg $ fsm_arg $ algorithm_arg
+          $ script_arg $ engine_arg $ retimed_flag $ scoap_flag $ json_flag)
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -226,7 +254,8 @@ let profile_cmd =
          & info [ "k"; "top" ] ~docv:"K"
              ~doc:"Number of rows in each hot-spot table.")
   in
-  let run () fsm alg script engine k =
+  let run () jobs fsm alg script engine k =
+    setup_jobs jobs;
     let p = Core.Flow.pair fsm alg script in
     let generate circuit =
       match engine with
@@ -299,7 +328,7 @@ let profile_cmd =
          "Run an ATPG engine on the original/retimed pair with \
           instrumentation forced on and print top-K hot-spot tables: work \
           by span, plus the per-fault worst offenders")
-    Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
+    Term.(const run $ logging $ jobs_arg $ fsm_arg $ algorithm_arg $ script_arg
           $ engine_arg $ topk_arg)
 
 (* --- lint ------------------------------------------------------------------ *)
@@ -484,7 +513,8 @@ let scan_cmd =
          & info [ "p"; "partial" ]
              ~doc:"Cycle-breaking partial scan instead of full scan.")
   in
-  let run () obs fsm alg script retimed partial =
+  let run () obs jobs fsm alg script retimed partial =
+    setup_jobs jobs;
     with_obs obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
@@ -508,13 +538,14 @@ let scan_cmd =
   in
   Cmd.v
     (Cmd.info "scan" ~doc:"Insert a scan chain and compare ATPG before/after")
-    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg $ script_arg
-          $ retimed_flag $ partial_flag)
+    Term.(const run $ logging $ obs_args $ jobs_arg $ fsm_arg $ algorithm_arg
+          $ script_arg $ retimed_flag $ partial_flag)
 
 (* --- compare --------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run () =
+  let run () jobs =
+    setup_jobs jobs;
     (* paper-vs-measured side-by-side for the headline table *)
     let rows = Core.Tables.T2.compute () in
     Fmt.pr "Table 2, paper vs measured (FCo/FCr = original/retimed coverage)@.";
@@ -540,7 +571,7 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Print the paper's Table 2 next to the measured reproduction")
-    Term.(const run $ logging)
+    Term.(const run $ logging $ jobs_arg)
 
 (* --- tables ---------------------------------------------------------------- *)
 
@@ -549,7 +580,8 @@ let tables_cmd =
     let doc = "Which table to regenerate (1-8, fig3, shape, or all)." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"TABLE" ~doc)
   in
-  let run () obs which =
+  let run () obs jobs which =
+    setup_jobs jobs;
     with_obs obs @@ fun () ->
     let ppf = Fmt.stdout in
     (match which with
@@ -575,7 +607,7 @@ let tables_cmd =
   Cmd.v
     (Cmd.info "tables"
        ~doc:"Regenerate the paper's tables (SATPG_BUDGET scales ATPG effort)")
-    Term.(const run $ logging $ obs_args $ table_arg)
+    Term.(const run $ logging $ obs_args $ jobs_arg $ table_arg)
 
 let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in

@@ -236,14 +236,29 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
             ];
         directory)
   in
-  (* deterministic phase *)
+  (* deterministic phase
+
+     Split per fault into an [attempt] (the PODEM/justification search —
+     for [learn = None] a pure function of the fault, so it can run on
+     any domain) and a [commit] (everything that reads or writes shared
+     driver state: stats merge, validation fault-sim with dropping,
+     status/test-set updates, events).  The sequential path runs
+     attempt-then-commit per fault; the parallel path speculates a window
+     of attempts across domains and commits them in index order,
+     re-checking status and budget at commit time — a speculated fault
+     that a committed test has meanwhile dropped is discarded delta and
+     all, so the driver's output is bit-identical to the sequential
+     loop's at any job count. *)
   let total_budget = cfg.Types.total_work_limit in
-  let attempt_one i fault =
+  let attempt fault =
     let fstats = Types.new_stats () in
     let learn_arg = if cfg.Types.learn then Some learn_state else None in
     let outcome =
       attempt_fault ~directory ?guide c fault cfg fstats learn_arg
     in
+    (outcome, fstats)
+  in
+  let commit_fault i fault (outcome, (fstats : Types.stats)) =
     merge_stats ~into:stats fstats;
     Obs.Trace.set_time (Types.work_units stats);
     let drop_credit = ref 0 in
@@ -274,21 +289,70 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
       ~outcome:(outcome_string outcome) ~status:status.(i)
       ~drop_credit:!drop_credit ~stats ~resolved:!resolved
   in
+  let deterministic_sequential () =
+    try
+      Array.iteri
+        (fun i fault ->
+          if status.(i) = Fsim.Fault.Untested then begin
+            if Types.work_units stats > total_budget then raise Exit;
+            if Obs.Trace.enabled () then
+              Obs.Trace.span
+                ~args:[ ("fault", Obs.Json.String (Fsim.Fault.to_string c fault)) ]
+                "atpg.fault"
+                (fun () -> commit_fault i fault (attempt fault))
+            else commit_fault i fault (attempt fault)
+          end)
+        faults
+    with Exit -> ()
+  in
+  let deterministic_parallel () =
+    let window_size = max 2 (2 * Exec.Pool.jobs ()) in
+    let cursor = ref 0 in
+    try
+      while !cursor < n do
+        (* Next window of still-untested faults, in index order. *)
+        let window = ref [] in
+        let len = ref 0 in
+        let j = ref !cursor in
+        while !j < n && !len < window_size do
+          if status.(!j) = Fsim.Fault.Untested then begin
+            window := !j :: !window;
+            incr len
+          end;
+          incr j
+        done;
+        cursor := !j;
+        let window = Array.of_list (List.rev !window) in
+        if Array.length window > 0 then begin
+          let ds =
+            Exec.Pool.run_deferred (Array.length window) (fun k ->
+                attempt faults.(window.(k)))
+          in
+          Array.iteri
+            (fun k i ->
+              (* Re-check at commit time: an earlier commit in this
+                 window may have dropped fault [i] (its deferred is then
+                 discarded, side effects and all) or pushed the run over
+                 budget — exactly the conditions the sequential loop
+                 tests before attempting [i]. *)
+              if status.(i) = Fsim.Fault.Untested then begin
+                if Types.work_units stats > total_budget then raise Exit;
+                commit_fault i faults.(i) (Exec.Pool.commit ds.(k))
+              end)
+            window
+        end
+      done
+    with Exit -> ()
+  in
   Obs.Trace.span "atpg.deterministic_phase" (fun () ->
-      try
-        Array.iteri
-          (fun i fault ->
-            if status.(i) = Fsim.Fault.Untested then begin
-              if Types.work_units stats > total_budget then raise Exit;
-              if Obs.Trace.enabled () then
-                Obs.Trace.span
-                  ~args:[ ("fault", Obs.Json.String (Fsim.Fault.to_string c fault)) ]
-                  "atpg.fault"
-                  (fun () -> attempt_one i fault)
-              else attempt_one i fault
-            end)
-          faults
-      with Exit -> ());
+      (* The SEST engine threads one shared learn state through every
+         attempt, and tracing wants per-fault spans — both are inherently
+         sequential, so speculation is for the learn-free, untraced
+         configuration (the Table 2-4 workhorse). *)
+      if Exec.Pool.jobs () > 1 && (not cfg.Types.learn)
+         && not (Obs.Trace.enabled ())
+      then deterministic_parallel ()
+      else deterministic_sequential ());
   (* anything still untested ran out of global budget *)
   Array.iteri
     (fun i s -> if s = Fsim.Fault.Untested then status.(i) <- Fsim.Fault.Aborted)

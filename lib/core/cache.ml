@@ -31,14 +31,17 @@ let disk_writes = Obs.Metrics.counter "core.cache.disk_writes"
 let disk_errors = Obs.Metrics.counter "core.cache.disk_errors"
 
 (* The cache outcome of the most recent [atpg]/[reach]/[structural] call
-   (or explicit bypass note), for one-line CLI reporting. *)
+   (or explicit bypass note), for one-line CLI reporting.  Domain-local:
+   parallel table cells each track their own outcome instead of racing on
+   one cell (the CLI reads it from the main domain's sequential flow). *)
 type outcome = Hit | Disk_hit | Miss | Bypassed
 
-let last = ref Miss
+let last : outcome Domain.DLS.key = Domain.DLS.new_key (fun () -> Miss)
+let set_last o = Domain.DLS.set last o
 
 let note_bypass () =
   Obs.Metrics.incr bypasses;
-  last := Bypassed
+  set_last Bypassed
 
 let outcome_string = function
   | Hit -> "hit"
@@ -46,16 +49,23 @@ let outcome_string = function
   | Miss -> "miss"
   | Bypassed -> "bypassed"
 
-let last_outcome () = !last
+let last_outcome () = Domain.DLS.get last
+
+(* Guards the memory tables.  Held only around find/replace, never across
+   a [compute] — two domains missing the same key concurrently may both
+   compute it, but the computations are deterministic functions of the
+   key, so the duplicate replace is idempotent; serializing hours of ATPG
+   under a table lock would be far worse. *)
+let mu = Mutex.create ()
 
 (* Memory first, then (when SATPG_STORE is set) the disk record, then a
    fresh computation whose result back-fills both layers.  A corrupt disk
    record is counted and recomputed over, never propagated. *)
 let lookup tbl ~skind ~key ~name ~encode ~decode compute =
-  match Hashtbl.find_opt tbl key with
+  match Mutex.protect mu (fun () -> Hashtbl.find_opt tbl key) with
   | Some r ->
     Obs.Metrics.incr hits;
-    last := Hit;
+    set_last Hit;
     r
   | None ->
     let from_disk =
@@ -79,14 +89,14 @@ let lookup tbl ~skind ~key ~name ~encode ~decode compute =
     in
     (match from_disk with
      | Some r ->
-       last := Disk_hit;
-       Hashtbl.replace tbl key r;
+       set_last Disk_hit;
+       Mutex.protect mu (fun () -> Hashtbl.replace tbl key r);
        r
      | None ->
        Obs.Metrics.incr misses;
-       last := Miss;
+       set_last Miss;
        let r = compute () in
-       Hashtbl.replace tbl key r;
+       Mutex.protect mu (fun () -> Hashtbl.replace tbl key r);
        if Store.Disk.save skind ~key ~name (encode r) then
          Obs.Metrics.incr disk_writes;
        r)
@@ -99,9 +109,10 @@ let structural_results : (string, Analysis.Structural.result) Hashtbl.t =
 (* Drop the per-process memory layer (disk records stay).  For tests and
    long-lived callers that re-synthesize under changed budgets. *)
 let reset_memory () =
-  Hashtbl.reset atpg_results;
-  Hashtbl.reset reach_results;
-  Hashtbl.reset structural_results
+  Mutex.protect mu (fun () ->
+      Hashtbl.reset atpg_results;
+      Hashtbl.reset reach_results;
+      Hashtbl.reset structural_results)
 
 let atpg kind ~name c =
   let config =

@@ -67,17 +67,24 @@ let build ?(period_slack = default_period_slack) fsm_name algorithm script =
 
 let cache : (string, pair) Hashtbl.t = Hashtbl.create 31
 
+(* Guards [cache]; not held across [build] (parallel table cells that
+   race to the same missing pair both build it — deterministic, so the
+   duplicate replace is idempotent).  The table drivers prebuild their
+   selections sequentially before fanning out, so in practice parallel
+   callers only ever hit. *)
+let mu = Mutex.create ()
+
 let pair ?period_slack fsm_name algorithm script =
   let key =
     Printf.sprintf "%s.%s.%s" fsm_name
       (Synth.Assign.algorithm_tag algorithm)
       (Synth.Flow.script_tag script)
   in
-  match Hashtbl.find_opt cache key with
+  match Mutex.protect mu (fun () -> Hashtbl.find_opt cache key) with
   | Some p -> p
   | None ->
     let p = build ?period_slack fsm_name algorithm script in
-    Hashtbl.replace cache key p;
+    Mutex.protect mu (fun () -> Hashtbl.replace cache key p);
     p
 
 (* The sixteen circuit pairs of Table 2, in the paper's row order. *)

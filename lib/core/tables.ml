@@ -1,6 +1,13 @@
 (* Reproduction of every table in the paper's evaluation.  Each [compute]
    runs (memoized) synthesis / retiming / ATPG / analysis and returns typed
-   rows; each [pp] prints the table in the paper's layout. *)
+   rows; each [pp] prints the table in the paper's layout.
+
+   The per-cell work (one benchmark under one engine/analysis) shards
+   across domains via [Exec.Pool]: circuit pairs are prebuilt sequentially
+   (so synthesis traces, lint gates and the Flow memo behave exactly as
+   before), then the independent cells fan out.  The pool's deterministic
+   merge returns rows in selection order with metrics/events applied in
+   the same order, so every table is byte-identical at any job count. *)
 
 let ratio a b = float_of_int a /. float_of_int (max 1 b)
 
@@ -89,14 +96,16 @@ end
 
 module T2 = struct
   let compute () =
-    List.map (Atpg_pair.compute Cache.Hitec) (Flow.table2_pairs ())
+    Exec.Pool.map_list (Atpg_pair.compute Cache.Hitec) (Flow.table2_pairs ())
 
   let pp = Atpg_pair.pp "Table 2: HITEC-style ATPG, original vs retimed"
 end
 
 module T3 = struct
   let compute () =
-    List.map (Atpg_pair.compute Cache.Attest) (Flow.confirmation_pairs ())
+    Exec.Pool.map_list
+      (Atpg_pair.compute Cache.Attest)
+      (Flow.confirmation_pairs ())
 
   let pp = Atpg_pair.pp "Table 3: Attest-style (simulation-based) ATPG"
 end
@@ -116,9 +125,8 @@ module T4 = struct
     ]
 
   let compute () =
-    List.map
-      (fun (f, a, s) -> Atpg_pair.compute Cache.Sest (Flow.pair f a s))
-      selection
+    let pairs = List.map (fun (f, a, s) -> Flow.pair f a s) selection in
+    Exec.Pool.map_list (Atpg_pair.compute Cache.Sest) pairs
 
   let pp = Atpg_pair.pp "Table 4: SEST-style (state-learning) ATPG"
 end
@@ -137,7 +145,7 @@ module T5 = struct
   }
 
   let compute () =
-    List.map
+    Exec.Pool.map_list
       (fun (p : Flow.pair) ->
         let o = Cache.structural ~name:p.Flow.name p.Flow.original in
         let r =
@@ -195,13 +203,16 @@ module T6 = struct
     }
 
   let compute () =
-    List.concat_map
-      (fun (p : Flow.pair) ->
-        [
-          one p.Flow.name p.Flow.original;
-          one (p.Flow.name ^ ".re") p.Flow.retimed;
-        ])
-      (Flow.table2_pairs ())
+    let cells =
+      List.concat_map
+        (fun (p : Flow.pair) ->
+          [
+            (p.Flow.name, p.Flow.original);
+            (p.Flow.name ^ ".re", p.Flow.retimed);
+          ])
+        (Flow.table2_pairs ())
+    in
+    Exec.Pool.map_list (fun (name, c) -> one name c) cells
 
   let pp ppf rows =
     Fmt.pf ppf "Table 6: HITEC state-traversal and density of encoding@.";
@@ -228,7 +239,7 @@ module T7 = struct
   }
 
   let compute () =
-    List.map
+    Exec.Pool.map_list
       (fun (name, c, period) ->
         let reach = Cache.reach ~name c in
         {
@@ -277,7 +288,7 @@ module T8 = struct
 
   let compute ?count () =
     let names = worst_retimed ?count () in
-    List.map
+    Exec.Pool.map_list
       (fun name ->
         let f, a, s =
           List.find

@@ -63,65 +63,72 @@ let simulate ?indices ?skip c (faults : Fault.t array) vectors =
   let detected = Array.make (Array.length faults) false in
   let detect_time = Array.make (Array.length faults) (-1) in
   let good_po, good_states = good_pass c vectors in
-  let faulty = Sim.Parallel.create c in
   let width = Sim.Parallel.word_bits in
   let n_po = Netlist.Node.num_pos c in
-  let rec batches = function
-    | [] -> ()
+  (* Split the worklist into word-wide batches up front; each batch is an
+     independent task (its own faulty-circuit sim, fault indices disjoint
+     from every other batch's), so batches shard across domains via
+     [Exec.Pool].  Writes to [detected]/[detect_time] hit disjoint slots
+     and the per-batch counter bumps are captured and merged in
+     submission order, so the result — and the metrics — are identical to
+     the sequential walk at any job count. *)
+  let rec split acc = function
+    | [] -> Array.of_list (List.rev acc)
     | rest ->
-      let rec take k acc l =
-        if k = 0 then (List.rev acc, l)
+      let rec take k lacc l =
+        if k = 0 then (List.rev lacc, l)
         else
           match l with
-          | [] -> (List.rev acc, [])
-          | x :: xs -> take (k - 1) (x :: acc) xs
+          | [] -> (List.rev lacc, [])
+          | x :: xs -> take (k - 1) (x :: lacc) xs
       in
       let batch, rest = take width [] rest in
-      if batch <> [] then begin
-        Obs.Metrics.incr m_batches;
-        Sim.Parallel.clear_faults faulty;
-        List.iteri (fun lane i -> Fault.inject faulty faults.(i) ~lane) batch;
-        Sim.Parallel.reset faulty;
-        let batch_arr = Array.of_list batch in
-        let nlanes = Array.length batch_arr in
-        let lane_done = Array.make nlanes false in
-        let lanes_done = ref 0 in
-        let t = ref 0 in
-        (* walk the vectors until every lane has detected — once the batch
-           is fully resolved the remaining cycles cannot change anything,
-           so stop instead of scanning the rest of the list *)
-        let rec cycle vs gs =
-          match vs, gs with
-          | [], _ | _, [] -> ()
-          | _ when !lanes_done >= nlanes -> ()
-          | v :: vs, gpo :: gs ->
-            Sim.Parallel.set_input_broadcast faulty v;
-            Sim.Parallel.eval_comb faulty;
-            for k = 0 to n_po - 1 do
-              let _, po_id = c.Netlist.Node.pos.(k) in
-              let fw = Sim.Parallel.node_word faulty po_id in
-              let diff = fw lxor (if gpo.(k) = 1 then -1 else 0) in
-              if diff <> 0 then
-                Array.iteri
-                  (fun lane fi ->
-                    if (not lane_done.(lane)) && (diff lsr lane) land 1 = 1
-                    then begin
-                      detected.(fi) <- true;
-                      detect_time.(fi) <- !t;
-                      lane_done.(lane) <- true;
-                      incr lanes_done
-                    end)
-                  batch_arr
-            done;
-            Sim.Parallel.tick faulty;
-            incr t;
-            cycle vs gs
-        in
-        cycle vectors good_po
-      end;
-      if rest <> [] then batches rest
+      split (batch :: acc) rest
   in
-  batches todo;
+  let batches = split [] todo in
+  let run_batch batch =
+    Obs.Metrics.incr m_batches;
+    let faulty = Sim.Parallel.create c in
+    List.iteri (fun lane i -> Fault.inject faulty faults.(i) ~lane) batch;
+    Sim.Parallel.reset faulty;
+    let batch_arr = Array.of_list batch in
+    let nlanes = Array.length batch_arr in
+    let lane_done = Array.make nlanes false in
+    let lanes_done = ref 0 in
+    let t = ref 0 in
+    (* walk the vectors until every lane has detected — once the batch
+       is fully resolved the remaining cycles cannot change anything,
+       so stop instead of scanning the rest of the list *)
+    let rec cycle vs gs =
+      match vs, gs with
+      | [], _ | _, [] -> ()
+      | _ when !lanes_done >= nlanes -> ()
+      | v :: vs, gpo :: gs ->
+        Sim.Parallel.set_input_broadcast faulty v;
+        Sim.Parallel.eval_comb faulty;
+        for k = 0 to n_po - 1 do
+          let _, po_id = c.Netlist.Node.pos.(k) in
+          let fw = Sim.Parallel.node_word faulty po_id in
+          let diff = fw lxor (if gpo.(k) = 1 then -1 else 0) in
+          if diff <> 0 then
+            Array.iteri
+              (fun lane fi ->
+                if (not lane_done.(lane)) && (diff lsr lane) land 1 = 1
+                then begin
+                  detected.(fi) <- true;
+                  detect_time.(fi) <- !t;
+                  lane_done.(lane) <- true;
+                  incr lanes_done
+                end)
+              batch_arr
+        done;
+        Sim.Parallel.tick faulty;
+        incr t;
+        cycle vs gs
+    in
+    cycle vectors good_po
+  in
+  ignore (Exec.Pool.map_array run_batch batches : unit array);
   Obs.Metrics.add m_faults (List.length todo);
   Obs.Metrics.add m_vectors (List.length vectors);
   Obs.Metrics.add m_dropped

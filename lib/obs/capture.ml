@@ -1,0 +1,123 @@
+(* Task-scoped capture of observability side effects, the piece that makes
+   the instrumentation domain-safe under the Exec scheduler.
+
+   A capture is a domain-local delta: while one is active (Exec wraps every
+   parallel task in [scope]), writes to the *global* metrics registry and
+   the installed event sink are redirected into the delta instead of
+   mutating shared state.  The scheduler returns each task's delta with its
+   result and the submitting caller applies the deltas in submission order
+   (Commit.apply), so
+
+     - no shared instrument is ever touched from two domains at once, and
+     - the merged totals and the event-record order are exactly what the
+       sequential program would have produced — counters and histograms
+       merge commutatively, gauges and events are applied in submission
+       order.
+
+   A delta whose task is discarded (the ATPG driver's stale speculative
+   attempts) is simply dropped, so abandoned work never pollutes the
+   registry.  Captures nest: applying a delta while another capture is
+   active on the current domain folds it into the outer delta. *)
+
+type hist_delta = {
+  hd_buckets : int array;
+  mutable hd_count : int;
+  mutable hd_sum : int;
+  mutable hd_max : int;
+}
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, hist_delta) Hashtbl.t;
+  mutable events : Json.t list; (* newest first *)
+  mutable n_events : int;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 4;
+    histograms = Hashtbl.create 4;
+    events = [];
+    n_events = 0;
+  }
+
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get key
+
+let scope f =
+  let d = create () in
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some d);
+  let r =
+    Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+  in
+  (r, d)
+
+let add_counter d name n =
+  match Hashtbl.find_opt d.counters name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace d.counters name (ref n)
+
+let set_gauge d name v =
+  match Hashtbl.find_opt d.gauges name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace d.gauges name (ref v)
+
+let num_buckets = 63
+
+let hist_delta () =
+  { hd_buckets = Array.make num_buckets 0; hd_count = 0; hd_sum = 0; hd_max = 0 }
+
+let observe_histogram d name ~bucket v =
+  let h =
+    match Hashtbl.find_opt d.histograms name with
+    | Some h -> h
+    | None ->
+      let h = hist_delta () in
+      Hashtbl.replace d.histograms name h;
+      h
+  in
+  let v = if v < 0 then 0 else v in
+  h.hd_buckets.(bucket) <- h.hd_buckets.(bucket) + 1;
+  h.hd_count <- h.hd_count + 1;
+  h.hd_sum <- h.hd_sum + v;
+  if v > h.hd_max then h.hd_max <- v
+
+let add_event d j =
+  d.events <- j :: d.events;
+  d.n_events <- d.n_events + 1
+
+(* Oldest first, i.e. emission order. *)
+let events d = List.rev d.events
+let num_events d = d.n_events
+let iter_counters f d = Hashtbl.iter (fun name r -> f name !r) d.counters
+let iter_gauges f d = Hashtbl.iter (fun name r -> f name !r) d.gauges
+let iter_histograms f d = Hashtbl.iter f d.histograms
+
+(* Fold [d] into [into] (used when a delta is applied while an outer
+   capture is active).  Counters and histograms add; gauges last-write-win;
+   events append in emission order. *)
+let merge ~into d =
+  Hashtbl.iter (fun name r -> add_counter into name !r) d.counters;
+  Hashtbl.iter (fun name r -> set_gauge into name !r) d.gauges;
+  Hashtbl.iter
+    (fun name h ->
+      let g =
+        match Hashtbl.find_opt into.histograms name with
+        | Some g -> g
+        | None ->
+          let g = hist_delta () in
+          Hashtbl.replace into.histograms name g;
+          g
+      in
+      Array.iteri
+        (fun i n -> g.hd_buckets.(i) <- g.hd_buckets.(i) + n)
+        h.hd_buckets;
+      g.hd_count <- g.hd_count + h.hd_count;
+      g.hd_sum <- g.hd_sum + h.hd_sum;
+      if h.hd_max > g.hd_max then g.hd_max <- h.hd_max)
+    d.histograms;
+  List.iter (fun j -> add_event into j) (events d)

@@ -1,0 +1,60 @@
+(** Task-scoped capture of observability side effects.
+
+    While a capture is active on the current domain (the Exec scheduler
+    wraps every parallel task in {!scope}), writes to the global metrics
+    registry and the installed event sink are redirected into a private
+    delta instead of mutating shared state.  The scheduler hands each
+    task's delta back to the submitting caller, which applies them in
+    submission order ({!Commit.apply}) — making parallel instrumentation
+    race-free and its merged result bit-identical to a sequential run.
+    Deltas of discarded (speculative) tasks are simply dropped. *)
+
+type t
+
+(** Per-histogram accumulation: bucket counts plus count/sum/max. *)
+type hist_delta = {
+  hd_buckets : int array;
+  mutable hd_count : int;
+  mutable hd_sum : int;
+  mutable hd_max : int;
+}
+
+val create : unit -> t
+
+(** The capture active on the current domain, if any. *)
+val current : unit -> t option
+
+(** Run [f] with a fresh capture installed on the current domain
+    (restoring the previous one afterwards, so captures nest) and return
+    its result together with the delta it accumulated. *)
+val scope : (unit -> 'a) -> 'a * t
+
+(** {1 Recording} — called by [Metrics] / [Events] when a capture is
+    active. *)
+
+val add_counter : t -> string -> int -> unit
+val set_gauge : t -> string -> float -> unit
+
+(** [observe_histogram d name ~bucket v]: [bucket] is the log2 bucket
+    index [v] lands in (computed by [Metrics.bucket_of]). *)
+val observe_histogram : t -> string -> bucket:int -> int -> unit
+
+val add_event : t -> Json.t -> unit
+
+(** {1 Reading / merging} *)
+
+(** Buffered event records, oldest (first emitted) first. *)
+val events : t -> Json.t list
+
+val num_events : t -> int
+val iter_counters : (string -> int -> unit) -> t -> unit
+val iter_gauges : (string -> float -> unit) -> t -> unit
+val iter_histograms : (string -> hist_delta -> unit) -> t -> unit
+
+(** Fold [d] into [into]: counters/histograms add, gauges last-write-win,
+    events append in emission order. *)
+val merge : into:t -> t -> unit
+
+(**/**)
+
+val num_buckets : int

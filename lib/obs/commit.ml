@@ -1,0 +1,16 @@
+(* Deterministic application of task deltas.
+
+   The Exec scheduler captures each parallel task's observability side
+   effects into a Capture delta and hands it back with the task's result;
+   the submitting caller applies the deltas in submission order with
+   [apply].  If the caller is itself a captured task (nested parallelism),
+   the delta folds into the caller's own capture instead of the shared
+   registry/sink — so a delta only ever reaches shared state through the
+   top-level, single-domain caller, and no lock is needed. *)
+
+let apply d =
+  match Capture.current () with
+  | Some outer -> Capture.merge ~into:outer d
+  | None ->
+    Metrics.apply_delta d;
+    Events.apply_delta d

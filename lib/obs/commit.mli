@@ -1,0 +1,12 @@
+(** Deterministic application of task deltas.
+
+    [apply d] folds a task's captured observability delta into the
+    current context: into the active capture when the caller is itself a
+    captured (nested) task, otherwise into the global metrics registry
+    and the installed event sink.  Callers apply deltas in submission
+    order, which makes N-domain metrics totals and event files identical
+    to a sequential run.  Dropping a delta instead of applying it
+    discards the task's side effects entirely (used for stale speculative
+    ATPG attempts). *)
+
+val apply : Capture.t -> unit

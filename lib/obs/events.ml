@@ -6,7 +6,13 @@
    from the file alone (see DESIGN.md "Observability").
 
    Emission is guarded by [enabled]: with no sink installed the hot path
-   pays one word test and builds nothing. *)
+   pays one word test and builds nothing.
+
+   Domain safety: the sink is installed/uninstalled from the main domain
+   only.  A parallel task (running under a Capture scope) never mutates
+   the sink — its records are buffered in the task's delta and appended by
+   the submitting caller in submission order (Commit.apply), so the JSONL
+   file of an N-domain run is byte-identical to the sequential one. *)
 
 type sink = { mutable records : Json.t list; mutable n : int }
 
@@ -18,12 +24,26 @@ let uninstall () = current := None
 let active () = !current
 let enabled () = !current <> None
 
-let emit fields =
+let append s j =
+  s.records <- j :: s.records;
+  s.n <- s.n + 1
+
+let emit_json j =
   match !current with
   | None -> ()
   | Some s ->
-    s.records <- Json.Obj fields :: s.records;
-    s.n <- s.n + 1
+    (match Capture.current () with
+     | Some d -> Capture.add_event d j
+     | None -> append s j)
+
+let emit fields = emit_json (Json.Obj fields)
+
+(* Append a task delta's buffered records in emission order.  Only called
+   with no capture active on the current domain (Commit.apply). *)
+let apply_delta d =
+  match !current with
+  | None -> ()
+  | Some s -> List.iter (append s) (Capture.events d)
 
 let records s = List.rev s.records
 let num_records s = s.n

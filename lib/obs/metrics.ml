@@ -3,16 +3,25 @@
    instrument handle resolved once (usually at module initialisation), so
    instrumented code pays O(1) per increment whether or not anything ever
    snapshots the registry.  Snapshots render to JSON in name order, so two
-   identical runs produce byte-identical metrics files. *)
+   identical runs produce byte-identical metrics files.
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+   Domain safety: instruments of the *global* registry are never mutated
+   from a parallel task directly.  While a Capture scope is active on the
+   current domain (the Exec scheduler installs one around every task),
+   writes to global instruments are redirected into the capture's delta;
+   the scheduler applies the deltas in submission order, so N-domain
+   totals are exactly the sequential totals.  Custom registries (tests)
+   are not redirected. *)
+
+type counter = { c_name : string; c_global : bool; mutable c_value : int }
+type gauge = { g_name : string; g_global : bool; mutable g_value : float }
 
 (* Histogram of non-negative integer observations in power-of-two buckets:
    bucket [i] counts values [v] with [2^i <= v+1 < 2^(i+1)] (so bucket 0 is
    exactly v = 0).  63 buckets cover the whole positive [int] range. *)
 type histogram = {
   h_name : string;
+  h_global : bool;
   h_buckets : int array;
   mutable h_count : int;
   mutable h_sum : int;
@@ -38,12 +47,18 @@ let counter ?(registry = global) name =
   match Hashtbl.find_opt registry.counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c_value = 0 } in
+    let c = { c_name = name; c_global = registry == global; c_value = 0 } in
     Hashtbl.replace registry.counters name c;
     c
 
-let add c n = c.c_value <- c.c_value + n
-let incr c = c.c_value <- c.c_value + 1
+let add c n =
+  if c.c_global then
+    match Capture.current () with
+    | Some d -> Capture.add_counter d c.c_name n
+    | None -> c.c_value <- c.c_value + n
+  else c.c_value <- c.c_value + n
+
+let incr c = add c 1
 let count c = c.c_value
 let counter_name c = c.c_name
 
@@ -51,11 +66,17 @@ let gauge ?(registry = global) name =
   match Hashtbl.find_opt registry.gauges name with
   | Some g -> g
   | None ->
-    let g = { g_name = name; g_value = 0.0 } in
+    let g = { g_name = name; g_global = registry == global; g_value = 0.0 } in
     Hashtbl.replace registry.gauges name g;
     g
 
-let set g v = g.g_value <- v
+let set g v =
+  if g.g_global then
+    match Capture.current () with
+    | Some d -> Capture.set_gauge d g.g_name v
+    | None -> g.g_value <- v
+  else g.g_value <- v
+
 let value g = g.g_value
 
 let num_buckets = 63
@@ -67,6 +88,7 @@ let histogram ?(registry = global) name =
     let h =
       {
         h_name = name;
+        h_global = registry == global;
         h_buckets = Array.make num_buckets 0;
         h_count = 0;
         h_sum = 0;
@@ -82,12 +104,19 @@ let bucket_of v =
   let rec go n i = if n <= 1 then i else go (n lsr 1) (i + 1) in
   min (num_buckets - 1) (go (v + 1) 0)
 
-let observe h v =
+let observe_direct h v =
   let v = if v < 0 then 0 else v in
   h.h_buckets.(bucket_of v) <- h.h_buckets.(bucket_of v) + 1;
   h.h_count <- h.h_count + 1;
   h.h_sum <- h.h_sum + v;
   if v > h.h_max then h.h_max <- v
+
+let observe h v =
+  if h.h_global then
+    match Capture.current () with
+    | Some d -> Capture.observe_histogram d h.h_name ~bucket:(bucket_of v) v
+    | None -> observe_direct h v
+  else observe_direct h v
 
 let observations h = h.h_count
 let sum h = h.h_sum
@@ -142,6 +171,32 @@ let snapshot ?(registry = global) () =
       ("gauges", Json.Obj gauges);
       ("histograms", Json.Obj histograms);
     ]
+
+(* Fold a task delta into the global registry.  Only called with no
+   capture active on the current domain (Commit.apply redirects into the
+   outer capture otherwise); each name appears once per delta, so Hashtbl
+   iteration order cannot affect the result. *)
+let apply_delta (d : Capture.t) =
+  Capture.iter_counters
+    (fun name n ->
+      let c = counter name in
+      c.c_value <- c.c_value + n)
+    d;
+  Capture.iter_gauges
+    (fun name v ->
+      let g = gauge name in
+      g.g_value <- v)
+    d;
+  Capture.iter_histograms
+    (fun name (hd : Capture.hist_delta) ->
+      let h = histogram name in
+      Array.iteri
+        (fun i n -> h.h_buckets.(i) <- h.h_buckets.(i) + n)
+        hd.Capture.hd_buckets;
+      h.h_count <- h.h_count + hd.Capture.hd_count;
+      h.h_sum <- h.h_sum + hd.Capture.hd_sum;
+      if hd.Capture.hd_max > h.h_max then h.h_max <- hd.Capture.hd_max)
+    d
 
 let write ?registry file =
   let oc = open_out file in

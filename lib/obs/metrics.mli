@@ -5,7 +5,17 @@
     module initialisation) and updated with a single mutable-field write,
     so the hot path is O(1) and allocation-free whether or not anything
     ever snapshots the registry.  Snapshots render in name order: two
-    identical runs produce byte-identical metrics files. *)
+    identical runs produce byte-identical metrics files.
+
+    Domain safety: while a {!Capture} scope is active on the current
+    domain (the Exec scheduler installs one around every parallel task),
+    writes to instruments of the {!global} registry are redirected into
+    the capture's delta instead of mutating shared state; the scheduler
+    applies the deltas in submission order, so N-domain totals equal the
+    sequential totals exactly.  Custom registries are not redirected.
+    Reads ([count]/[value]/...) always return the shared value, which
+    excludes deltas not yet applied — read instruments only outside
+    parallel sections. *)
 
 type t
 
@@ -60,3 +70,11 @@ val snapshot : ?registry:t -> unit -> Json.t
 
 (** Write {!snapshot} to [file] as one JSON document. *)
 val write : ?registry:t -> string -> unit
+
+(** {1 Delta application} *)
+
+(** Fold a task's captured delta into the global registry: counters and
+    histograms add, gauges last-write-win.  Call only with no capture
+    active on the current domain (use [Commit.apply], which handles
+    nesting). *)
+val apply_delta : Capture.t -> unit

@@ -33,6 +33,16 @@ type sink = {
 
 let current : sink option ref = ref None
 
+(* Domain safety: the sink (its event list and clock) is shared process
+   state, so tracing is suppressed inside parallel Exec tasks — a capture
+   scope active on the current domain makes every entry point a no-op
+   (spans still run their thunk).  Parallel work therefore disappears from
+   the trace rather than corrupting it; the ATPG drivers fall back to
+   their sequential path when a trace sink is installed, keeping `satpg
+   profile`'s per-fault spans intact. *)
+let suppressed () =
+  match Capture.current () with Some _ -> true | None -> false
+
 let create ?wallclock () =
   {
     events = [];
@@ -51,10 +61,12 @@ let enabled () = !current <> None
 let set_time t =
   match !current with
   | None -> ()
-  | Some s -> if t > s.clock then s.clock <- t
+  | Some s -> if not (suppressed ()) && t > s.clock then s.clock <- t
 
 let tick () =
-  match !current with None -> () | Some s -> s.clock <- s.clock + 1
+  match !current with
+  | None -> ()
+  | Some s -> if not (suppressed ()) then s.clock <- s.clock + 1
 
 let emit_event s name ph args =
   let wall_us =
@@ -68,6 +80,7 @@ let emit_event s name ph args =
 let span ?(args = []) name f =
   match !current with
   | None -> f ()
+  | Some _ when suppressed () -> f ()
   | Some s ->
     emit_event s name B args;
     s.depth <- s.depth + 1;
@@ -78,7 +91,9 @@ let span ?(args = []) name f =
       f
 
 let instant ?(args = []) name =
-  match !current with None -> () | Some s -> emit_event s name I args
+  match !current with
+  | None -> ()
+  | Some s -> if not (suppressed ()) then emit_event s name I args
 
 let depth s = s.depth
 let num_events s = s.n_events

@@ -11,7 +11,13 @@ type sink
 
 (** [wallclock] returns absolute seconds (e.g. [Unix.gettimeofday]); it is
     injected by the caller so this library has no dependencies.  Omit it
-    for fully deterministic traces. *)
+    for fully deterministic traces.
+
+    Domain safety: the sink's event list and clock are shared process
+    state, so every entry point is a no-op while a {!Capture} scope is
+    active on the current domain (inside a parallel Exec task) — spans
+    still run their thunk.  Parallel work is absent from the trace rather
+    than racing on it. *)
 val create : ?wallclock:(unit -> float) -> unit -> sink
 
 val install : sink -> unit

@@ -120,8 +120,13 @@ let save kind ~key ~name payload =
     let path = path_of root kind key in
     (try
        mkdir_p (Filename.dirname path);
+       (* pid alone is not unique across domains of one process writing
+          the same key; the domain id keeps concurrent writers on
+          distinct temp files (the final rename stays atomic either
+          way) *)
        let tmp =
-         Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+         Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+           (Domain.self () :> int)
        in
        let oc = open_out_bin tmp in
        Fun.protect

@@ -14,5 +14,6 @@ let () =
       ("store", Test_store.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("exec", Test_exec.suite);
       ("dft", Test_dft.suite);
     ]
