@@ -6,6 +6,7 @@
      dune exec bench/main.exe -- tables       only the table regeneration
      dune exec bench/main.exe -- micro        only the micro-benchmarks
      dune exec bench/main.exe -- atpg         engine grid -> BENCH_atpg.json
+     dune exec bench/main.exe -- reach        explicit vs symbolic -> BENCH_reach.json
      SATPG_BUDGET=4 dune exec bench/main.exe  higher-fidelity ATPG runs
 
    Ablations (design choices from DESIGN.md §6) run with the tables:
@@ -152,6 +153,95 @@ let run_atpg () =
   say "ATPG engine benchmark (dk16.ji.sd pair, 3 engines):@.";
   run_atpg_json ()
 
+(* ---------------------------------------------- reachability benchmark JSON *)
+
+(* A chain of [n] DFFs fed by one PI: every state is reachable, so the
+   symbolic engine must count exactly 2^n valid states — for n = 65 that
+   is beyond the explicit packed-int cap and past integer range. *)
+let shift_register n =
+  let b = Netlist.Build.create () in
+  let si = Netlist.Build.add_pi b "si" in
+  let qs =
+    Array.init n (fun i ->
+        Netlist.Build.add_dff b ~init:false (Printf.sprintf "q%d" i))
+  in
+  Array.iteri
+    (fun i q ->
+      Netlist.Build.connect_dff b q (if i = 0 then si else qs.(i - 1)))
+    qs;
+  Netlist.Build.add_po b "so" qs.(n - 1);
+  Netlist.Build.finalize b
+
+(* Explicit vs symbolic reachability on the dk16.ji.sd pair, plus the
+   65-bit shift register only the symbolic engine can count, written to
+   BENCH_reach.json (schema in results/README.md).  Runs go through
+   Core.Cache like the ATPG grid, so warm store reruns measure the
+   store. *)
+let run_reach_json ?(file = "BENCH_reach.json") () =
+  let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  let cells =
+    [ (p.Core.Flow.name, `Explicit, p.Core.Flow.original);
+      (p.Core.Flow.name, `Symbolic, p.Core.Flow.original);
+      (p.Core.Flow.name ^ ".re", `Explicit, p.Core.Flow.retimed);
+      (p.Core.Flow.name ^ ".re", `Symbolic, p.Core.Flow.retimed);
+      ("shift65", `Symbolic, shift_register 65) ]
+  in
+  let records =
+    Exec.Pool.map_list
+      (fun (bench, mode, circuit) ->
+        let t0 = Unix.gettimeofday () in
+        let row =
+          match mode with
+          | `Explicit ->
+            let r = Core.Cache.reach ~name:bench circuit in
+            ( float_of_int r.Analysis.Reach.valid_states,
+              Analysis.Reach.density r, None, None )
+          | `Symbolic ->
+            let s = Core.Cache.symreach ~name:bench circuit in
+            ( s.Analysis.Symreach.valid_states,
+              Analysis.Symreach.density s,
+              Some s.Analysis.Symreach.depth,
+              Some s.Analysis.Symreach.bdd_nodes )
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let cache = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
+        (bench, mode, Netlist.Node.num_dffs circuit, row, wall, cache))
+      cells
+    |> List.map
+         (fun (bench, mode, dffs, (valid, density, depth, nodes), wall, cache)
+         ->
+           let mode_s =
+             match mode with `Explicit -> "explicit" | `Symbolic -> "symbolic"
+           in
+           let opt = function None -> Obs.Json.Null | Some i -> Obs.Json.Int i in
+           say
+             "  %-10s %-8s dffs %3d  valid %22.0f  density %.3e  wall %6.2fs  \
+              cache %s@."
+             bench mode_s dffs valid density wall cache;
+           Obs.Json.Obj
+             [
+               ("benchmark", Obs.Json.String bench);
+               ("mode", Obs.Json.String mode_s);
+               ("dffs", Obs.Json.Int dffs);
+               ("valid_states", Obs.Json.Float valid);
+               ("density", Obs.Json.Float density);
+               ("depth", opt depth);
+               ("bdd_nodes", opt nodes);
+               ("wall_s", Obs.Json.Float wall);
+               ("cache", Obs.Json.String cache);
+             ])
+  in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string (Obs.Json.List records));
+  output_char oc '\n';
+  close_out oc;
+  say "wrote %s (%d records)@." file (List.length records)
+
+let run_reach () =
+  say "Reachability benchmark (explicit vs symbolic, dk16.ji.sd pair + \
+       shift65):@.";
+  run_reach_json ()
+
 (* ---------------------------------------------------------- micro benchmarks *)
 
 let micro_tests () =
@@ -284,8 +374,10 @@ let () =
    | "tables" -> run_tables ()
    | "micro" -> run_micro ()
    | "atpg" -> run_atpg ()
+   | "reach" -> run_reach ()
    | _ ->
      run_micro ();
      run_tables ();
-     run_atpg ());
+     run_atpg ();
+     run_reach ());
   Fmt.flush Fmt.stdout ()

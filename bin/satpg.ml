@@ -7,6 +7,8 @@
      profile     instrumented engine run on a pair + hot-spot tables
      lint        static analysis: FSM + netlist rules, testability metrics
      analyze     structural attributes + density of encoding
+     reach       reachable-state analysis: explicit BFS, symbolic (BDD)
+                 fixpoint, or a cross-check of the two
      kiss        dump a benchmark FSM in KISS2 format
      cache       persistent result store: stats / clear / verify
      tables      regenerate the paper's tables (1-8) and Figure 3
@@ -350,12 +352,32 @@ let lint_cmd =
          & info [ "scoap" ]
              ~doc:"Include per-node SCOAP scores in the JSON output.")
   in
-  let run () fsm alg script json fail_on_error scoap =
+  let no_symbolic_flag =
+    Arg.(value & flag
+         & info [ "no-symbolic" ]
+             ~doc:
+               "Skip the NET008 sequential-redundancy rule (no symbolic \
+                reachability oracle is built).")
+  in
+  (* The NET008 oracle: proved-unreachable states from symbolic
+     reachability.  A BDD blow-up or malformed circuit quietly disables
+     the rule — lint must degrade, not fail, on circuits the oracle
+     cannot handle. *)
+  let reach_oracle c =
+    match Analysis.Symreach.explore c with
+    | r -> Some (fun node value -> Analysis.Symreach.can_take r node value)
+    | exception (Bdd.Node_limit | Invalid_argument _) -> None
+  in
+  let run () fsm alg script json fail_on_error scoap no_symbolic =
     let p = Core.Flow.pair fsm alg script in
     let machine = Fsm.Benchmarks.machine p.Core.Flow.fsm in
     let fsm_diags = Lint.Report.lint_fsm machine in
-    let so = Lint.Report.lint_netlist p.Core.Flow.original in
-    let sr = Lint.Report.lint_netlist p.Core.Flow.retimed in
+    let lint c =
+      let can_take = if no_symbolic then None else reach_oracle c in
+      Lint.Report.lint_netlist ?can_take c
+    in
+    let so = lint p.Core.Flow.original in
+    let sr = lint p.Core.Flow.retimed in
     let invariant_match =
       so.Lint.Report.invariant_untestable = sr.Lint.Report.invariant_untestable
     in
@@ -395,7 +417,7 @@ let lint_cmd =
          "Statically analyze a benchmark: FSM rules plus netlist rules on \
           the original and retimed circuits")
     Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
-          $ json_flag $ fail_flag $ scoap_flag)
+          $ json_flag $ fail_flag $ scoap_flag $ no_symbolic_flag)
 
 (* --- analyze --------------------------------------------------------------- *)
 
@@ -405,19 +427,187 @@ let analyze_cmd =
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
     let s = Core.Cache.structural ~name circuit in
-    let r = Core.Cache.reach ~name circuit in
+    let d = Core.Cache.density ~name circuit in
     Fmt.pr "%s:@." name;
     Fmt.pr "  DFFs               %d@." (Netlist.Node.num_dffs circuit);
     Fmt.pr "  sequential depth   %d@." s.Analysis.Structural.seq_depth;
     Fmt.pr "  max cycle length   %d@." s.Analysis.Structural.max_cycle_length;
     Fmt.pr "  counted cycles     %d@." s.Analysis.Structural.num_cycles;
-    Fmt.pr "  valid states       %d@." r.Analysis.Reach.valid_states;
-    Fmt.pr "  total states       %.3g@." (Analysis.Reach.total_states r);
-    Fmt.pr "  density of encoding %.3e@." (Analysis.Reach.density r)
+    Fmt.pr "  valid states       %.0f@." d.Core.Cache.valid;
+    Fmt.pr "  total states       %.3g@." d.Core.Cache.total;
+    Fmt.pr "  density of encoding %.3e@." d.Core.Cache.density;
+    Fmt.pr "  density source     %s@."
+      (Core.Cache.density_source_name d.Core.Cache.source)
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Structural attributes and density")
     Term.(const run $ logging $ fsm_arg $ algorithm_arg $ script_arg
           $ retimed_flag)
+
+(* --- reach ----------------------------------------------------------------- *)
+
+let reach_cmd =
+  let symbolic_flag =
+    Arg.(value & flag
+         & info [ "symbolic" ]
+             ~doc:
+               "Force the symbolic (BDD least-fixpoint) engine; works beyond \
+                the explicit caps (>8 PIs, >60 DFFs).")
+  in
+  let explicit_flag =
+    Arg.(value & flag
+         & info [ "explicit" ]
+             ~doc:
+               "Force the explicit (bit-parallel BFS) engine; fails with an \
+                actionable message beyond its caps.")
+  in
+  let check_flag =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:
+               "Run both engines and cross-check: exit 1 unless the valid-\
+                state counts and densities agree bit-for-bit.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
+  in
+  let explicit_fields (r : Analysis.Reach.result) cache =
+    [
+      ("mode", Obs.Json.String "explicit");
+      ("dffs", Obs.Json.Int r.Analysis.Reach.total_bits);
+      ("valid_states", Obs.Json.Float (float_of_int r.Analysis.Reach.valid_states));
+      ("valid_states_int", Obs.Json.Int r.Analysis.Reach.valid_states);
+      ("total_states", Obs.Json.Float (Analysis.Reach.total_states r));
+      ("density", Obs.Json.Float (Analysis.Reach.density r));
+      ("depth", Obs.Json.Null);
+      ("bdd_nodes", Obs.Json.Null);
+      ("cache", Obs.Json.String cache);
+    ]
+  in
+  let symbolic_fields (s : Analysis.Symreach.summary) cache =
+    [
+      ("mode", Obs.Json.String "symbolic");
+      ("dffs", Obs.Json.Int s.Analysis.Symreach.total_bits);
+      ("valid_states", Obs.Json.Float s.Analysis.Symreach.valid_states);
+      ( "valid_states_int",
+        match s.Analysis.Symreach.valid_states_int with
+        | Some i -> Obs.Json.Int i
+        | None -> Obs.Json.Null );
+      ("total_states", Obs.Json.Float (Analysis.Symreach.total_states s));
+      ("density", Obs.Json.Float (Analysis.Symreach.density s));
+      ("depth", Obs.Json.Int s.Analysis.Symreach.depth);
+      ("bdd_nodes", Obs.Json.Int s.Analysis.Symreach.bdd_nodes);
+      ("cache", Obs.Json.String cache);
+    ]
+  in
+  let pp_fields name fields =
+    Fmt.pr "%s:@." name;
+    List.iter
+      (fun (k, v) ->
+        Fmt.pr "  %-18s %s@." k
+          (match v with
+          | Obs.Json.String s -> s
+          | Obs.Json.Int i -> string_of_int i
+          | Obs.Json.Float f -> Printf.sprintf "%.6g" f
+          | Obs.Json.Null -> "-"
+          | j -> Obs.Json.to_string j))
+      fields
+  in
+  let run () obs fsm alg script retimed symbolic explicit check json =
+    with_obs obs @@ fun () ->
+    if symbolic && explicit then begin
+      Fmt.epr "satpg reach: --symbolic and --explicit are exclusive \
+               (use --check to run both)@.";
+      exit 124
+    end;
+    let p = Core.Flow.pair fsm alg script in
+    let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
+    let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
+    let cache () = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
+    let run_explicit () =
+      match Core.Cache.reach ~name circuit with
+      | r -> explicit_fields r (cache ())
+      | exception Invalid_argument msg ->
+        Fmt.epr "satpg reach: %s@." msg;
+        exit 1
+    in
+    let run_symbolic () =
+      match Core.Cache.symreach ~name circuit with
+      | s -> symbolic_fields s (cache ())
+      | exception Bdd.Node_limit ->
+        Fmt.epr
+          "satpg reach: %s: BDD node budget (%d) exhausted during symbolic \
+           reachability@."
+          name Analysis.Symreach.default_max_nodes;
+        exit 1
+    in
+    if check then begin
+      (* bit-identical or bust: the symbolic engine must reproduce the
+         explicit count exactly wherever the explicit engine can run *)
+      let r =
+        match Core.Cache.reach ~name circuit with
+        | r -> r
+        | exception Invalid_argument msg ->
+          Fmt.epr "satpg reach --check: %s@." msg;
+          exit 1
+      in
+      let ec = cache () in
+      let s = Core.Cache.symreach ~name circuit in
+      let sc = cache () in
+      let count_match =
+        s.Analysis.Symreach.valid_states_int
+        = Some r.Analysis.Reach.valid_states
+        && s.Analysis.Symreach.valid_states
+           = float_of_int r.Analysis.Reach.valid_states
+      in
+      let density_match =
+        Analysis.Symreach.density s = Analysis.Reach.density r
+      in
+      let ok = count_match && density_match in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Obj
+                [
+                  ("circuit", Obs.Json.String name);
+                  ("mode", Obs.Json.String "check");
+                  ("explicit", Obs.Json.Obj (explicit_fields r ec));
+                  ("symbolic", Obs.Json.Obj (symbolic_fields s sc));
+                  ("match", Obs.Json.Bool ok);
+                ]))
+      else begin
+        pp_fields (name ^ " (explicit)") (explicit_fields r ec);
+        pp_fields (name ^ " (symbolic)") (symbolic_fields s sc);
+        Fmt.pr "cross-check: %s@."
+          (if ok then "match"
+           else if count_match then "DENSITY MISMATCH"
+           else "VALID-STATE COUNT MISMATCH")
+      end;
+      if not ok then exit 1
+    end
+    else begin
+      let fields =
+        if symbolic then run_symbolic ()
+        else if explicit then run_explicit ()
+        else if Analysis.Reach.feasible circuit then run_explicit ()
+        else run_symbolic ()
+      in
+      if json then
+        print_endline
+          (Obs.Json.to_string
+             (Obs.Json.Obj (("circuit", Obs.Json.String name) :: fields)))
+      else pp_fields name fields
+    end
+  in
+  Cmd.v
+    (Cmd.info "reach"
+       ~doc:
+         "Reachable-state analysis and density of encoding: explicit BFS, \
+          symbolic BDD fixpoint (works beyond the explicit caps), or a \
+          bit-exact cross-check of the two")
+    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg
+          $ script_arg $ retimed_flag $ symbolic_flag $ explicit_flag
+          $ check_flag $ json_flag)
 
 (* --- cache ----------------------------------------------------------------- *)
 
@@ -613,6 +803,7 @@ let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
   Cmd.group (Cmd.info "satpg" ~doc)
     [ synth_cmd; retime_cmd; atpg_cmd; profile_cmd; lint_cmd; analyze_cmd;
-      cache_cmd; kiss_cmd; export_cmd; scan_cmd; compare_cmd; tables_cmd ]
+      reach_cmd; cache_cmd; kiss_cmd; export_cmd; scan_cmd; compare_cmd;
+      tables_cmd ]
 
 let () = exit (Cmd.eval main)

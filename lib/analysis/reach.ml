@@ -13,7 +13,16 @@ type result = {
 
 let max_state_bits = 60
 
+(* The seed-benchmark envelope: FSM inputs are capped at 8 (DESIGN.md
+   substitution 1) and a reset line may add one more.  Beyond this the
+   2^PI-per-state enumeration is rejected in favour of Symreach. *)
+let max_pis = 9
+
 let default_max_states = 2_000_000
+
+let feasible c =
+  Netlist.Node.num_dffs c <= max_state_bits
+  && Netlist.Node.num_pis c <= max_pis
 
 let state_code_of_words words lane =
   let code = ref 0 in
@@ -34,11 +43,23 @@ let initial_state c =
   pack_bools
     (Array.map (fun id -> Netlist.Node.dff_init c id) c.Netlist.Node.dffs)
 
-let explore ?(max_states = default_max_states) c =
+let explore ?(max_states = default_max_states) ?(name = "circuit") c =
   let nbits = Netlist.Node.num_dffs c in
   if nbits > max_state_bits then
-    invalid_arg "Reach.explore: too many state bits";
+    invalid_arg
+      (Printf.sprintf
+         "Reach.explore: %s has %d DFFs, beyond the %d-bit packed-state cap \
+          of explicit enumeration; use `satpg reach --symbolic` \
+          (Analysis.Symreach) instead"
+         name nbits max_state_bits);
   let npi = Netlist.Node.num_pis c in
+  if npi > max_pis then
+    invalid_arg
+      (Printf.sprintf
+         "Reach.explore: %s has %d primary inputs, beyond the %d-PI \
+          exhaustive-enumeration cap (2^%d vectors per state); use `satpg \
+          reach --symbolic` (Analysis.Symreach) instead"
+         name npi max_pis npi);
   let sim = Sim.Parallel.create c in
   let input_chunks = Sim.Vectors.enumerate_words npi in
   let seen = Hashtbl.create 4096 in

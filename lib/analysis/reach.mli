@@ -18,6 +18,16 @@ type result = {
 (** Maximum number of DFFs supported by the packed-int representation. *)
 val max_state_bits : int
 
+(** Maximum primary inputs the exhaustive per-state input enumeration
+    accepts (2^[max_pis] vectors per state) — the seed-benchmark envelope
+    of 8 capped FSM inputs (DESIGN.md substitution 1) plus a reset
+    line. *)
+val max_pis : int
+
+(** Is the circuit within both explicit-enumeration caps?  When [false],
+    {!explore} would raise — use {!Symreach} instead. *)
+val feasible : Netlist.Node.t -> bool
+
 (** Default [max_states] safety valve of {!explore} (part of the result
     store's configuration fingerprint). *)
 val default_max_states : int
@@ -29,10 +39,13 @@ val pack_bools : bool array -> int
 val initial_state : Netlist.Node.t -> int
 
 (** Run the exploration.  [max_states] bounds the frontier as a safety
-    valve; paper-scale circuits stay far below it.
+    valve; paper-scale circuits stay far below it.  [name] labels the
+    circuit in error messages.
     @raise Invalid_argument when the circuit has more than
-    {!max_state_bits} DFFs or too many primary inputs to enumerate. *)
-val explore : ?max_states:int -> Netlist.Node.t -> result
+    {!max_state_bits} DFFs or more than {!max_pis} primary inputs; the
+    message names the circuit, the actual counts and the symbolic
+    alternative ([satpg reach --symbolic], {!Symreach}). *)
+val explore : ?max_states:int -> ?name:string -> Netlist.Node.t -> result
 
 (** [2. ** #DFF] as a float (state spaces exceed integer range). *)
 val total_states : result -> float

@@ -1,0 +1,165 @@
+(* Symbolic (BDD-based) reachable-state analysis.
+
+   Variable order, fixed per circuit: current-state bit i of DFF
+   [c.dffs.(i)] is variable [2i], its next-state copy is [2i+1], and
+   primary input j is [2*nff + j].  Interleaving current/next keeps each
+   conjunct xnor(next_i, f_i) of the transition relation close to the
+   current-state bits it reads — with separated blocks the relation of a
+   65-bit shift register alone needs ~2^65 nodes, interleaved it is
+   linear.  The next->current rename [2i+1 -> 2i] and the counting
+   squash [2i -> i] are both monotone on their supports, as Bdd.rename
+   requires. *)
+
+type summary = {
+  total_bits : int;
+  valid_states : float;
+  valid_states_int : int option;
+  depth : int;
+  bdd_nodes : int;
+  man_nodes : int;
+}
+
+type result = {
+  summary : summary;
+  man : Bdd.man;
+  reached : Bdd.t;
+  node_funcs : Bdd.t array;
+  circuit : Netlist.Node.t;
+}
+
+let default_max_nodes = 1_000_000
+
+let m_nodes = Obs.Metrics.gauge "bdd.nodes"
+let m_load = Obs.Metrics.gauge "bdd.unique_load"
+let m_lookups = Obs.Metrics.counter "bdd.cache_lookups"
+let m_hits = Obs.Metrics.counter "bdd.cache_hits"
+let m_iters = Obs.Metrics.counter "symreach.iterations"
+
+(* Per-node functions over current-state and PI variables, in topo order. *)
+let node_functions man (c : Netlist.Node.t) =
+  let nff = Netlist.Node.num_dffs c in
+  let funcs = Array.make (Netlist.Node.num_nodes c) Bdd.zero in
+  (* sources first: DFF outputs and PIs are not gates and may be absent
+     from [order], but every gate's fanin function must exist before the
+     topological sweep reads it *)
+  Array.iteri (fun i id -> funcs.(id) <- Bdd.var man (2 * i)) c.Netlist.Node.dffs;
+  Array.iteri
+    (fun idx id -> funcs.(id) <- Bdd.var man ((2 * nff) + idx))
+    c.Netlist.Node.pis;
+  Array.iter
+    (fun id ->
+      let nd = Netlist.Node.node c id in
+      match nd.Netlist.Node.kind with
+      | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ()
+      | Netlist.Node.Gate fn ->
+        let ins = Array.map (fun f -> funcs.(f)) nd.Netlist.Node.fanins in
+        let fold op =
+          let acc = ref ins.(0) in
+          for k = 1 to Array.length ins - 1 do
+            acc := op man !acc ins.(k)
+          done;
+          !acc
+        in
+        funcs.(id) <-
+          (match fn with
+          | Netlist.Node.And -> fold Bdd.and_
+          | Netlist.Node.Or -> fold Bdd.or_
+          | Netlist.Node.Nand -> Bdd.not_ (fold Bdd.and_)
+          | Netlist.Node.Nor -> Bdd.not_ (fold Bdd.or_)
+          | Netlist.Node.Not -> Bdd.not_ ins.(0)
+          | Netlist.Node.Buf -> ins.(0)
+          | Netlist.Node.Xor -> Bdd.xor_ man ins.(0) ins.(1)
+          | Netlist.Node.Xnor -> Bdd.xnor_ man ins.(0) ins.(1)))
+    c.Netlist.Node.order;
+  funcs
+
+let explore ?(max_nodes = default_max_nodes) (c : Netlist.Node.t) =
+  let nff = Netlist.Node.num_dffs c in
+  let man = Bdd.create ~max_nodes () in
+  let funcs = node_functions man c in
+  (* Monolithic transition relation over (current, next, pi). *)
+  let trans = ref Bdd.one in
+  Array.iteri
+    (fun i id ->
+      let nd = Netlist.Node.node c id in
+      let data = funcs.(nd.Netlist.Node.fanins.(0)) in
+      trans :=
+        Bdd.and_ man !trans (Bdd.xnor_ man (Bdd.var man ((2 * i) + 1)) data))
+    c.Netlist.Node.dffs;
+  let trans = !trans in
+  (* image: quantify current-state (even) and PI variables out of T /\ S,
+     leaving the next-state (odd) variables, then rename them current *)
+  let quantified v = v >= 2 * nff || v land 1 = 0 in
+  let image s =
+    Bdd.rename man (fun v -> v - 1) (Bdd.and_exists man quantified trans s)
+  in
+  let init = ref Bdd.one in
+  Array.iteri
+    (fun i id ->
+      let lit = Bdd.var man (2 * i) in
+      let lit = if Netlist.Node.dff_init c id then lit else Bdd.not_ lit in
+      init := Bdd.and_ man !init lit)
+    c.Netlist.Node.dffs;
+  let reached = ref !init in
+  let frontier = ref !init in
+  let depth = ref 0 in
+  while not (Bdd.is_false !frontier) do
+    let iter = !depth in
+    let next =
+      if Obs.Trace.enabled () then begin
+        Obs.Trace.tick ();
+        Obs.Trace.span
+          ~args:
+            [
+              ("iter", Obs.Json.Int iter);
+              ("frontier_nodes", Obs.Json.Int (Bdd.size man !frontier));
+              ("reached_nodes", Obs.Json.Int (Bdd.size man !reached));
+            ]
+          "symreach.image"
+          (fun () -> image !frontier)
+      end
+      else image !frontier
+    in
+    let fresh = Bdd.and_ man next (Bdd.not_ !reached) in
+    if Bdd.is_false fresh then frontier := Bdd.zero
+    else begin
+      reached := Bdd.or_ man !reached fresh;
+      frontier := fresh;
+      incr depth;
+      Obs.Metrics.incr m_iters
+    end
+  done;
+  let reached = !reached in
+  let st = Bdd.stats man in
+  Obs.Metrics.set m_nodes (float_of_int st.Bdd.nodes);
+  Obs.Metrics.set m_load st.Bdd.unique_load;
+  Obs.Metrics.add m_lookups st.Bdd.cache_lookups;
+  Obs.Metrics.add m_hits st.Bdd.cache_hits;
+  (* squash the even current-state variables to the contiguous range
+     0..nff-1 so counting ranges over exactly the state bits *)
+  let squashed = Bdd.rename man (fun v -> v / 2) reached in
+  let summary =
+    {
+      total_bits = nff;
+      valid_states = Bdd.sat_count man ~nvars:nff squashed;
+      valid_states_int = Bdd.sat_count_int man ~nvars:nff squashed;
+      depth = !depth;
+      bdd_nodes = Bdd.size man reached;
+      man_nodes = Bdd.num_nodes man;
+    }
+  in
+  { summary; man; reached; node_funcs = funcs; circuit = c }
+
+let total_states s = 2.0 ** float_of_int s.total_bits
+
+let density s = s.valid_states /. total_states s
+
+let is_valid r bits =
+  if Array.length bits <> r.summary.total_bits then
+    invalid_arg "Symreach.is_valid: wrong state-vector length";
+  Bdd.eval r.man r.reached (fun v -> bits.(v / 2))
+
+let can_take r node value =
+  let f = r.node_funcs.(node) in
+  let target = if value then f else Bdd.not_ f in
+  not (Bdd.is_false (Bdd.and_ r.man r.reached target))

@@ -1,0 +1,62 @@
+(** Symbolic reachability: exact valid-state counts and density of
+    encoding beyond the explicit-enumeration cap of {!Reach}.
+
+    The transition relation of a {!Netlist.Node.t} is built as an ROBDD
+    ({!Bdd}) and forward reachability runs to the least fixpoint from the
+    power-up state; the reachable set is model-counted (float-safe past
+    the 62-bit packed-int range), which is how Tables 6–8 and Figure 3
+    obtain density for circuits explicit BFS rejects, and how
+    SIS-[extract_seq_dc]-style unreachable-state don't-cares are proved
+    for the lint layer.
+
+    Variable order (see DESIGN.md §10): current- and next-state bits
+    interleaved in netlist DFF order (DFF i at variables [2i]/[2i+1]),
+    then primary inputs from [2n].  Interleaving keeps each transition
+    conjunct next to the state bits it reads — a 65-bit shift register's
+    relation is linear-size interleaved and ~2^65 nodes with separated
+    blocks.  The order is a heuristic: BDD sizes, not results, are
+    sensitive to it. *)
+
+type summary = {
+  total_bits : int;              (** number of DFFs *)
+  valid_states : float;          (** exact count (rounded past 2^53) *)
+  valid_states_int : int option; (** exact integer count when it fits *)
+  depth : int;
+  (** least-fixpoint iterations = max BFS distance from the power-up
+      state (the symbolic sequential depth) *)
+  bdd_nodes : int;               (** nodes of the reached-set BDD *)
+  man_nodes : int;               (** nodes allocated by the manager *)
+}
+
+(** The full in-memory result; only {!summary} is persistable. *)
+type result = {
+  summary : summary;
+  man : Bdd.man;
+  reached : Bdd.t;        (** over current-state variables *)
+  node_funcs : Bdd.t array;
+  (** per netlist node: its function over current-state and PI
+      variables *)
+  circuit : Netlist.Node.t;
+}
+
+(** Default manager node budget (part of the result-store configuration
+    fingerprint). *)
+val default_max_nodes : int
+
+(** Run the analysis.
+    @raise Bdd.Node_limit when the BDDs outgrow [max_nodes]. *)
+val explore : ?max_nodes:int -> Netlist.Node.t -> result
+
+(** [2. ** #DFF] as a float. *)
+val total_states : summary -> float
+
+(** The paper's density of encoding: valid / total. *)
+val density : summary -> float
+
+(** Is this DFF-value vector (netlist DFF order) reachable? *)
+val is_valid : result -> bool array -> bool
+
+(** [can_take r node value]: can [node]'s output line take [value] in
+    some reachable state under some input?  [false] means any fault
+    needing that value for activation is sequentially redundant. *)
+val can_take : result -> int -> bool -> bool

@@ -103,6 +103,8 @@ let lookup tbl ~skind ~key ~name ~encode ~decode compute =
 
 let atpg_results : (string, Atpg.Types.result) Hashtbl.t = Hashtbl.create 64
 let reach_results : (string, Analysis.Reach.result) Hashtbl.t = Hashtbl.create 64
+let symreach_results : (string, Analysis.Symreach.summary) Hashtbl.t =
+  Hashtbl.create 64
 let structural_results : (string, Analysis.Structural.result) Hashtbl.t =
   Hashtbl.create 64
 
@@ -112,6 +114,7 @@ let reset_memory () =
   Mutex.protect mu (fun () ->
       Hashtbl.reset atpg_results;
       Hashtbl.reset reach_results;
+      Hashtbl.reset symreach_results;
       Hashtbl.reset structural_results)
 
 let atpg kind ~name c =
@@ -142,7 +145,59 @@ let reach ~name c =
   lookup reach_results ~skind:Store.Disk.Reach ~key ~name
     ~encode:Store.Codec.reach_result_to_json
     ~decode:Store.Codec.reach_result_of_json
-    (fun () -> Analysis.Reach.explore ~max_states c)
+    (fun () -> Analysis.Reach.explore ~max_states ~name c)
+
+let symreach ~name c =
+  let max_nodes = Analysis.Symreach.default_max_nodes in
+  let key =
+    Store.Key.symreach ~max_nodes ~circuit_hash:(Netlist.Structhash.circuit c)
+  in
+  lookup symreach_results ~skind:Store.Disk.Symreach ~key ~name
+    ~encode:Store.Codec.symreach_summary_to_json
+    ~decode:Store.Codec.symreach_summary_of_json
+    (fun () -> (Analysis.Symreach.explore ~max_nodes c).Analysis.Symreach.summary)
+
+(* The density-of-encoding data path of Tables 6-8 and Figure 3: explicit
+   BFS wherever it is feasible (seed benchmarks — keeps the table numbers
+   grounded in enumeration), symbolic BDD reachability beyond the caps.
+   Both paths share one float expression for density, so on any circuit
+   where both run the results are bit-identical (tested, and enforced by
+   `satpg reach --check`). *)
+type density = {
+  valid : float;
+  valid_int : int option;
+  total : float;
+  density : float;
+  source : [ `Explicit | `Symbolic ];
+}
+
+let density_source_name = function
+  | `Explicit -> "explicit"
+  | `Symbolic -> "symbolic"
+
+let density ~name c =
+  if Analysis.Reach.feasible c then begin
+    let r = reach ~name c in
+    let valid = float_of_int r.Analysis.Reach.valid_states in
+    let total = Analysis.Reach.total_states r in
+    {
+      valid;
+      valid_int = Some r.Analysis.Reach.valid_states;
+      total;
+      density = Analysis.Reach.density r;
+      source = `Explicit;
+    }
+  end
+  else begin
+    let s = symreach ~name c in
+    {
+      valid = s.Analysis.Symreach.valid_states;
+      valid_int = s.Analysis.Symreach.valid_states_int;
+      total = Analysis.Symreach.total_states s;
+      density = Analysis.Symreach.density s;
+      source = `Symbolic;
+    }
+  end
 
 let structural ~name c =
   let depth_budget = Analysis.Structural.default_depth_budget in

@@ -47,5 +47,27 @@ val atpg : atpg_kind -> name:string -> Netlist.Node.t -> Atpg.Types.result
 
 val reach : name:string -> Netlist.Node.t -> Analysis.Reach.result
 
+(** Symbolic reachability (summary only — BDDs are not persistable). *)
+val symreach : name:string -> Netlist.Node.t -> Analysis.Symreach.summary
+
+(** {1 Density of encoding}
+
+    The single data path Tables 6–8 and Figure 3 use: explicit {!reach}
+    whenever {!Analysis.Reach.feasible} holds, {!symreach} beyond the
+    explicit caps.  Both compute density with the same float expression,
+    so where both are applicable they agree bit-for-bit. *)
+
+type density = {
+  valid : float;            (** reachable-state count *)
+  valid_int : int option;   (** as an exact integer when it fits *)
+  total : float;            (** [2. ** #DFF] *)
+  density : float;          (** valid / total *)
+  source : [ `Explicit | `Symbolic ];
+}
+
+val density_source_name : [ `Explicit | `Symbolic ] -> string
+
+val density : name:string -> Netlist.Node.t -> density
+
 val structural :
   name:string -> Netlist.Node.t -> Analysis.Structural.result

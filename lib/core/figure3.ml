@@ -6,6 +6,7 @@
 type series = {
   circuit : string;
   density : float;
+  density_source : string;      (* "explicit" | "symbolic" *)
   points : (int * float) list;  (* (work units, fault efficiency %) *)
 }
 
@@ -13,10 +14,11 @@ let compute () =
   List.map
     (fun (name, c, _period) ->
       let atpg = Cache.atpg Cache.Hitec ~name c in
-      let reach = Cache.reach ~name c in
+      let d = Cache.density ~name c in
       {
         circuit = name;
-        density = Analysis.Reach.density reach;
+        density = d.Cache.density;
+        density_source = Cache.density_source_name d.Cache.source;
         points = atpg.Atpg.Types.trajectory;
       })
     (Flow.sensitivity_versions ())

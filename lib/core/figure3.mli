@@ -5,6 +5,7 @@
 type series = {
   circuit : string;
   density : float;
+  density_source : string;      (** ["explicit"] or ["symbolic"] *)
   points : (int * float) list;  (** (work units, fault efficiency %) *)
 }
 

@@ -179,27 +179,27 @@ module T6 = struct
   type row = {
     circuit : string;
     states_trav : int;
-    valid_states : int;
+    valid_states : float;
     pct_valid_trav : float;
     total_states : float;
     density : float;
+    source : string;  (* "explicit" | "symbolic" *)
   }
 
   let one name circuit =
     let atpg = Cache.atpg Cache.Hitec ~name circuit in
-    let reach = Cache.reach ~name circuit in
+    let d = Cache.density ~name circuit in
     (* count only traversed states that are valid (the ATPG's fault-sim path
        never leaves the valid set; justification cubes may) *)
     let trav = Hashtbl.length atpg.Atpg.Types.stats.Atpg.Types.states in
     {
       circuit = name;
       states_trav = trav;
-      valid_states = reach.Analysis.Reach.valid_states;
-      pct_valid_trav =
-        100.0 *. float_of_int trav
-        /. float_of_int (max 1 reach.Analysis.Reach.valid_states);
-      total_states = Analysis.Reach.total_states reach;
-      density = Analysis.Reach.density reach;
+      valid_states = d.Cache.valid;
+      pct_valid_trav = 100.0 *. float_of_int trav /. max 1.0 d.Cache.valid;
+      total_states = d.Cache.total;
+      density = d.Cache.density;
+      source = Cache.density_source_name d.Cache.source;
     }
 
   let compute () =
@@ -216,13 +216,13 @@ module T6 = struct
 
   let pp ppf rows =
     Fmt.pf ppf "Table 6: HITEC state-traversal and density of encoding@.";
-    Fmt.pf ppf "%-16s %7s %7s %8s %10s %10s@." "circuit" "#trav" "#valid"
-      "%trav" "total" "density";
+    Fmt.pf ppf "%-16s %7s %7s %8s %10s %10s %9s@." "circuit" "#trav" "#valid"
+      "%trav" "total" "density" "source";
     List.iter
       (fun r ->
-        Fmt.pf ppf "%-16s %7d %7d %8.0f %10.3g %10.2e@." r.circuit
+        Fmt.pf ppf "%-16s %7d %7.0f %8.0f %10.3g %10.2e %9s@." r.circuit
           r.states_trav r.valid_states r.pct_valid_trav r.total_states
-          r.density)
+          r.density r.source)
       rows
 end
 
@@ -233,33 +233,35 @@ module T7 = struct
     circuit : string;
     delay : float;
     dff : int;
-    valid_states : int;
+    valid_states : float;
     total_states : float;
     density : float;
+    source : string;
   }
 
   let compute () =
     Exec.Pool.map_list
       (fun (name, c, period) ->
-        let reach = Cache.reach ~name c in
+        let d = Cache.density ~name c in
         {
           circuit = name;
           delay = period;
           dff = Netlist.Node.num_dffs c;
-          valid_states = reach.Analysis.Reach.valid_states;
-          total_states = Analysis.Reach.total_states reach;
-          density = Analysis.Reach.density reach;
+          valid_states = d.Cache.valid;
+          total_states = d.Cache.total;
+          density = d.Cache.density;
+          source = Cache.density_source_name d.Cache.source;
         })
       (Flow.sensitivity_versions ())
 
   let pp ppf rows =
     Fmt.pf ppf "Table 7: density-of-encoding sensitivity (s510.jo.sr)@.";
-    Fmt.pf ppf "%-18s %8s %5s %7s %10s %10s@." "circuit" "delay" "dff"
-      "#valid" "total" "density";
+    Fmt.pf ppf "%-18s %8s %5s %7s %10s %10s %9s@." "circuit" "delay" "dff"
+      "#valid" "total" "density" "source";
     List.iter
       (fun r ->
-        Fmt.pf ppf "%-18s %8.2f %5d %7d %10.3g %10.2e@." r.circuit r.delay
-          r.dff r.valid_states r.total_states r.density)
+        Fmt.pf ppf "%-18s %8.2f %5d %7.0f %10.3g %10.2e %9s@." r.circuit
+          r.delay r.dff r.valid_states r.total_states r.density r.source)
       rows
 end
 
@@ -271,7 +273,8 @@ module T8 = struct
     fc : float;
     fe : float;
     states_trav : int;
-    valid_states : int;
+    valid_states : float;
+    valid_source : string;
     states_orig_set : int;
     fc_orig_set : float;
   }
@@ -301,7 +304,7 @@ module T8 = struct
         let re_name = p.Flow.name ^ ".re" in
         let atpg_re = Cache.atpg Cache.Hitec ~name:re_name p.Flow.retimed in
         let atpg_orig = Cache.atpg Cache.Hitec ~name:p.Flow.name p.Flow.original in
-        let reach_re = Cache.reach ~name:re_name p.Flow.retimed in
+        let d_re = Cache.density ~name:re_name p.Flow.retimed in
         (* fault simulate the original circuit's test set on the retimed
            circuit (the paper's PROOFS experiment) *)
         let orig_vectors = List.concat atpg_orig.Atpg.Types.test_sets in
@@ -317,7 +320,8 @@ module T8 = struct
           fe = atpg_re.Atpg.Types.fault_efficiency;
           states_trav =
             Hashtbl.length atpg_re.Atpg.Types.stats.Atpg.Types.states;
-          valid_states = reach_re.Analysis.Reach.valid_states;
+          valid_states = d_re.Cache.valid;
+          valid_source = Cache.density_source_name d_re.Cache.source;
           states_orig_set = List.length run.Fsim.Engine.good_states;
           fc_orig_set =
             Fsim.Engine.coverage ~detected:det
@@ -328,11 +332,12 @@ module T8 = struct
   let pp ppf rows =
     Fmt.pf ppf
       "Table 8: states needed for high coverage (orig test set on retimed)@.";
-    Fmt.pf ppf "%-18s %6s %6s %7s %7s %10s %10s@." "circuit" "%FC" "%FE"
-      "#trav" "#valid" "#trav-orig" "%FC-orig";
+    Fmt.pf ppf "%-18s %6s %6s %7s %7s %10s %10s %9s@." "circuit" "%FC" "%FE"
+      "#trav" "#valid" "#trav-orig" "%FC-orig" "source";
     List.iter
       (fun r ->
-        Fmt.pf ppf "%-18s %6.1f %6.1f %7d %7d %10d %10.1f@." r.circuit r.fc
-          r.fe r.states_trav r.valid_states r.states_orig_set r.fc_orig_set)
+        Fmt.pf ppf "%-18s %6.1f %6.1f %7d %7.0f %10d %10.1f %9s@." r.circuit
+          r.fc r.fe r.states_trav r.valid_states r.states_orig_set
+          r.fc_orig_set r.valid_source)
       rows
 end

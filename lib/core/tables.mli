@@ -73,10 +73,11 @@ module T6 : sig
   type row = {
     circuit : string;
     states_trav : int;
-    valid_states : int;
+    valid_states : float;
     pct_valid_trav : float;
     total_states : float;
     density : float;
+    source : string;  (** density source: ["explicit"] or ["symbolic"] *)
   }
 
   val one : string -> Netlist.Node.t -> row
@@ -89,9 +90,10 @@ module T7 : sig
     circuit : string;
     delay : float;
     dff : int;
-    valid_states : int;
+    valid_states : float;
     total_states : float;
     density : float;
+    source : string;
   }
 
   val compute : unit -> row list
@@ -104,7 +106,8 @@ module T8 : sig
     fc : float;
     fe : float;
     states_trav : int;
-    valid_states : int;
+    valid_states : float;
+    valid_source : string;
     states_orig_set : int;
     fc_orig_set : float;
   }

@@ -11,8 +11,11 @@
                     value, or unpropagatable because every path to a PO is
                     blocked by a constant side input)
    NET007  Info     hard-to-test fanout-free region (SCOAP-scored)
+   NET008  Info     sequentially redundant fault candidate: activation needs
+                    a line value no reachable state can produce (proved by a
+                    caller-supplied symbolic-reachability oracle)
 
-   The value analyses (NET003..NET007) trust [order] and therefore only
+   The value analyses (NET003..NET008) trust [order] and therefore only
    run once NET001/NET002 pass — Report enforces that staging. *)
 
 let rule_cycle = "NET001"
@@ -22,6 +25,7 @@ let rule_unobservable = "NET004"
 let rule_constant = "NET005"
 let rule_untestable = "NET006"
 let rule_hard_ffr = "NET007"
+let rule_seq_redundant = "NET008"
 
 let node_loc c id =
   Diag.Node { id; name = (Netlist.Node.node c id).Netlist.Node.name }
@@ -330,6 +334,69 @@ let invariant_untestable_count c values obs =
           nd.Netlist.Node.fanins)
     c.Netlist.Node.nodes;
   !count
+
+(* --- NET008: sequentially redundant fault candidates -------------------------- *)
+
+(* A stuck-at fault activates by driving its source line to the opposite
+   of the stuck value.  [can_take src v] is an exact oracle — typically
+   Analysis.Symreach over the proved-unreachable state set — answering
+   whether line [src] can take value [v] in any reachable state under any
+   input; a [false] answer makes the fault sequentially redundant.
+
+   Returns the candidate faults (excluding those NET006 already proved
+   statically, so the diagnostics do not duplicate) and the
+   inconsistencies: a statically Unexcitable fault is constant at the
+   stuck value in *every* cycle, reachable or not, so the oracle must
+   agree it cannot activate — a disagreement would falsify the Theorem-1
+   machinery and is reported at Error severity (it should never fire). *)
+let fault_source c (f : Fsim.Fault.t) =
+  match f.Fsim.Fault.site with
+  | Fsim.Fault.Stem id -> id
+  | Fsim.Fault.Pin { gate; pin } ->
+    (Netlist.Node.node c gate).Netlist.Node.fanins.(pin)
+
+let seq_redundant_faults c ~can_take proved =
+  let faults = Fsim.Collapse.list c in
+  let statically_proved f =
+    List.exists (fun (g, _) -> g = f) proved
+  in
+  let candidates = ref [] and inconsistent = ref [] in
+  Array.iter
+    (fun (f : Fsim.Fault.t) ->
+      let activatable = can_take (fault_source c f) (not f.Fsim.Fault.stuck) in
+      let static_cause =
+        List.find_opt (fun ((g : Fsim.Fault.t), _) -> g = f) proved
+      in
+      (match static_cause with
+      | Some (_, Unexcitable) when activatable -> inconsistent := f :: !inconsistent
+      | _ -> ());
+      if (not activatable) && not (statically_proved f) then
+        candidates := f :: !candidates)
+    faults;
+  (List.rev !candidates, List.rev !inconsistent)
+
+let seq_redundant_diags c (candidates, inconsistent) =
+  List.map
+    (fun (f : Fsim.Fault.t) ->
+      let site = Fsim.Fault.site_node f.Fsim.Fault.site in
+      Diag.make ~rule:rule_seq_redundant ~severity:Diag.Info
+        ~loc:(node_loc c site)
+        (Printf.sprintf
+           "sequentially redundant candidate %s: activation requires an \
+            unreachable state (symbolic reachability proof)"
+           (Fsim.Fault.to_string c f)))
+    candidates
+  @ List.map
+      (fun (f : Fsim.Fault.t) ->
+        let site = Fsim.Fault.site_node f.Fsim.Fault.site in
+        Diag.make ~rule:rule_seq_redundant ~severity:Diag.Error
+          ~loc:(node_loc c site)
+          (Printf.sprintf
+             "reachability oracle claims statically unexcitable fault %s can \
+              activate — static implication and symbolic reachability \
+              disagree"
+             (Fsim.Fault.to_string c f)))
+      inconsistent
 
 (* --- NET007: hard-to-test fanout-free regions -------------------------------- *)
 

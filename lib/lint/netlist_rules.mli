@@ -8,8 +8,12 @@
     - [NET005] (Warning): constant-provable node (ternary propagation).
     - [NET006] (Info): statically untestable fault, with its proof cause.
     - [NET007] (Info): hard-to-test fanout-free region (SCOAP-scored).
+    - [NET008] (Info): sequentially redundant fault candidate — activation
+      needs a line value no reachable state can produce, per a
+      caller-supplied symbolic-reachability oracle (Error on oracle /
+      static-implication disagreement, which should never fire).
 
-    NET003..NET007 trust [order] and must only run after NET001/NET002
+    NET003..NET008 trust [order] and must only run after NET001/NET002
     pass ({!Report} stages this). *)
 
 val rule_cycle : string
@@ -19,6 +23,7 @@ val rule_unobservable : string
 val rule_constant : string
 val rule_untestable : string
 val rule_hard_ffr : string
+val rule_seq_redundant : string
 
 val combinational_cycles : Netlist.Node.t -> Diag.t list
 val structure : Netlist.Node.t -> Diag.t list
@@ -62,3 +67,22 @@ val invariant_untestable_count :
   Netlist.Node.t -> Sim.Value3.t array -> bool array -> int
 
 val hard_ffrs : ?top:int -> Netlist.Node.t -> Scoap.t -> Diag.t list
+
+(** The node whose output line a fault sits on (the stem, or the pin's
+    driving fanin). *)
+val fault_source : Netlist.Node.t -> Fsim.Fault.t -> int
+
+(** [seq_redundant_faults c ~can_take proved] classifies the collapsed
+    fault list against a reachability oracle: [can_take src v] answers
+    whether line [src] can take value [v] in some reachable state under
+    some input (e.g. [Analysis.Symreach.can_take]).  Returns
+    [(candidates, inconsistencies)] — faults the oracle proves
+    sequentially redundant (minus those [proved] already covers
+    statically), and statically-Unexcitable faults the oracle wrongly
+    claims activatable (the Theorem-1 cross-check; must be empty). *)
+val seq_redundant_faults :
+  Netlist.Node.t -> can_take:(int -> bool -> bool) ->
+  (Fsim.Fault.t * cause) list -> Fsim.Fault.t list * Fsim.Fault.t list
+
+val seq_redundant_diags :
+  Netlist.Node.t -> Fsim.Fault.t list * Fsim.Fault.t list -> Diag.t list

@@ -7,12 +7,14 @@ type netlist_summary = {
   total_faults : int;
   untestable : int;
   invariant_untestable : int;
+  seq_redundant : int option;
   scoap : Scoap.t option;
 }
 
 (* Staged: the value analyses trust [order], so they only run when the
-   error-level rules (cycles, structure) pass. *)
-let lint_netlist ?(ffr_top = 3) c =
+   error-level rules (cycles, structure) pass.  [can_take] is the
+   optional symbolic-reachability oracle enabling NET008. *)
+let lint_netlist ?(ffr_top = 3) ?can_take c =
   let errors = Netlist_rules.combinational_cycles c @ Netlist_rules.structure c in
   if Diag.has_errors errors then
     {
@@ -20,6 +22,7 @@ let lint_netlist ?(ffr_top = 3) c =
       total_faults = 0;
       untestable = 0;
       invariant_untestable = 0;
+      seq_redundant = None;
       scoap = None;
     }
   else begin
@@ -28,12 +31,20 @@ let lint_netlist ?(ffr_top = 3) c =
     let obs = Netlist_rules.fault_observable c values in
     let scoap = Scoap.compute c in
     let total_faults, proved = Netlist_rules.untestable_faults c values obs in
+    let seq =
+      Option.map
+        (fun can_take -> Netlist_rules.seq_redundant_faults c ~can_take proved)
+        can_take
+    in
     let diags =
       errors
       @ Netlist_rules.dead_logic c
       @ Netlist_rules.unobservable c ~structural_obs
       @ Netlist_rules.constants c values
       @ Netlist_rules.untestable_diags c proved
+      @ (match seq with
+        | Some r -> Netlist_rules.seq_redundant_diags c r
+        | None -> [])
       @ Netlist_rules.hard_ffrs ~top:ffr_top c scoap
     in
     {
@@ -42,6 +53,7 @@ let lint_netlist ?(ffr_top = 3) c =
       untestable = List.length proved;
       invariant_untestable =
         Netlist_rules.invariant_untestable_count c values obs;
+      seq_redundant = Option.map (fun (cand, _) -> List.length cand) seq;
       scoap = Some scoap;
     }
   end
@@ -76,9 +88,13 @@ let pp_netlist ppf (name, s) =
   Fmt.pf ppf "lint %s: %a@." name pp_counts s.diags;
   List.iter (fun d -> Fmt.pf ppf "  %a@." Diag.pp d) s.diags;
   Fmt.pf ppf
-    "  faults: %d collapsed, %d statically untestable; invariant \
+    "  faults: %d collapsed, %d statically untestable%s; invariant \
      (gate/PI-site) untestable count %d@."
-    s.total_faults s.untestable s.invariant_untestable
+    s.total_faults s.untestable
+    (match s.seq_redundant with
+    | Some n -> Printf.sprintf ", %d sequentially redundant candidate(s)" n
+    | None -> "")
+    s.invariant_untestable
 
 let pp_fsm ppf (name, diags) =
   Fmt.pf ppf "lint fsm %s: %a@." name pp_counts diags;
@@ -121,11 +137,15 @@ let netlist_to_json ?(include_scoap = false) ~name c s =
        ("diagnostics", Json.List (List.map Diag.to_json s.diags));
        ( "summary",
          summary_json s.diags
-           [
-             ("total_faults", Json.Int s.total_faults);
-             ("untestable", Json.Int s.untestable);
-             ("invariant_untestable", Json.Int s.invariant_untestable);
-           ] );
+           ([
+              ("total_faults", Json.Int s.total_faults);
+              ("untestable", Json.Int s.untestable);
+              ("invariant_untestable", Json.Int s.invariant_untestable);
+            ]
+           @
+           match s.seq_redundant with
+           | Some n -> [ ("seq_redundant", Json.Int n) ]
+           | None -> []) );
      ]
     @
     match s.scoap with
@@ -158,6 +178,9 @@ let catalogue =
      "statically untestable fault (unexcitable or unpropagatable)");
     (Netlist_rules.rule_hard_ffr, Diag.Info,
      "hard-to-test fanout-free region (SCOAP-scored)");
+    (Netlist_rules.rule_seq_redundant, Diag.Info,
+     "sequentially redundant fault candidate (activation needs an \
+      unreachable state, proved by symbolic reachability)");
     (Fsm_rules.rule_unreachable, Diag.Warning, "state unreachable from reset");
     (Fsm_rules.rule_dead_state, Diag.Warning, "dead (trap) state");
     (Fsm_rules.rule_nondet, Diag.Error, "nondeterministic transitions");

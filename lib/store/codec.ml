@@ -183,6 +183,43 @@ let reach_result_of_json =
         initial;
       })
 
+(* --------------------------------------------------------------- symreach - *)
+
+let symreach_summary_to_json (s : Analysis.Symreach.summary) =
+  Obj
+    [
+      ("total_bits", Int s.Analysis.Symreach.total_bits);
+      ("valid_states", Float s.Analysis.Symreach.valid_states);
+      ( "valid_states_int",
+        match s.Analysis.Symreach.valid_states_int with
+        | Some i -> Int i
+        | None -> Null );
+      ("depth", Int s.Analysis.Symreach.depth);
+      ("bdd_nodes", Int s.Analysis.Symreach.bdd_nodes);
+      ("man_nodes", Int s.Analysis.Symreach.man_nodes);
+    ]
+
+let symreach_summary_of_json =
+  guard (fun j ->
+      let valid_states = as_float (obj_field "valid_states" j) in
+      let valid_states_int =
+        match obj_field "valid_states_int" j with
+        | Null -> None
+        | Int i -> Some i
+        | _ -> raise Corrupt
+      in
+      (match valid_states_int with
+      | Some i when float_of_int i <> valid_states -> raise Corrupt
+      | _ -> ());
+      {
+        Analysis.Symreach.total_bits = int_field "total_bits" j;
+        valid_states;
+        valid_states_int;
+        depth = int_field "depth" j;
+        bdd_nodes = int_field "bdd_nodes" j;
+        man_nodes = int_field "man_nodes" j;
+      })
+
 (* ------------------------------------------------------------- structural - *)
 
 let structural_result_to_json (r : Analysis.Structural.result) =

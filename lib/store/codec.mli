@@ -13,5 +13,8 @@ val atpg_result_of_json : Obs.Json.t -> Atpg.Types.result option
 val reach_result_to_json : Analysis.Reach.result -> Obs.Json.t
 val reach_result_of_json : Obs.Json.t -> Analysis.Reach.result option
 
+val symreach_summary_to_json : Analysis.Symreach.summary -> Obs.Json.t
+val symreach_summary_of_json : Obs.Json.t -> Analysis.Symreach.summary option
+
 val structural_result_to_json : Analysis.Structural.result -> Obs.Json.t
 val structural_result_of_json : Obs.Json.t -> Analysis.Structural.result option

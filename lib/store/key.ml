@@ -28,6 +28,17 @@ let reach ~max_states ~circuit_hash =
   let fp = Netlist.Structhash.(to_hex (int empty max_states)) in
   Printf.sprintf "%s-%s" circuit_hash fp
 
+(* Bump when the BDD variable-ordering scheme changes: counts are
+   order-independent but the persisted bdd_nodes field is not. *)
+let symreach_ordering_version = 2
+
+let symreach ~max_nodes ~circuit_hash =
+  let fp =
+    Netlist.Structhash.(
+      to_hex (int (int empty max_nodes) symreach_ordering_version))
+  in
+  Printf.sprintf "%s-%s" circuit_hash fp
+
 let structural ~depth_budget ~cycle_budget ~circuit_hash =
   let fp =
     Netlist.Structhash.(

@@ -14,6 +14,9 @@ val atpg :
 (** [<circuit hash>-<fingerprint of max_states>]. *)
 val reach : max_states:int -> circuit_hash:string -> string
 
+(** [<circuit hash>-<fingerprint of the BDD node budget>]. *)
+val symreach : max_nodes:int -> circuit_hash:string -> string
+
 (** [<circuit hash>-<fingerprint of both expansion budgets>]. *)
 val structural :
   depth_budget:int -> cycle_budget:int -> circuit_hash:string -> string

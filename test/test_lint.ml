@@ -52,6 +52,63 @@ let constant_circuit () =
   Netlist.Build.add_po b "out" g_const;
   Netlist.Build.finalize b
 
+(* q0' = a, q1' = NOT a: the two registers always disagree after the
+   first clock, so state (1,1) is unreachable and AND(q0,q1) is constant 0
+   over the valid states — its sa0 needs an activation the machine can
+   never provide, invisible to the static value rules. *)
+let seq_redundant_circuit () =
+  let b = Netlist.Build.create () in
+  let a = Netlist.Build.add_pi b "a" in
+  let q0 = Netlist.Build.add_dff b "q0" in
+  let q1 = Netlist.Build.add_dff b "q1" in
+  let na = Netlist.Build.add_gate b Netlist.Node.Not "na" [| a |] in
+  let g = Netlist.Build.add_gate b Netlist.Node.And "g" [| q0; q1 |] in
+  Netlist.Build.connect_dff b q0 a;
+  Netlist.Build.connect_dff b q1 na;
+  Netlist.Build.add_po b "z" g;
+  (Netlist.Build.finalize b, g)
+
+let test_seq_redundant_rule () =
+  let c, g = seq_redundant_circuit () in
+  let r = Analysis.Symreach.explore c in
+  Alcotest.(check (option int))
+    "3 of 4 states reachable" (Some 3)
+    r.Analysis.Symreach.summary.Analysis.Symreach.valid_states_int;
+  let can_take n v = Analysis.Symreach.can_take r n v in
+  (* rule level: g/sa0 is a candidate, and the oracle never contradicts a
+     static Unexcitable proof (the Theorem-1 cross-check) *)
+  let values = Lint.Constants.values c in
+  let obs = Lint.Netlist_rules.fault_observable c values in
+  let _, proved = Lint.Netlist_rules.untestable_faults c values obs in
+  let cands, incons =
+    Lint.Netlist_rules.seq_redundant_faults c ~can_take proved
+  in
+  Alcotest.(check int) "no static/symbolic inconsistency" 0
+    (List.length incons);
+  Alcotest.(check bool) "g/sa0 flagged" true
+    (List.exists
+       (fun f ->
+         Lint.Netlist_rules.fault_source c f = g && not f.Fsim.Fault.stuck)
+       cands);
+  (* none of the candidates is already statically proved *)
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "not statically proved" false
+        (List.exists (fun (p, _) -> p = f) proved))
+    cands;
+  let ds = Lint.Netlist_rules.seq_redundant_diags c (cands, incons) in
+  Alcotest.(check bool) "NET008 fires" true (has_rule "NET008" ds);
+  Alcotest.(check bool) "informational only" false (Lint.Diag.has_errors ds);
+  (* driver level: the summary carries the count, and omitting the oracle
+     skips the rule *)
+  let s = Lint.Report.lint_netlist ~can_take c in
+  Alcotest.(check (option int))
+    "summary count"
+    (Some (List.length cands))
+    s.Lint.Report.seq_redundant;
+  Alcotest.(check (option int)) "no oracle, no NET008" None
+    (Lint.Report.lint_netlist c).Lint.Report.seq_redundant
+
 let test_cycle_rule () =
   let c = cyclic_circuit () in
   let ds = Lint.Netlist_rules.combinational_cycles c in
@@ -424,6 +481,8 @@ let suite =
     Alcotest.test_case "clean circuit stays clean" `Quick test_clean_circuit;
     Alcotest.test_case "SCOAP sanity" `Quick test_scoap_sanity;
     Alcotest.test_case "FFR partition" `Quick test_ffr_partition;
+    Alcotest.test_case "NET008 sequential redundancy" `Quick
+      test_seq_redundant_rule;
     Alcotest.test_case "FSM001 unreachable" `Quick test_fsm_unreachable;
     Alcotest.test_case "FSM002 dead state" `Quick test_fsm_dead_state;
     Alcotest.test_case "FSM003 nondeterminism" `Quick test_fsm_nondet;

@@ -154,6 +154,55 @@ let test_codec_reach_roundtrip () =
     check_sorted_tbl "state set" r.Analysis.Reach.states
       d.Analysis.Reach.states
 
+let test_codec_symreach_roundtrip () =
+  let s =
+    (Analysis.Symreach.explore (Helpers.toy_circuit ()))
+      .Analysis.Symreach.summary
+  in
+  Alcotest.(check bool) "identical record" true
+    (Store.Codec.symreach_summary_of_json
+       (Store.Codec.symreach_summary_to_json s)
+     = Some s);
+  (* a count past integer range round-trips through the float field *)
+  let wide =
+    {
+      s with
+      Analysis.Symreach.total_bits = 65;
+      valid_states = ldexp 1.0 65;
+      valid_states_int = None;
+    }
+  in
+  Alcotest.(check bool) "past-integer-range record" true
+    (Store.Codec.symreach_summary_of_json
+       (Store.Codec.symreach_summary_to_json wide)
+     = Some wide)
+
+let test_codec_symreach_rejects_garbage () =
+  let open Obs.Json in
+  Alcotest.(check bool) "empty object" true
+    (Store.Codec.symreach_summary_of_json (Obj []) = None);
+  Alcotest.(check bool) "not an object" true
+    (Store.Codec.symreach_summary_of_json (String "nope") = None);
+  (* well-shaped but internally inconsistent: the integer count must
+     agree with the float count *)
+  let s =
+    (Analysis.Symreach.explore (Helpers.toy_circuit ()))
+      .Analysis.Symreach.summary
+  in
+  let mangled =
+    match Store.Codec.symreach_summary_to_json s with
+    | Obj fields ->
+      Obj
+        (Stdlib.List.map
+           (function
+             | "valid_states_int", Int i -> ("valid_states_int", Int (i + 1))
+             | f -> f)
+           fields)
+    | _ -> Alcotest.fail "unexpected encoding"
+  in
+  Alcotest.(check bool) "count mismatch" true
+    (Store.Codec.symreach_summary_of_json mangled = None)
+
 let test_codec_structural_roundtrip () =
   let r = Analysis.Structural.analyze (Helpers.toy_circuit ()) in
   Alcotest.(check bool) "identical record" true
@@ -325,6 +374,10 @@ let suite =
       test_codec_atpg_roundtrip;
     Alcotest.test_case "codec reach round-trip" `Quick
       test_codec_reach_roundtrip;
+    Alcotest.test_case "codec symreach round-trip" `Quick
+      test_codec_symreach_roundtrip;
+    Alcotest.test_case "codec symreach rejects garbage" `Quick
+      test_codec_symreach_rejects_garbage;
     Alcotest.test_case "codec structural round-trip" `Quick
       test_codec_structural_roundtrip;
     Alcotest.test_case "codec rejects garbage" `Quick
