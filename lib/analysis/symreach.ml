@@ -138,11 +138,19 @@ let explore ?(max_nodes = default_max_nodes) (c : Netlist.Node.t) =
   (* squash the even current-state variables to the contiguous range
      0..nff-1 so counting ranges over exactly the state bits *)
   let squashed = Bdd.rename man (fun v -> v / 2) reached in
+  let valid_states_int = Bdd.sat_count_int man ~nvars:nff squashed in
+  (* the exact integer count, when representable, is authoritative; the
+     float counter is only the fallback past the 63-bit range *)
+  let valid_states =
+    match valid_states_int with
+    | Some i -> float_of_int i
+    | None -> Bdd.sat_count man ~nvars:nff squashed
+  in
   let summary =
     {
       total_bits = nff;
-      valid_states = Bdd.sat_count man ~nvars:nff squashed;
-      valid_states_int = Bdd.sat_count_int man ~nvars:nff squashed;
+      valid_states;
+      valid_states_int;
       depth = !depth;
       bdd_nodes = Bdd.size man reached;
       man_nodes = Bdd.num_nodes man;

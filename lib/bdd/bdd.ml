@@ -268,30 +268,32 @@ let check_support name m ~nvars f =
              nvars))
     (support m f)
 
-(* Counting: [node_count n] is the satisfying-assignment count of node
-   [n]'s regular edge over variables [var n .. nvars-1]; an edge at
-   [level] scales by the skipped free variables, and a complement edge
-   counts the complement space.  Floats: powers of two via [ldexp] are
-   exact, so counts are exact up to 2^53 and rounded (never overflowed)
-   beyond. *)
+(* Counting: [node_count n p] is the satisfying-assignment count of the
+   edge [(n, p)] over variables [var n .. nvars-1]; an edge at [level]
+   scales by the skipped free variables.  Memoizing on (node, polarity)
+   and pushing the complement bit into the children makes every value a
+   sum of non-negative subcounts — never [2^k -. x], whose cancellation
+   would corrupt small counts once both operands exceed 2^53.  So counts
+   are exact up to 2^53 for any [nvars], and merely rounded (relative
+   error only, never overflowed) beyond. *)
 let sat_count m ~nvars f =
   check_support "sat_count" m ~nvars f;
   let memo = Hashtbl.create 64 in
-  let rec node_count n =
-    match Hashtbl.find_opt memo n with
+  let rec node_count n p =
+    match Hashtbl.find_opt memo ((n lsl 1) lor p) with
     | Some c -> c
     | None ->
       let v = m.var.(n) in
-      let c = edge_count m.low.(n) (v + 1) +. edge_count m.high.(n) (v + 1) in
-      Hashtbl.add memo n c;
+      let c =
+        edge_count (m.low.(n) lxor p) (v + 1)
+        +. edge_count (m.high.(n) lxor p) (v + 1)
+      in
+      Hashtbl.add memo ((n lsl 1) lor p) c;
       c
   and edge_count e level =
     let n = node_of e in
-    let reg =
-      if n = 0 then ldexp 1.0 (nvars - level)
-      else ldexp (node_count n) (m.var.(n) - level)
-    in
-    if is_compl e then ldexp 1.0 (nvars - level) -. reg else reg
+    if n = 0 then if is_compl e then 0.0 else ldexp 1.0 (nvars - level)
+    else ldexp (node_count n (e land 1)) (m.var.(n) - level)
   in
   edge_count f 0
 

@@ -208,9 +208,20 @@ let symreach_summary_of_json =
         | Int i -> Some i
         | _ -> raise Corrupt
       in
-      (match valid_states_int with
-      | Some i when float_of_int i <> valid_states -> raise Corrupt
-      | _ -> ());
+      (* The exact integer count is authoritative when present.  The
+         stored float may carry per-addition rounding from an older
+         encoder (counts past 2^53 round differently than a single
+         [float_of_int]), so demand agreement only up to a small
+         relative tolerance, then normalize to the int-derived value. *)
+      let valid_states =
+        match valid_states_int with
+        | Some i ->
+          let f = float_of_int i in
+          if abs_float (valid_states -. f) > 1e-9 *. Float.max 1.0 (abs_float f)
+          then raise Corrupt;
+          f
+        | None -> valid_states
+      in
       {
         Analysis.Symreach.total_bits = int_field "total_bits" j;
         valid_states;

@@ -184,6 +184,47 @@ let test_sat_count_wide () =
     "within int range" (Some 1)
     (Bdd.sat_count_int man ~nvars:4 (of_table man 0x8000))
 
+(* Small counts over a wide variable space: negated literals create
+   complement edges, and a subtraction-based counter (2^k -. x) would
+   cancel catastrophically once both operands pass 2^53.  These must stay
+   exact for any nvars. *)
+let test_sat_count_small_wide () =
+  let man = Bdd.create () in
+  let nvars = 60 in
+  (* a single minterm over 60 variables, half the literals negated *)
+  let minterm = ref Bdd.one in
+  for v = 0 to nvars - 1 do
+    let lit = Bdd.var man v in
+    let lit = if v land 1 = 0 then lit else Bdd.not_ lit in
+    minterm := Bdd.and_ man !minterm lit
+  done;
+  Alcotest.(check (float 0.0))
+    "one minterm in 2^60" 1.0
+    (Bdd.sat_count man ~nvars !minterm);
+  (* three disjoint minterms, differing in the low two variables *)
+  let shifted bits =
+    let f = ref Bdd.one in
+    for v = 0 to nvars - 1 do
+      let lit = Bdd.var man v in
+      let on = if v < 2 then (bits lsr v) land 1 = 1 else v land 1 = 0 in
+      f := Bdd.and_ man !f (if on then lit else Bdd.not_ lit)
+    done;
+    !f
+  in
+  let three =
+    Bdd.or_ man (shifted 0) (Bdd.or_ man (shifted 1) (shifted 2))
+  in
+  Alcotest.(check (float 0.0))
+    "three states over 60 bits" 3.0
+    (Bdd.sat_count man ~nvars three);
+  Alcotest.(check (option int))
+    "int counter agrees" (Some 3)
+    (Bdd.sat_count_int man ~nvars three);
+  (* the complement: 2^60 - 3, exactly representable in a float *)
+  Alcotest.(check (float 0.0))
+    "complement count" (ldexp 1.0 nvars -. 3.0)
+    (Bdd.sat_count man ~nvars (Bdd.not_ three))
+
 (* ------------------------------------------------- symbolic reachability *)
 
 let check_against_explicit name c =
@@ -357,6 +398,8 @@ let suite =
     Alcotest.test_case "node limit" `Quick test_node_limit;
     Alcotest.test_case "sat counts past integer range" `Quick
       test_sat_count_wide;
+    Alcotest.test_case "small sat counts over wide spaces" `Quick
+      test_sat_count_small_wide;
     Alcotest.test_case "symreach matches explicit (toy)" `Quick
       test_symreach_toy;
     Alcotest.test_case "symreach matches explicit (synthesized)" `Quick

@@ -175,7 +175,28 @@ let test_codec_symreach_roundtrip () =
   Alcotest.(check bool) "past-integer-range record" true
     (Store.Codec.symreach_summary_of_json
        (Store.Codec.symreach_summary_to_json wide)
-     = Some wide)
+     = Some wide);
+  (* an older encoder's per-addition-rounded float can sit an ulp away
+     from [float_of_int] of the exact count; the decoder must accept the
+     record and normalize to the int-derived value, not report corruption *)
+  let i = (1 lsl 60) + 1 in
+  let drifted =
+    {
+      s with
+      Analysis.Symreach.total_bits = 60;
+      valid_states = ldexp 1.0 60 +. 256.0 (* one ulp above float_of_int i *);
+      valid_states_int = Some i;
+    }
+  in
+  (match
+     Store.Codec.symreach_summary_of_json
+       (Store.Codec.symreach_summary_to_json drifted)
+   with
+  | None -> Alcotest.fail "ulp-drifted record rejected as corrupt"
+  | Some d ->
+    Alcotest.(check (float 0.0))
+      "normalized to the exact count" (float_of_int i)
+      d.Analysis.Symreach.valid_states)
 
 let test_codec_symreach_rejects_garbage () =
   let open Obs.Json in
