@@ -93,10 +93,16 @@ let run_tables () =
 
 (* Engine x benchmark grid on the dk16.ji.sd pair, written to
    BENCH_atpg.json (schema documented in results/README.md): one record per
-   run with deterministic work units, wall seconds, fault coverage and the
-   cache outcome.  Runs go through Core.Cache, so with SATPG_STORE set a
-   warm rerun serves every record from disk and its wall_s measures the
-   store, not the engine. *)
+   run with deterministic work units, wall seconds, fault coverage and
+   efficiency, the proved-untestable count and the cache outcome.  Every
+   run proves untestability first ([prove_untestable], full cascade) and
+   prunes, so aborted-but-redundant faults surface as efficiency, not
+   lost coverage.  Each record also carries the circuit's
+   proved-untestable count on the retiming-invariant (gate/PI-site)
+   universe — the Theorem-1 gate in CI checks that count is identical
+   for the original and retimed circuit.  Runs go through Core.Cache, so
+   with SATPG_STORE set a warm rerun serves every record from disk and
+   its wall_s measures the store, not the engine. *)
 let run_atpg_json ?(file = "BENCH_atpg.json") () =
   let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
   let engines =
@@ -106,6 +112,16 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
   let circuits =
     [ (p.Core.Flow.name, p.Core.Flow.original);
       (p.Core.Flow.name ^ ".re", p.Core.Flow.retimed) ]
+  in
+  let invariant_proved =
+    List.map
+      (fun (bench, circuit) ->
+        let t =
+          Core.Cache.classify ~universe:Core.Cache.Invariant ~name:bench
+            circuit
+        in
+        (bench, t.Analysis.Untest.summary.Analysis.Untest.proved))
+      circuits
   in
   let cells =
     List.concat_map
@@ -122,14 +138,22 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
     Exec.Pool.map_list
       (fun (engine, kind, bench, circuit) ->
         let t0 = Unix.gettimeofday () in
-        let r = Core.Cache.atpg kind ~name:bench circuit in
+        let r = Core.Cache.atpg ~prove_untestable:true kind ~name:bench circuit in
         let wall = Unix.gettimeofday () -. t0 in
         let cache = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
         (engine, bench, r, wall, cache))
       cells
     |> List.map (fun (engine, bench, r, wall, cache) ->
-           say "  %-7s %-12s FC %5.1f%%  work %9d  wall %6.2fs  cache %s@."
+           let proved =
+             Array.fold_left
+               (fun a s ->
+                 if s = Fsim.Fault.Proved_untestable then a + 1 else a)
+               0 r.Atpg.Types.status
+           in
+           say "  %-7s %-12s FC %5.1f%%  FE %5.1f%%  proved %3d  work %9d  \
+                wall %6.2fs  cache %s@."
              engine bench r.Atpg.Types.fault_coverage
+             r.Atpg.Types.fault_efficiency proved
              (Atpg.Types.work_units r.Atpg.Types.stats)
              wall cache;
            Obs.Json.Obj
@@ -140,6 +164,10 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
                  Obs.Json.Int (Atpg.Types.work_units r.Atpg.Types.stats) );
                ("wall_s", Obs.Json.Float wall);
                ("coverage", Obs.Json.Float r.Atpg.Types.fault_coverage);
+               ("efficiency", Obs.Json.Float r.Atpg.Types.fault_efficiency);
+               ("proved_untestable", Obs.Json.Int proved);
+               ( "invariant_proved",
+                 Obs.Json.Int (List.assoc bench invariant_proved) );
                ("cache", Obs.Json.String cache);
              ])
   in

@@ -4,6 +4,8 @@
      synth       synthesize a benchmark FSM and print circuit statistics
      retime      retime a synthesized circuit and compare the pair
      atpg        run one of the three ATPG engines on a circuit
+     classify    static untestability prover: per-pair summaries and the
+                 Theorem-1 invariance check (--check)
      profile     instrumented engine run on a pair + hot-spot tables
      lint        static analysis: FSM + netlist rules, testability metrics
      analyze     structural attributes + density of encoding
@@ -197,7 +199,16 @@ let atpg_cmd =
                "Print the result summary as one JSON object (coverage, work \
                 accounting, per-status fault counts) instead of text.")
   in
-  let run () obs jobs fsm alg script engine retimed scoap json =
+  let prove_flag =
+    Arg.(value & flag
+         & info [ "prove-untestable" ]
+             ~doc:
+               "Classify faults with the static untestability prover first \
+                (see $(b,satpg classify)) and prune proved-untestable faults \
+                from the engine's list; they count toward fault efficiency \
+                as $(b,proved_untestable).")
+  in
+  let run () obs jobs fsm alg script engine retimed scoap prove json =
     setup_jobs jobs;
     with_obs obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
@@ -205,6 +216,9 @@ let atpg_cmd =
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
     let r =
       if scoap then begin
+        if prove then
+          Fmt.epr "note: --scoap bypasses the cache; --prove-untestable has \
+                   no effect@.";
         Core.Cache.note_bypass ();
         let guide = Lint.Scoap.controllability (Lint.Scoap.compute circuit) in
         match engine with
@@ -214,7 +228,7 @@ let atpg_cmd =
           Fmt.epr "note: attest is simulation-based; --scoap has no effect@.";
           Atpg.Attest.generate circuit
       end
-      else Core.Cache.atpg engine ~name circuit
+      else Core.Cache.atpg ~prove_untestable:prove engine ~name circuit
     in
     let cache = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
     if json then
@@ -235,6 +249,12 @@ let atpg_cmd =
       Fmt.pr "  faults        %d@." (Array.length r.Atpg.Types.faults);
       Fmt.pr "  coverage      %.1f%%@." r.Atpg.Types.fault_coverage;
       Fmt.pr "  efficiency    %.1f%%@." r.Atpg.Types.fault_efficiency;
+      if prove then
+        Fmt.pr "  proved untestable %d@."
+          (Array.fold_left
+             (fun a s ->
+               if s = Fsim.Fault.Proved_untestable then a + 1 else a)
+             0 r.Atpg.Types.status);
       Fmt.pr "  work units    %d@." (Atpg.Types.work_units r.Atpg.Types.stats);
       Fmt.pr "  states seen   %d@."
         (Hashtbl.length r.Atpg.Types.stats.Atpg.Types.states);
@@ -246,7 +266,149 @@ let atpg_cmd =
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run an ATPG engine on a circuit")
     Term.(const run $ logging $ obs_args $ jobs_arg $ fsm_arg $ algorithm_arg
-          $ script_arg $ engine_arg $ retimed_flag $ scoap_flag $ json_flag)
+          $ script_arg $ engine_arg $ retimed_flag $ scoap_flag $ prove_flag
+          $ json_flag)
+
+(* --- classify --------------------------------------------------------------- *)
+
+let classify_cmd =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the classification summaries as one JSON object.")
+  in
+  let check_flag =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:
+               "Theorem-1 gate: classify the retiming-invariant fault \
+                universe (every gate/PI stem and gate input pin — sites \
+                that survive retiming verbatim) on both circuits of the \
+                pair and fail (exit 1) unless the proved-untestable sets \
+                are identical.")
+  in
+  let no_symbolic_flag =
+    Arg.(value & flag
+         & info [ "no-symbolic" ]
+             ~doc:"Skip the BDD reachable-set stages of the cascade.")
+  in
+  let product_flag =
+    Arg.(value & flag
+         & info [ "product" ]
+             ~doc:
+               "Also run the exact product-machine stage (complete for \
+                sequential redundancy, most expensive; implies the \
+                symbolic stage).")
+  in
+  let run () obs fsm alg script json check no_symbolic product =
+    with_obs obs @@ fun () ->
+    let p = Core.Flow.pair fsm alg script in
+    let symbolic = not no_symbolic in
+    let circuits =
+      [ (p.Core.Flow.name, p.Core.Flow.original);
+        (p.Core.Flow.name ^ ".re", p.Core.Flow.retimed) ]
+    in
+    let classified =
+      List.map
+        (fun (name, c) ->
+          (name, c, Core.Cache.classify ~symbolic ~product ~name c))
+        circuits
+    in
+    let summary_json (s : Analysis.Untest.summary) =
+      Obs.Json.Obj
+        [ ("faults", Obs.Json.Int s.Analysis.Untest.total);
+          ("proved_untestable", Obs.Json.Int s.Analysis.Untest.proved);
+          ("structural", Obs.Json.Int s.Analysis.Untest.structural);
+          ("ternary", Obs.Json.Int s.Analysis.Untest.ternary);
+          ("symbolic", Obs.Json.Int s.Analysis.Untest.symbolic);
+          ("symbolic_ran", Obs.Json.Bool s.Analysis.Untest.symbolic_ran);
+          ("bdd_nodes", Obs.Json.Int s.Analysis.Untest.bdd_nodes);
+          ("work_units", Obs.Json.Int s.Analysis.Untest.work) ]
+    in
+    let check_result =
+      if not check then None
+      else begin
+        let proved (name, c) =
+          let t =
+            Core.Cache.classify ~symbolic ~product
+              ~universe:Core.Cache.Invariant ~name c
+          in
+          Analysis.Untest.proved_names c t
+        in
+        match circuits with
+        | [ o; r ] -> Some (proved o, proved r)
+        | _ -> assert false
+      end
+    in
+    if json then begin
+      let fields =
+        [ ("benchmark", Obs.Json.String p.Core.Flow.name);
+          ("symbolic", Obs.Json.Bool symbolic);
+          ("product", Obs.Json.Bool product);
+          ( "circuits",
+            Obs.Json.List
+              (List.map
+                 (fun (name, _, t) ->
+                   Obs.Json.Obj
+                     (("circuit", Obs.Json.String name)
+                      ::
+                      (match summary_json t.Analysis.Untest.summary with
+                      | Obs.Json.Obj fs -> fs
+                      | _ -> [])))
+                 classified) ) ]
+        @
+        match check_result with
+        | None -> []
+        | Some (po, pr) ->
+          [ ( "check",
+              Obs.Json.Obj
+                [ ("universe", Obs.Json.String "invariant");
+                  ("proved_original", Obs.Json.Int (List.length po));
+                  ("proved_retimed", Obs.Json.Int (List.length pr));
+                  ("identical", Obs.Json.Bool (po = pr)) ] ) ]
+      in
+      print_endline (Obs.Json.to_string (Obs.Json.Obj fields))
+    end
+    else begin
+      List.iter
+        (fun (name, _, t) ->
+          let s = t.Analysis.Untest.summary in
+          Fmt.pr "%s:@." name;
+          Fmt.pr "  faults            %d collapsed@." s.Analysis.Untest.total;
+          Fmt.pr "  proved untestable %d (structural %d, ternary %d, \
+                  symbolic %d)@."
+            s.Analysis.Untest.proved s.Analysis.Untest.structural
+            s.Analysis.Untest.ternary s.Analysis.Untest.symbolic;
+          (if s.Analysis.Untest.symbolic_ran then
+             Fmt.pr "  symbolic stage    ran (%d BDD nodes)@."
+               s.Analysis.Untest.bdd_nodes
+           else Fmt.pr "  symbolic stage    skipped@.");
+          Fmt.pr "  work units        %d@." s.Analysis.Untest.work)
+        classified;
+      match check_result with
+      | None -> ()
+      | Some (po, pr) ->
+        Fmt.pr "theorem-1 check (invariant universe): original %d proved, \
+                retimed %d proved — %s@."
+          (List.length po) (List.length pr)
+          (if po = pr then "identical" else "MISMATCH")
+    end;
+    Fmt.epr "%a@." Core.Cache.pp_summary ();
+    match check_result with
+    | Some (po, pr) when po <> pr ->
+      let module S = Set.Make (String) in
+      let so = S.of_list po and sr = S.of_list pr in
+      S.iter (fun f -> Fmt.epr "  only original: %s@." f) (S.diff so sr);
+      S.iter (fun f -> Fmt.epr "  only retimed : %s@." f) (S.diff sr so);
+      exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "classify"
+       ~doc:"Statically classify faults as proved-untestable / unknown")
+    Term.(const run $ logging $ obs_args $ fsm_arg $ algorithm_arg
+          $ script_arg $ json_flag $ check_flag $ no_symbolic_flag
+          $ product_flag)
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -365,7 +527,15 @@ let lint_cmd =
      cannot handle. *)
   let reach_oracle c =
     match Analysis.Symreach.explore c with
-    | r -> Some (fun node value -> Analysis.Symreach.can_take r node value)
+    | r ->
+      Some
+        {
+          Lint.Netlist_rules.can_take =
+            (fun node value -> Analysis.Symreach.can_take r node value);
+          max_nodes = Analysis.Symreach.default_max_nodes;
+          bdd_nodes =
+            r.Analysis.Symreach.summary.Analysis.Symreach.bdd_nodes;
+        }
     | exception (Bdd.Node_limit | Invalid_argument _) -> None
   in
   let run () fsm alg script json fail_on_error scoap no_symbolic =
@@ -373,8 +543,8 @@ let lint_cmd =
     let machine = Fsm.Benchmarks.machine p.Core.Flow.fsm in
     let fsm_diags = Lint.Report.lint_fsm machine in
     let lint c =
-      let can_take = if no_symbolic then None else reach_oracle c in
-      Lint.Report.lint_netlist ?can_take c
+      let oracle = if no_symbolic then None else reach_oracle c in
+      Lint.Report.lint_netlist ?oracle c
     in
     let so = lint p.Core.Flow.original in
     let sr = lint p.Core.Flow.retimed in
@@ -802,8 +972,8 @@ let tables_cmd =
 let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
   Cmd.group (Cmd.info "satpg" ~doc)
-    [ synth_cmd; retime_cmd; atpg_cmd; profile_cmd; lint_cmd; analyze_cmd;
-      reach_cmd; cache_cmd; kiss_cmd; export_cmd; scan_cmd; compare_cmd;
-      tables_cmd ]
+    [ synth_cmd; retime_cmd; atpg_cmd; classify_cmd; profile_cmd; lint_cmd;
+      analyze_cmd; reach_cmd; cache_cmd; kiss_cmd; export_cmd; scan_cmd;
+      compare_cmd; tables_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -164,7 +164,7 @@ let search_fault c dist fault ~rng ~max_steps ~candidates_per_step ~stats =
   done;
   if !detected then Some (List.rev !seq) else None
 
-let generate ?(config = Types.scaled_config ()) ?(seed = 3) c =
+let generate ?(config = Types.scaled_config ()) ?(seed = 3) ?prune c =
   let cfg = config in
   let faults = Fsim.Collapse.list c in
   let n = Array.length faults in
@@ -175,6 +175,8 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 3) c =
   let rng = Random.State.make [| seed; 0x44 |] in
   let dist = dff_distance_to_po c in
   let resolved = ref 0 in
+  Run.apply_prune ?prune c ~engine:"attest" ~faults ~status ~detected ~stats
+    ~resolved;
   let apply_fault_sim ~phase seq =
     let run = Fsim.Engine.simulate ~skip:detected c faults seq in
     let work = List.length seq * Netlist.Node.num_gates c in

@@ -16,6 +16,12 @@ val dff_distance_to_po : Netlist.Node.t -> int array
 
 (** Run the engine on a circuit.  [config]'s [backtrack_limit] bounds the
     per-fault search length ([max_steps = backtrack_limit / 4]);
-    [total_work_limit] bounds the whole run. *)
+    [total_work_limit] bounds the whole run.  [prune] as in
+    {!Run.generate}: accepted faults are marked [Proved_untestable]
+    upfront and never searched. *)
 val generate :
-  ?config:Types.config -> ?seed:int -> Netlist.Node.t -> Types.result
+  ?config:Types.config ->
+  ?seed:int ->
+  ?prune:(Fsim.Fault.t -> bool) ->
+  Netlist.Node.t ->
+  Types.result

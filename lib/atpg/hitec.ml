@@ -4,5 +4,5 @@
 let config () =
   Types.scaled_config ~base:{ Types.default_config with learn = false } ()
 
-let generate ?config:(cfg = config ()) ?seed ?guide c =
-  Run.generate ~config:cfg ?seed ~engine:"hitec" ?guide c
+let generate ?config:(cfg = config ()) ?seed ?guide ?prune c =
+  Run.generate ~config:cfg ?seed ~engine:"hitec" ?guide ?prune c

@@ -9,5 +9,6 @@ val generate :
   ?config:Types.config ->
   ?seed:int ->
   ?guide:int array * int array ->
+  ?prune:(Fsim.Fault.t -> bool) ->
   Netlist.Node.t ->
   Types.result

@@ -125,6 +125,31 @@ let emit_fault_event c ~engine ~index ~(fault : Fsim.Fault.t)
         ("resolved_after", Obs.Json.Int resolved);
       ]
 
+(* Pre-engine pruning (shared with the Attest engine): mark every fault
+   the static classifier proved untestable as resolved before any budget
+   is spent.  [detected] doubles as the fault-sim skip array, the drop
+   guard and the validation flag, and the deterministic loops only
+   attempt [Untested] faults, so a pruned fault is never simulated,
+   never dropped and never attempted — everything downstream behaves as
+   if it had been dropped at cost zero.  Each pruned fault still gets a
+   "fault" event so an event-stream replay reconstructs every status. *)
+let apply_prune ?prune c ~engine ~faults ~status ~detected ~stats ~resolved =
+  match prune with
+  | None -> ()
+  | Some p ->
+    Obs.Trace.span "atpg.prune_untestable" (fun () ->
+        Array.iteri
+          (fun i fault ->
+            if p fault then begin
+              status.(i) <- Fsim.Fault.Proved_untestable;
+              detected.(i) <- true;
+              incr resolved;
+              emit_fault_event c ~engine ~index:i ~fault
+                ~fstats:(Types.new_stats ()) ~outcome:"proved_untestable"
+                ~status:status.(i) ~drop_credit:0 ~stats ~resolved:!resolved
+            end)
+          faults)
+
 (* Attempt one fault deterministically. *)
 let attempt_fault ?directory ?guide c fault cfg fstats learn =
   try
@@ -156,7 +181,7 @@ let attempt_fault ?directory ?guide c fault cfg fstats learn =
 
 let generate ?(config = Types.scaled_config ()) ?(seed = 1)
     ?(random_sequences_count = 2) ?(random_sequence_length = 120) ?engine
-    ?guide c =
+    ?guide ?prune c =
   let cfg = config in
   let engine =
     match engine with
@@ -177,6 +202,8 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
        100.0 *. float_of_int !resolved /. float_of_int (max 1 n))
       :: !trajectory
   in
+  apply_prune ?prune c ~engine ~faults ~status ~detected ~stats ~resolved;
+  if Option.is_some prune then checkpoint ();
   let learn = if cfg.Types.learn then Some (Podem.new_learn_state ()) else None in
   let learn_state =
     match learn with Some l -> l | None -> Podem.new_learn_state ()

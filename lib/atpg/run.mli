@@ -55,6 +55,21 @@ val state_directory :
   Netlist.Node.t -> Sim.Vectors.sequence list ->
   (int * Sim.Vectors.sequence) list
 
+(** Pre-engine pruning shared by the drivers: mark every fault [prune]
+    accepts as [Proved_untestable]/resolved before any budget is spent
+    (one "fault" event per pruned fault keeps event-stream replays
+    complete).  No-op when [prune] is [None]. *)
+val apply_prune :
+  ?prune:(Fsim.Fault.t -> bool) ->
+  Netlist.Node.t ->
+  engine:string ->
+  faults:Fsim.Fault.t array ->
+  status:Fsim.Fault.status array ->
+  detected:bool array ->
+  stats:Types.stats ->
+  resolved:int ref ->
+  unit
+
 (** Deterministic attempt on one fault (exposed for tests/benches).
     [guide] is the optional SCOAP [(cc0, cc1)] cost table steering
     PODEM's backtrace input choice. *)
@@ -71,7 +86,10 @@ val attempt_fault :
 (** Run the whole flow on a circuit.  [guide] as in {!attempt_fault};
     omitted (the default) the engine behaves exactly as before.  [engine]
     labels the emitted observability records (default ["sest"] when
-    [config.learn], else ["hitec"]). *)
+    [config.learn], else ["hitec"]).  [prune] (typically
+    [Analysis.Untest.prune]) marks accepted faults [Proved_untestable]
+    upfront — they are skipped by every phase and count towards fault
+    efficiency but not coverage. *)
 val generate :
   ?config:Types.config ->
   ?seed:int ->
@@ -79,5 +97,6 @@ val generate :
   ?random_sequence_length:int ->
   ?engine:string ->
   ?guide:int array * int array ->
+  ?prune:(Fsim.Fault.t -> bool) ->
   Netlist.Node.t ->
   Types.result

@@ -6,5 +6,5 @@
 let config () =
   Types.scaled_config ~base:{ Types.default_config with learn = true } ()
 
-let generate ?config:(cfg = config ()) ?seed ?guide c =
-  Run.generate ~config:cfg ?seed ~engine:"sest" ?guide c
+let generate ?config:(cfg = config ()) ?seed ?guide ?prune c =
+  Run.generate ~config:cfg ?seed ~engine:"sest" ?guide ?prune c

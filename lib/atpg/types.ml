@@ -122,6 +122,8 @@ let result_to_json ?(extra = []) r =
             [
               ("detected", Obs.Json.Int (count (( = ) Fsim.Fault.Detected)));
               ("redundant", Obs.Json.Int (count (( = ) Fsim.Fault.Redundant)));
+              ( "proved_untestable",
+                Obs.Json.Int (count (( = ) Fsim.Fault.Proved_untestable)) );
               ("aborted", Obs.Json.Int (count (( = ) Fsim.Fault.Aborted)));
               ("untested", Obs.Json.Int (count (( = ) Fsim.Fault.Untested)));
             ] );
@@ -136,13 +138,17 @@ let summarize ?(trajectory = []) faults status test_sets stats =
   let count p = Array.fold_left (fun a s -> if p s then a + 1 else a) 0 status in
   let det = count (fun s -> s = Fsim.Fault.Detected) in
   let red = count (fun s -> s = Fsim.Fault.Redundant) in
+  let proved = count (fun s -> s = Fsim.Fault.Proved_untestable) in
   {
     faults;
     status;
     test_sets;
     stats;
     fault_coverage = 100.0 *. float_of_int det /. float_of_int (max 1 total);
+    (* efficiency counts every *resolved* fault: detected, proved
+       redundant by an engine, or proved untestable by the static
+       classifier — only engine give-ups and untried faults hurt it *)
     fault_efficiency =
-      100.0 *. float_of_int (det + red) /. float_of_int (max 1 total);
+      100.0 *. float_of_int (det + red + proved) /. float_of_int (max 1 total);
     trajectory;
   }

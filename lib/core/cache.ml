@@ -102,6 +102,7 @@ let lookup tbl ~skind ~key ~name ~encode ~decode compute =
        r)
 
 let atpg_results : (string, Atpg.Types.result) Hashtbl.t = Hashtbl.create 64
+let classify_results : (string, Analysis.Untest.t) Hashtbl.t = Hashtbl.create 64
 let reach_results : (string, Analysis.Reach.result) Hashtbl.t = Hashtbl.create 64
 let symreach_results : (string, Analysis.Symreach.summary) Hashtbl.t =
   Hashtbl.create 64
@@ -113,29 +114,73 @@ let structural_results : (string, Analysis.Structural.result) Hashtbl.t =
 let reset_memory () =
   Mutex.protect mu (fun () ->
       Hashtbl.reset atpg_results;
+      Hashtbl.reset classify_results;
       Hashtbl.reset reach_results;
       Hashtbl.reset symreach_results;
       Hashtbl.reset structural_results)
 
-let atpg kind ~name c =
+type classify_universe = Collapsed | Invariant
+
+let universe_name = function
+  | Collapsed -> "collapsed"
+  | Invariant -> "invariant"
+
+(* Fault classification (Analysis.Untest), cached like every other
+   analysis.  [universe] picks the fault set: [Collapsed] is the
+   engines' list (what [atpg ~prove_untestable] prunes against),
+   [Invariant] the gate/PI-site Theorem-1 comparison universe of
+   [satpg classify --check]. *)
+let classify ?(symbolic = true) ?(product = false) ?(universe = Collapsed)
+    ~name c =
+  let max_nodes = Analysis.Symreach.default_max_nodes in
+  let key =
+    Store.Key.classify ~symbolic ~max_nodes ~product
+      ~universe:(universe_name universe)
+      ~circuit_hash:(Netlist.Structhash.circuit c)
+  in
+  lookup classify_results ~skind:Store.Disk.Classify ~key ~name
+    ~encode:Store.Codec.untest_to_json ~decode:Store.Codec.untest_of_json
+    (fun () ->
+      let faults =
+        match universe with
+        | Collapsed -> None
+        | Invariant -> Some (Analysis.Untest.invariant_faults c)
+      in
+      Analysis.Untest.classify ~symbolic ~max_nodes ~product ?faults c)
+
+let atpg ?(prove_untestable = false) kind ~name c =
   let config =
     match kind with
     | Hitec -> Atpg.Hitec.config ()
     | Sest -> Atpg.Sest.config ()
     | Attest -> Atpg.Types.scaled_config ()
   in
+  (* classify first (its own cache line) so the prune predicate and the
+     classify fingerprint in the ATPG key agree by construction *)
+  let prune, classify_fp =
+    if not prove_untestable then (None, None)
+    else
+      (* the full cascade including the exact product stage: the engines
+         are about to spend real budget, so buy every sound proof first *)
+      let cls = classify ~product:true ~name c in
+      ( Some (Analysis.Untest.prune cls),
+        Some
+          (Store.Key.classify_fingerprint ~symbolic:true
+             ~max_nodes:Analysis.Symreach.default_max_nodes ~product:true
+             ~universe:(universe_name Collapsed)) )
+  in
   let key =
-    Store.Key.atpg ~engine:(atpg_kind_name kind) ~config
-      ~circuit_hash:(Netlist.Structhash.circuit c)
+    Store.Key.atpg ~engine:(atpg_kind_name kind) ~config ?classify:classify_fp
+      ~circuit_hash:(Netlist.Structhash.circuit c) ()
   in
   lookup atpg_results ~skind:Store.Disk.Atpg ~key ~name
     ~encode:Store.Codec.atpg_result_to_json
     ~decode:Store.Codec.atpg_result_of_json
     (fun () ->
       match kind with
-      | Hitec -> Atpg.Run.generate ~config ~engine:"hitec" c
-      | Sest -> Atpg.Run.generate ~config ~engine:"sest" c
-      | Attest -> Atpg.Attest.generate ~config c)
+      | Hitec -> Atpg.Run.generate ~config ~engine:"hitec" ?prune c
+      | Sest -> Atpg.Run.generate ~config ~engine:"sest" ?prune c
+      | Attest -> Atpg.Attest.generate ~config ?prune c)
 
 let reach ~name c =
   let max_states = Analysis.Reach.default_max_states in

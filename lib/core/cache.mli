@@ -41,9 +41,42 @@ val pp_summary : Format.formatter -> unit -> unit
 (** Drop the per-process memory layer (disk records stay). *)
 val reset_memory : unit -> unit
 
+(** {1 Fault classification} *)
+
+(** Which fault set {!classify} runs on. *)
+type classify_universe =
+  | Collapsed  (** the engines' collapsed list ({!Fsim.Collapse.list}) *)
+  | Invariant
+      (** the gate/PI-site Theorem-1 universe
+          ({!Analysis.Untest.invariant_faults}) *)
+
+val universe_name : classify_universe -> string
+
+(** Run (or recall) the static untestability classifier
+    ({!Analysis.Untest.classify}, default BDD budget).  [product]
+    additionally runs the exact product-machine stage.  The cache key
+    carries [symbolic], [product], the budget, the universe and the
+    classifier version. *)
+val classify :
+  ?symbolic:bool ->
+  ?product:bool ->
+  ?universe:classify_universe ->
+  name:string ->
+  Netlist.Node.t ->
+  Analysis.Untest.t
+
 (** Run (or recall) an engine on a circuit; [name] labels the persisted
-    record but plays no part in the cache key. *)
-val atpg : atpg_kind -> name:string -> Netlist.Node.t -> Atpg.Types.result
+    record but plays no part in the cache key.  [prove_untestable]
+    classifies first (through {!classify}, full cascade including the
+    exact product stage) and prunes proved faults — the pruned run is
+    cached under a distinct key that folds in the classification
+    fingerprint. *)
+val atpg :
+  ?prove_untestable:bool ->
+  atpg_kind ->
+  name:string ->
+  Netlist.Node.t ->
+  Atpg.Types.result
 
 val reach : name:string -> Netlist.Node.t -> Analysis.Reach.result
 

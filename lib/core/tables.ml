@@ -59,14 +59,24 @@ module Atpg_pair = struct
     fe_orig : float;
     fc_re : float;
     fe_re : float;
+    pu_orig : int;  (* statically proved untestable (0 unless pruning ran) *)
+    pu_re : int;
     work_orig : int;
     work_re : int;
     cpu_ratio : float;
   }
 
-  let compute kind (p : Flow.pair) =
-    let o = Cache.atpg kind ~name:p.Flow.name p.Flow.original in
-    let r = Cache.atpg kind ~name:(p.Flow.name ^ ".re") p.Flow.retimed in
+  let proved_count (r : Atpg.Types.result) =
+    Array.fold_left
+      (fun a s -> if s = Fsim.Fault.Proved_untestable then a + 1 else a)
+      0 r.Atpg.Types.status
+
+  let compute ?prove_untestable kind (p : Flow.pair) =
+    let o = Cache.atpg ?prove_untestable kind ~name:p.Flow.name p.Flow.original in
+    let r =
+      Cache.atpg ?prove_untestable kind ~name:(p.Flow.name ^ ".re")
+        p.Flow.retimed
+    in
     let wo = Atpg.Types.work_units o.Atpg.Types.stats in
     let wr = Atpg.Types.work_units r.Atpg.Types.stats in
     {
@@ -77,6 +87,8 @@ module Atpg_pair = struct
       fe_orig = o.Atpg.Types.fault_efficiency;
       fc_re = r.Atpg.Types.fault_coverage;
       fe_re = r.Atpg.Types.fault_efficiency;
+      pu_orig = proved_count o;
+      pu_re = proved_count r;
       work_orig = wo;
       work_re = wr;
       cpu_ratio = ratio wr wo;
@@ -84,13 +96,15 @@ module Atpg_pair = struct
 
   let pp title ppf rows =
     Fmt.pf ppf "%s@." title;
-    Fmt.pf ppf "%-12s %4s %6s %6s %11s | %4s %6s %6s %11s | %9s@." "circuit"
-      "dff" "%FC" "%FE" "work" "dff" "%FC" "%FE" "work" "CPU-ratio";
+    Fmt.pf ppf "%-12s %4s %6s %6s %4s %11s | %4s %6s %6s %4s %11s | %9s@."
+      "circuit" "dff" "%FC" "%FE" "PU" "work" "dff" "%FC" "%FE" "PU" "work"
+      "CPU-ratio";
     List.iter
       (fun r ->
-        Fmt.pf ppf "%-12s %4d %6.1f %6.1f %11d | %4d %6.1f %6.1f %11d | %9.1f@."
-          r.circuit r.dff_orig r.fc_orig r.fe_orig r.work_orig r.dff_re
-          r.fc_re r.fe_re r.work_re r.cpu_ratio)
+        Fmt.pf ppf
+          "%-12s %4d %6.1f %6.1f %4d %11d | %4d %6.1f %6.1f %4d %11d | %9.1f@."
+          r.circuit r.dff_orig r.fc_orig r.fe_orig r.pu_orig r.work_orig
+          r.dff_re r.fc_re r.fe_re r.pu_re r.work_re r.cpu_ratio)
       rows
 end
 

@@ -29,12 +29,14 @@ module Atpg_pair : sig
     fe_orig : float;
     fc_re : float;
     fe_re : float;
+    pu_orig : int;  (** statically proved untestable (0 unless pruning ran) *)
+    pu_re : int;
     work_orig : int;
     work_re : int;
     cpu_ratio : float;
   }
 
-  val compute : Cache.atpg_kind -> Flow.pair -> row
+  val compute : ?prove_untestable:bool -> Cache.atpg_kind -> Flow.pair -> row
   val pp : string -> Format.formatter -> row list -> unit
 end
 

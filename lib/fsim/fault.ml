@@ -8,13 +8,19 @@ type site =
 
 type t = { site : site; stuck : bool }
 
-type status = Untested | Detected | Redundant | Aborted
+type status =
+  | Untested
+  | Detected
+  | Redundant
+  | Aborted
+  | Proved_untestable  (* proved by static analysis, before any engine ran *)
 
 let status_to_string = function
   | Untested -> "untested"
   | Detected -> "detected"
   | Redundant -> "redundant"
   | Aborted -> "aborted"
+  | Proved_untestable -> "proved_untestable"
 
 let site_node = function Stem id -> id | Pin { gate; _ } -> gate
 

@@ -10,7 +10,16 @@ type site =
 
 type t = { site : site; stuck : bool }
 
-type status = Untested | Detected | Redundant | Aborted
+(** [Proved_untestable] is assigned by the static classifier
+    ({!Analysis.Untest} via the ATPG prune hook), never by an engine:
+    the fault is proved undetectable by any input sequence, which is
+    strictly stronger than an engine giving up ([Aborted]). *)
+type status =
+  | Untested
+  | Detected
+  | Redundant
+  | Aborted
+  | Proved_untestable
 
 val status_to_string : status -> string
 

@@ -13,51 +13,14 @@
    (resp. stuck-at-1) fault can never be excited, and the node cannot
    propagate any fault effect arriving on its inputs.
 
+   The sweep loop itself lives in Analysis.Fixpoint — one shared
+   register-widening engine for this analysis and Analysis.Untest's
+   effect cones — instantiated here at the ternary lattice.  The
+   instance is bit-identical to the historical in-place loop (same
+   sweep order, same [num_dffs + 2] bound; regression-tested).
+
    The analysis evaluates gates through [order] and therefore requires a
    cycle-free circuit; Report runs it only after the cycle rule passes. *)
 
-let join a b = if Sim.Value3.equal a b then a else Sim.Value3.X
-
-let values c =
-  let n = Netlist.Node.num_nodes c in
-  let value = Array.make n Sim.Value3.X in
-  let state =
-    Array.map
-      (fun id -> Sim.Value3.of_bool (Netlist.Node.dff_init c id))
-      c.Netlist.Node.dffs
-  in
-  let eval () =
-    Array.iter (fun id -> value.(id) <- Sim.Value3.X) c.Netlist.Node.pis;
-    Array.iteri (fun j id -> value.(id) <- state.(j)) c.Netlist.Node.dffs;
-    Array.iter
-      (fun id ->
-        let nd = Netlist.Node.node c id in
-        match nd.Netlist.Node.kind with
-        | Netlist.Node.Gate fn ->
-          let ins = Array.map (fun f -> value.(f)) nd.Netlist.Node.fanins in
-          value.(id) <- Sim.Value3.eval_gate fn ins
-        | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ())
-      c.Netlist.Node.order
-  in
-  let changed = ref true in
-  (* each register value can only flip bool -> X once *)
-  let max_sweeps = Netlist.Node.num_dffs c + 2 in
-  let sweeps = ref 0 in
-  while !changed && !sweeps < max_sweeps do
-    changed := false;
-    incr sweeps;
-    eval ();
-    Array.iteri
-      (fun j id ->
-        let data = (Netlist.Node.node c id).Netlist.Node.fanins.(0) in
-        let next = join state.(j) value.(data) in
-        if not (Sim.Value3.equal next state.(j)) then begin
-          state.(j) <- next;
-          changed := true
-        end)
-      c.Netlist.Node.dffs
-  done;
-  eval ();
-  value
-
+let values = Analysis.Fixpoint.constants
 let constant_value values id = Sim.Value3.to_bool_opt values.(id)

@@ -32,9 +32,11 @@ type t = {
   severity : severity;
   loc : location;
   message : string;
+  proof : Json.t option;  (* machine-readable proof evidence, if any *)
 }
 
-let make ~rule ~severity ~loc message = { rule; severity; loc; message }
+let make ?proof ~rule ~severity ~loc message =
+  { rule; severity; loc; message; proof }
 
 let location_to_string = function
   | Circuit -> "circuit"
@@ -81,12 +83,13 @@ let location_to_json = function
 
 let to_json d =
   Json.Obj
-    [
-      ("rule", Json.String d.rule);
-      ("severity", Json.String (severity_to_string d.severity));
-      ("loc", location_to_json d.loc);
-      ("message", Json.String d.message);
-    ]
+    ([
+       ("rule", Json.String d.rule);
+       ("severity", Json.String (severity_to_string d.severity));
+       ("loc", location_to_json d.loc);
+       ("message", Json.String d.message);
+     ]
+    @ match d.proof with Some p -> [ ("proof", p) ] | None -> [])
 
 let location_of_json j =
   let str key = match Json.member key j with Some (Json.String s) -> Some s | _ -> None in
@@ -111,6 +114,7 @@ let of_json j =
   match str "rule", str "severity", Json.member "loc" j, str "message" with
   | Some rule, Some sev, Some loc, Some message ->
     (match severity_of_string sev, location_of_json loc with
-     | Some severity, Some loc -> Some { rule; severity; loc; message }
+     | Some severity, Some loc ->
+       Some { rule; severity; loc; message; proof = Json.member "proof" j }
      | _ -> None)
   | _ -> None

@@ -22,9 +22,15 @@ type t = {
   severity : severity;
   loc : location;
   message : string;
+  proof : Json.t option;
+      (** machine-readable proof evidence (NET006/NET008: cause, proof
+          source, symbolic budget); carried verbatim through the JSON
+          round trip *)
 }
 
-val make : rule:string -> severity:severity -> loc:location -> string -> t
+val make :
+  ?proof:Json.t -> rule:string -> severity:severity -> loc:location ->
+  string -> t
 
 val location_to_string : location -> string
 

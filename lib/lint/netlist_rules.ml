@@ -248,6 +248,19 @@ let cause_to_string = function
   | Unexcitable -> "unexcitable (source proved constant at the stuck value)"
   | Unpropagatable -> "unpropagatable (every path to a PO is blocked)"
 
+let cause_slug = function
+  | Unexcitable -> "unexcitable"
+  | Unpropagatable -> "unpropagatable"
+
+(* Machine-readable proof payload attached to NET006/NET008 diagnostics
+   (the --json consumers parse these instead of the prose message). *)
+let static_proof cause =
+  Json.Obj
+    [
+      ("cause", Json.String (cause_slug cause));
+      ("source", Json.String "static");
+    ]
+
 (* Why fault [f] can be proved untestable from the constant values and the
    refined observability, or [None] when no static proof applies. *)
 let fault_cause c values obs (f : Fsim.Fault.t) =
@@ -291,7 +304,8 @@ let untestable_diags c proved =
   List.map
     (fun ((f : Fsim.Fault.t), cause) ->
       let site = Fsim.Fault.site_node f.Fsim.Fault.site in
-      Diag.make ~rule:rule_untestable ~severity:Diag.Info ~loc:(node_loc c site)
+      Diag.make ~proof:(static_proof cause) ~rule:rule_untestable
+        ~severity:Diag.Info ~loc:(node_loc c site)
         (Printf.sprintf "statically untestable fault %s: %s"
            (Fsim.Fault.to_string c f) (cause_to_string cause)))
     proved
@@ -338,10 +352,13 @@ let invariant_untestable_count c values obs =
 (* --- NET008: sequentially redundant fault candidates -------------------------- *)
 
 (* A stuck-at fault activates by driving its source line to the opposite
-   of the stuck value.  [can_take src v] is an exact oracle — typically
-   Analysis.Symreach over the proved-unreachable state set — answering
-   whether line [src] can take value [v] in any reachable state under any
-   input; a [false] answer makes the fault sequentially redundant.
+   of the stuck value.  [oracle.can_take src v] is an exact oracle —
+   typically Analysis.Symreach over the proved-unreachable state set —
+   answering whether line [src] can take value [v] in any reachable
+   state under any input; a [false] answer makes the fault sequentially
+   redundant.  The oracle record also carries the BDD budget and
+   reached-set size, so each diagnostic's proof payload names the exact
+   symbolic computation that proved it.
 
    Returns the candidate faults (excluding those NET006 already proved
    statically, so the diagnostics do not duplicate) and the
@@ -375,15 +392,36 @@ let seq_redundant_faults c ~can_take proved =
     faults;
   (List.rev !candidates, List.rev !inconsistent)
 
-let seq_redundant_diags c (candidates, inconsistent) =
+type oracle = {
+  can_take : int -> bool -> bool;
+  max_nodes : int;  (* the BDD node budget the exploration ran under *)
+  bdd_nodes : int;  (* nodes of the reached-set BDD *)
+}
+
+let symbolic_proof oracle =
+  Json.Obj
+    [
+      ("cause", Json.String "unreachable_activation");
+      ("source", Json.String "symbolic");
+      ("max_nodes", Json.Int oracle.max_nodes);
+      ("bdd_nodes", Json.Int oracle.bdd_nodes);
+    ]
+
+(* The symbolic check is a complete proof, not a heuristic: when the
+   oracle ran, the fault *is* sequentially redundant — hence Warning
+   severity and "proved" wording (the rule was Info "candidate" before
+   the exploration budget and proof payloads were threaded through). *)
+let seq_redundant_diags c ~oracle (candidates, inconsistent) =
   List.map
     (fun (f : Fsim.Fault.t) ->
       let site = Fsim.Fault.site_node f.Fsim.Fault.site in
-      Diag.make ~rule:rule_seq_redundant ~severity:Diag.Info
+      Diag.make
+        ~proof:(symbolic_proof oracle)
+        ~rule:rule_seq_redundant ~severity:Diag.Warning
         ~loc:(node_loc c site)
         (Printf.sprintf
-           "sequentially redundant candidate %s: activation requires an \
-            unreachable state (symbolic reachability proof)"
+           "sequentially redundant fault %s (proved): activation requires a \
+            state symbolic reachability proved unreachable"
            (Fsim.Fault.to_string c f)))
     candidates
   @ List.map

@@ -6,12 +6,15 @@
     - [NET003] (Warning): dead logic — fanout-free node driving no PO.
     - [NET004] (Warning): unobservable logic — no structural path to a PO.
     - [NET005] (Warning): constant-provable node (ternary propagation).
-    - [NET006] (Info): statically untestable fault, with its proof cause.
+    - [NET006] (Info): statically untestable fault, with its proof cause
+      (machine-readable [proof] payload: cause + ["static"] source).
     - [NET007] (Info): hard-to-test fanout-free region (SCOAP-scored).
-    - [NET008] (Info): sequentially redundant fault candidate — activation
-      needs a line value no reachable state can produce, per a
-      caller-supplied symbolic-reachability oracle (Error on oracle /
-      static-implication disagreement, which should never fire).
+    - [NET008] (Warning): {e proved} sequentially redundant fault —
+      activation needs a line value no reachable state can produce, per a
+      caller-supplied symbolic-reachability oracle; the [proof] payload
+      carries the cause, ["symbolic"] source and the BDD budget (Error on
+      oracle / static-implication disagreement, which should never
+      fire).
 
     NET003..NET008 trust [order] and must only run after NET001/NET002
     pass ({!Report} stages this). *)
@@ -45,6 +48,9 @@ type cause = Unexcitable | Unpropagatable
 
 val cause_to_string : cause -> string
 
+(** Machine-readable cause tag: ["unexcitable"]/["unpropagatable"]. *)
+val cause_slug : cause -> string
+
 (** Static untestability proof for one fault, or [None]. [obs] must come
     from {!fault_observable}. *)
 val fault_cause :
@@ -72,6 +78,15 @@ val hard_ffrs : ?top:int -> Netlist.Node.t -> Scoap.t -> Diag.t list
     driving fanin). *)
 val fault_source : Netlist.Node.t -> Fsim.Fault.t -> int
 
+(** The symbolic-reachability oracle behind NET008, with the exploration
+    metadata quoted in each diagnostic's proof payload. *)
+type oracle = {
+  can_take : int -> bool -> bool;
+    (** can this line take this value in some reachable state? *)
+  max_nodes : int;  (** BDD node budget of the exploration *)
+  bdd_nodes : int;  (** size of the reached-set BDD *)
+}
+
 (** [seq_redundant_faults c ~can_take proved] classifies the collapsed
     fault list against a reachability oracle: [can_take src v] answers
     whether line [src] can take value [v] in some reachable state under
@@ -85,4 +100,5 @@ val seq_redundant_faults :
   (Fsim.Fault.t * cause) list -> Fsim.Fault.t list * Fsim.Fault.t list
 
 val seq_redundant_diags :
-  Netlist.Node.t -> Fsim.Fault.t list * Fsim.Fault.t list -> Diag.t list
+  Netlist.Node.t -> oracle:oracle ->
+  Fsim.Fault.t list * Fsim.Fault.t list -> Diag.t list

@@ -12,9 +12,9 @@ type netlist_summary = {
 }
 
 (* Staged: the value analyses trust [order], so they only run when the
-   error-level rules (cycles, structure) pass.  [can_take] is the
+   error-level rules (cycles, structure) pass.  [oracle] is the
    optional symbolic-reachability oracle enabling NET008. *)
-let lint_netlist ?(ffr_top = 3) ?can_take c =
+let lint_netlist ?(ffr_top = 3) ?oracle c =
   let errors = Netlist_rules.combinational_cycles c @ Netlist_rules.structure c in
   if Diag.has_errors errors then
     {
@@ -33,8 +33,10 @@ let lint_netlist ?(ffr_top = 3) ?can_take c =
     let total_faults, proved = Netlist_rules.untestable_faults c values obs in
     let seq =
       Option.map
-        (fun can_take -> Netlist_rules.seq_redundant_faults c ~can_take proved)
-        can_take
+        (fun (o : Netlist_rules.oracle) ->
+          Netlist_rules.seq_redundant_faults c ~can_take:o.Netlist_rules.can_take
+            proved)
+        oracle
     in
     let diags =
       errors
@@ -42,9 +44,9 @@ let lint_netlist ?(ffr_top = 3) ?can_take c =
       @ Netlist_rules.unobservable c ~structural_obs
       @ Netlist_rules.constants c values
       @ Netlist_rules.untestable_diags c proved
-      @ (match seq with
-        | Some r -> Netlist_rules.seq_redundant_diags c r
-        | None -> [])
+      @ (match seq, oracle with
+        | Some r, Some o -> Netlist_rules.seq_redundant_diags c ~oracle:o r
+        | _ -> [])
       @ Netlist_rules.hard_ffrs ~top:ffr_top c scoap
     in
     {
@@ -92,7 +94,7 @@ let pp_netlist ppf (name, s) =
      (gate/PI-site) untestable count %d@."
     s.total_faults s.untestable
     (match s.seq_redundant with
-    | Some n -> Printf.sprintf ", %d sequentially redundant candidate(s)" n
+    | Some n -> Printf.sprintf ", %d proved sequentially redundant" n
     | None -> "")
     s.invariant_untestable
 
@@ -178,8 +180,8 @@ let catalogue =
      "statically untestable fault (unexcitable or unpropagatable)");
     (Netlist_rules.rule_hard_ffr, Diag.Info,
      "hard-to-test fanout-free region (SCOAP-scored)");
-    (Netlist_rules.rule_seq_redundant, Diag.Info,
-     "sequentially redundant fault candidate (activation needs an \
+    (Netlist_rules.rule_seq_redundant, Diag.Warning,
+     "proved sequentially redundant fault (activation needs an \
       unreachable state, proved by symbolic reachability)");
     (Fsm_rules.rule_unreachable, Diag.Warning, "state unreachable from reset");
     (Fsm_rules.rule_dead_state, Diag.Warning, "dead (trap) state");

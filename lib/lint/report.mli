@@ -11,17 +11,18 @@ type netlist_summary = {
   (** untestable count over the gate/PI-site full fault universe — the
       retiming-invariant Theorem-1 metric *)
   seq_redundant : int option;
-  (** NET008 candidate count; [None] when no reachability oracle was
+  (** NET008 proved count; [None] when no reachability oracle was
       supplied *)
   scoap : Scoap.t option;       (** [None] when error-level rules fired *)
 }
 
 (** Run all netlist rules.  [ffr_top] bounds the NET007 diagnostics.
-    [can_take] is the symbolic-reachability oracle (e.g. built on
-    {!Analysis.Symreach.can_take}) enabling the NET008 sequential-
+    [oracle] is the symbolic-reachability oracle (e.g. built on
+    {!Analysis.Symreach.can_take}, with the exploration's budget and
+    BDD size for the proof payloads) enabling the NET008 sequential-
     redundancy rule; omit it and NET008 is skipped. *)
 val lint_netlist :
-  ?ffr_top:int -> ?can_take:(int -> bool -> bool) -> Netlist.Node.t ->
+  ?ffr_top:int -> ?oracle:Netlist_rules.oracle -> Netlist.Node.t ->
   netlist_summary
 
 (** Run all FSM rules, sorted. *)

@@ -47,6 +47,7 @@ let status_of_string = function
   | "detected" -> Fsim.Fault.Detected
   | "redundant" -> Fsim.Fault.Redundant
   | "aborted" -> Fsim.Fault.Aborted
+  | "proved_untestable" -> Fsim.Fault.Proved_untestable
   | _ -> raise Corrupt
 
 (* -------------------------------------------------------------- sequences - *)
@@ -152,6 +153,90 @@ let atpg_result_of_json =
         fault_efficiency = as_float (obj_field "fault_efficiency" j);
         trajectory;
       })
+
+(* --------------------------------------------------------- classification - *)
+
+let verdict_to_json = function
+  | Analysis.Untest.Unknown -> Null
+  | Analysis.Untest.Untestable { cause; evidence } ->
+    Obj
+      [
+        ("cause", String (Analysis.Untest.cause_to_string cause));
+        ("evidence", String (Analysis.Untest.evidence_to_string evidence));
+      ]
+
+let verdict_of_json = function
+  | Null -> Analysis.Untest.Unknown
+  | Obj _ as j ->
+    let cause =
+      match Analysis.Untest.cause_of_string (as_string (obj_field "cause" j))
+      with
+      | Some c -> c
+      | None -> raise Corrupt
+    in
+    let evidence =
+      match
+        Analysis.Untest.evidence_of_string
+          (as_string (obj_field "evidence" j))
+      with
+      | Some e -> e
+      | None -> raise Corrupt
+    in
+    Analysis.Untest.Untestable { cause; evidence }
+  | _ -> raise Corrupt
+
+let untest_to_json (t : Analysis.Untest.t) =
+  let s = t.Analysis.Untest.summary in
+  Obj
+    [
+      ( "faults",
+        List (Array.to_list (Array.map fault_to_json t.Analysis.Untest.faults))
+      );
+      ( "verdicts",
+        List
+          (Array.to_list (Array.map verdict_to_json t.Analysis.Untest.verdicts))
+      );
+      ( "summary",
+        Obj
+          [
+            ("total", Int s.Analysis.Untest.total);
+            ("proved", Int s.Analysis.Untest.proved);
+            ("structural", Int s.Analysis.Untest.structural);
+            ("ternary", Int s.Analysis.Untest.ternary);
+            ("symbolic", Int s.Analysis.Untest.symbolic);
+            ("symbolic_ran", Bool s.Analysis.Untest.symbolic_ran);
+            ("bdd_nodes", Int s.Analysis.Untest.bdd_nodes);
+            ("work", Int s.Analysis.Untest.work);
+          ] );
+    ]
+
+let untest_of_json =
+  guard (fun j ->
+      let faults =
+        Array.of_list
+          (Stdlib.List.map fault_of_json (as_list (obj_field "faults" j)))
+      in
+      let verdicts =
+        Array.of_list
+          (Stdlib.List.map verdict_of_json (as_list (obj_field "verdicts" j)))
+      in
+      if Array.length faults <> Array.length verdicts then raise Corrupt;
+      let sj = obj_field "summary" j in
+      let summary =
+        {
+          Analysis.Untest.total = int_field "total" sj;
+          proved = int_field "proved" sj;
+          structural = int_field "structural" sj;
+          ternary = int_field "ternary" sj;
+          symbolic = int_field "symbolic" sj;
+          symbolic_ran = as_bool (obj_field "symbolic_ran" sj);
+          bdd_nodes = int_field "bdd_nodes" sj;
+          work = int_field "work" sj;
+        }
+      in
+      if summary.Analysis.Untest.total <> Array.length faults then
+        raise Corrupt;
+      Analysis.Untest.v ~faults ~verdicts ~summary)
 
 (* ------------------------------------------------------------------ reach - *)
 

@@ -10,6 +10,9 @@
 val atpg_result_to_json : Atpg.Types.result -> Obs.Json.t
 val atpg_result_of_json : Obs.Json.t -> Atpg.Types.result option
 
+val untest_to_json : Analysis.Untest.t -> Obs.Json.t
+val untest_of_json : Obs.Json.t -> Analysis.Untest.t option
+
 val reach_result_to_json : Analysis.Reach.result -> Obs.Json.t
 val reach_result_of_json : Obs.Json.t -> Analysis.Reach.result option
 

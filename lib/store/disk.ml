@@ -29,15 +29,16 @@ let dir () =
 
 let enabled () = dir () <> None
 
-type kind = Atpg | Reach | Symreach | Structural
+type kind = Atpg | Classify | Reach | Symreach | Structural
 
 let kind_name = function
   | Atpg -> "atpg"
+  | Classify -> "classify"
   | Reach -> "reach"
   | Symreach -> "symreach"
   | Structural -> "structural"
 
-let all_kinds = [ Atpg; Reach; Symreach; Structural ]
+let all_kinds = [ Atpg; Classify; Reach; Symreach; Structural ]
 
 let version = 1
 
@@ -204,6 +205,7 @@ let verify_entry e =
        let ok =
          match e.kind with
          | Atpg -> Codec.atpg_result_of_json payload <> None
+         | Classify -> Codec.untest_of_json payload <> None
          | Reach -> Codec.reach_result_of_json payload <> None
          | Symreach -> Codec.symreach_summary_of_json payload <> None
          | Structural -> Codec.structural_result_of_json payload <> None

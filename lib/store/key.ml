@@ -21,8 +21,33 @@ let config_fingerprint (cfg : Atpg.Types.config) =
   let h = bool h cfg.Atpg.Types.learn in
   to_hex h
 
-let atpg ~engine ~config ~circuit_hash =
-  Printf.sprintf "%s-%s-%s" engine circuit_hash (config_fingerprint config)
+(* Bump when the classifier's cascade changes in a way that can alter
+   verdicts (new stage, sharper cone, ...): cached classifications and
+   pruned ATPG runs both depend on it. *)
+let classify_version = 1
+
+let classify_fingerprint ~symbolic ~max_nodes ~product ~universe =
+  Netlist.Structhash.(
+    to_hex
+      (string
+         (int (bool (bool (int empty max_nodes) symbolic) product)
+            classify_version)
+         universe))
+
+let classify ~symbolic ~max_nodes ~product ~universe ~circuit_hash =
+  Printf.sprintf "%s-%s" circuit_hash
+    (classify_fingerprint ~symbolic ~max_nodes ~product ~universe)
+
+(* A pruned ATPG run's result depends on the classifier's verdicts, so
+   the classify fingerprint joins the key; unpruned runs keep their
+   historical keys. *)
+let atpg ~engine ~config ?classify ~circuit_hash () =
+  let base =
+    Printf.sprintf "%s-%s-%s" engine circuit_hash (config_fingerprint config)
+  in
+  match classify with
+  | None -> base
+  | Some cfp -> Printf.sprintf "%s-pruned-%s" base cfp
 
 let reach ~max_states ~circuit_hash =
   let fp = Netlist.Structhash.(to_hex (int empty max_states)) in

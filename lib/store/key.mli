@@ -7,9 +7,23 @@
 (** Stable 16-hex-digit fingerprint of an ATPG configuration. *)
 val config_fingerprint : Atpg.Types.config -> string
 
-(** [<engine>-<circuit hash>-<config fingerprint>]. *)
+(** Stable fingerprint of a fault-classification configuration
+    ([universe] tags the fault set, e.g. ["collapsed"]/["invariant"];
+    the classifier cascade version is folded in). *)
+val classify_fingerprint :
+  symbolic:bool -> max_nodes:int -> product:bool -> universe:string -> string
+
+(** [<circuit hash>-<classify fingerprint>]. *)
+val classify :
+  symbolic:bool -> max_nodes:int -> product:bool -> universe:string ->
+  circuit_hash:string -> string
+
+(** [<engine>-<circuit hash>-<config fingerprint>]; with [classify] (the
+    classification fingerprint of a prune-enabled run),
+    [...-pruned-<classify fingerprint>]. *)
 val atpg :
-  engine:string -> config:Atpg.Types.config -> circuit_hash:string -> string
+  engine:string -> config:Atpg.Types.config -> ?classify:string ->
+  circuit_hash:string -> unit -> string
 
 (** [<circuit hash>-<fingerprint of max_states>]. *)
 val reach : max_states:int -> circuit_hash:string -> string

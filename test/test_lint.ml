@@ -96,12 +96,40 @@ let test_seq_redundant_rule () =
       Alcotest.(check bool) "not statically proved" false
         (List.exists (fun (p, _) -> p = f) proved))
     cands;
-  let ds = Lint.Netlist_rules.seq_redundant_diags c (cands, incons) in
+  let oracle =
+    {
+      Lint.Netlist_rules.can_take;
+      max_nodes = Analysis.Symreach.default_max_nodes;
+      bdd_nodes = r.Analysis.Symreach.summary.Analysis.Symreach.bdd_nodes;
+    }
+  in
+  let ds = Lint.Netlist_rules.seq_redundant_diags c ~oracle (cands, incons) in
   Alcotest.(check bool) "NET008 fires" true (has_rule "NET008" ds);
-  Alcotest.(check bool) "informational only" false (Lint.Diag.has_errors ds);
+  Alcotest.(check bool) "proved, not an error" false (Lint.Diag.has_errors ds);
+  (* promoted: proved sequential redundancy is Warning severity with a
+     machine-readable symbolic proof payload *)
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        "warning severity" "warning"
+        (Lint.Diag.severity_to_string d.Lint.Diag.severity);
+      match d.Lint.Diag.proof with
+      | None -> Alcotest.fail "NET008 diagnostic carries no proof"
+      | Some p ->
+        Alcotest.(check (option string))
+          "proof cause" (Some "unreachable_activation")
+          (match Lint.Json.member "cause" p with
+          | Some (Lint.Json.String s) -> Some s
+          | _ -> None);
+        Alcotest.(check (option string))
+          "proof source" (Some "symbolic")
+          (match Lint.Json.member "source" p with
+          | Some (Lint.Json.String s) -> Some s
+          | _ -> None))
+    ds;
   (* driver level: the summary carries the count, and omitting the oracle
      skips the rule *)
-  let s = Lint.Report.lint_netlist ~can_take c in
+  let s = Lint.Report.lint_netlist ~oracle c in
   Alcotest.(check (option int))
     "summary count"
     (Some (List.length cands))

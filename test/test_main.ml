@@ -8,6 +8,7 @@ let () =
       ("synth", Test_synth.suite);
       ("retime", Test_retime.suite);
       ("analysis", Test_analysis.suite);
+      ("untest", Test_untest.suite);
       ("bdd", Test_bdd.suite);
       ("fsim", Test_fsim.suite);
       ("atpg", Test_atpg.suite);

@@ -199,6 +199,7 @@ let check_events_vs_stats (r : Atpg.Types.result) events =
            | "redundant" -> Fsim.Fault.Redundant
            | "aborted" -> Fsim.Fault.Aborted
            | "untested" -> Fsim.Fault.Untested
+           | "proved_untestable" -> Fsim.Fault.Proved_untestable
            | s -> Alcotest.failf "unknown status %s" s)
       | "state_directory" -> ()
       | ev -> Alcotest.failf "unknown event kind %s" ev)

@@ -103,13 +103,16 @@ let test_config_fingerprint () =
 let test_keys_exclude_names () =
   let h = Netlist.Structhash.circuit (Helpers.toy_circuit ()) in
   let k = Store.Key.atpg ~engine:"hitec" ~config:Atpg.Types.default_config
-      ~circuit_hash:h
+      ~circuit_hash:h ()
   in
   (* same circuit, any display name: the key cannot differ by name
      because no name is even accepted *)
   Alcotest.(check bool) "engine enters the key" true
     (k <> Store.Key.atpg ~engine:"sest" ~config:Atpg.Types.default_config
-            ~circuit_hash:h);
+            ~circuit_hash:h ());
+  Alcotest.(check bool) "prune fingerprint enters the key" true
+    (k <> Store.Key.atpg ~engine:"hitec" ~config:Atpg.Types.default_config
+            ~classify:"abc" ~circuit_hash:h ());
   Alcotest.(check bool) "reach and structural keys differ" true
     (Store.Key.reach ~max_states:10 ~circuit_hash:h
      <> Store.Key.structural ~depth_budget:10 ~cycle_budget:10
@@ -153,6 +156,59 @@ let test_codec_reach_roundtrip () =
       d.Analysis.Reach.initial;
     check_sorted_tbl "state set" r.Analysis.Reach.states
       d.Analysis.Reach.states
+
+let test_codec_untest_roundtrip () =
+  (* cover the whole verdict enum space, not just what one circuit's
+     classification happens to produce *)
+  let causes =
+    [ Analysis.Untest.Unobservable; Analysis.Untest.Unexcitable;
+      Analysis.Untest.Effect_confined; Analysis.Untest.Unreachable_activation;
+      Analysis.Untest.Machine_equivalent ]
+  in
+  let evidences =
+    [ Analysis.Untest.Structural; Analysis.Untest.Ternary;
+      Analysis.Untest.Symbolic ]
+  in
+  let verdicts =
+    Analysis.Untest.Unknown
+    :: List.concat_map
+         (fun cause ->
+           List.map
+             (fun evidence ->
+               Analysis.Untest.Untestable { cause; evidence })
+             evidences)
+         causes
+  in
+  let faults =
+    Array.of_list
+      (List.mapi
+         (fun i _ -> { Fsim.Fault.site = Fsim.Fault.Stem i; stuck = i mod 2 = 0 })
+         verdicts)
+  in
+  let t =
+    Analysis.Untest.v ~faults
+      ~verdicts:(Array.of_list verdicts)
+      ~summary:
+        {
+          Analysis.Untest.total = Array.length faults;
+          proved = Array.length faults - 1;
+          structural = 5;
+          ternary = 5;
+          symbolic = 5;
+          symbolic_ran = true;
+          bdd_nodes = 123;
+          work = 456;
+        }
+  in
+  match Store.Codec.untest_of_json (Store.Codec.untest_to_json t) with
+  | None -> Alcotest.fail "decode failed"
+  | Some d ->
+    Alcotest.(check bool) "faults" true
+      (d.Analysis.Untest.faults = t.Analysis.Untest.faults);
+    Alcotest.(check bool) "verdicts" true
+      (d.Analysis.Untest.verdicts = t.Analysis.Untest.verdicts);
+    Alcotest.(check bool) "summary" true
+      (d.Analysis.Untest.summary = t.Analysis.Untest.summary)
 
 let test_codec_symreach_roundtrip () =
   let s =
@@ -395,6 +451,8 @@ let suite =
       test_codec_atpg_roundtrip;
     Alcotest.test_case "codec reach round-trip" `Quick
       test_codec_reach_roundtrip;
+    Alcotest.test_case "codec untest round-trip" `Quick
+      test_codec_untest_roundtrip;
     Alcotest.test_case "codec symreach round-trip" `Quick
       test_codec_symreach_roundtrip;
     Alcotest.test_case "codec symreach rejects garbage" `Quick
