@@ -89,6 +89,53 @@ let run_tables () =
     (Unix.gettimeofday () -. t0);
   say "%a@." Core.Cache.pp_summary ()
 
+(* ------------------------------------------------- provenance + history *)
+
+let budget_string () = Option.value ~default:"" (Sys.getenv_opt "SATPG_BUDGET")
+let history_file = "results/BENCH_history.jsonl"
+
+(* Build and persist the benchmark mode's provenance manifest; the
+   BENCH_*.json records and the history lines point at it by id. *)
+let bench_manifest ~command ~circuit ~circuit_hash ~work_units =
+  let m =
+    Obs.Ledger.make ~tool:"bench" ~command ~circuit ~circuit_hash
+      ~jobs:(Exec.Pool.jobs ()) ~budget:(budget_string ()) ~work_units
+      ~metrics:(Obs.Metrics.snapshot ()) ~spans:[] ~event_lines:[] ()
+  in
+  if Store.Disk.enabled () then
+    ignore
+      (Store.Disk.save Store.Disk.Manifest ~key:(Obs.Ledger.id m)
+         ~name:("bench " ^ command)
+         (Store.Codec.manifest_to_json m)
+        : bool);
+  m
+
+let with_fields extra = function
+  | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ extra)
+  | j -> j
+
+let record_int name r =
+  Option.value ~default:0
+    (Option.bind (Obs.Json.member name r) Obs.Json.to_int_opt)
+
+(* Append this run's records to the append-only history — one JSONL line
+   per record (suite tag + record fields + epoch seconds), so
+   `satpg diff --history` can chart per-cell work-unit trajectories
+   across commits.  The records already carry the manifest id. *)
+let append_history ~suite records =
+  let ts = int_of_float (Unix.time ()) in
+  List.iter
+    (fun r ->
+      Obs.Fileio.append_line history_file
+        (Obs.Json.to_string
+           (with_fields [ ("ts", Obs.Json.Int ts) ]
+              (match r with
+               | Obs.Json.Obj fields ->
+                 Obs.Json.Obj (("suite", Obs.Json.String suite) :: fields)
+               | j -> j))))
+    records;
+  say "appended %d records to %s@." (List.length records) history_file
+
 (* --------------------------------------------------- engine benchmark JSON *)
 
 (* Engine x benchmark grid on the dk16.ji.sd pair, written to
@@ -130,6 +177,20 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
           circuits)
       engines
   in
+  (* same config recipe as Core.Cache.atpg: the per-record fingerprint
+     matches the one in the record's cache key *)
+  let config_fps =
+    List.map
+      (fun (engine, kind) ->
+        let config =
+          match kind with
+          | Core.Cache.Hitec -> Atpg.Hitec.config ()
+          | Core.Cache.Sest -> Atpg.Sest.config ()
+          | Core.Cache.Attest -> Atpg.Types.scaled_config ()
+        in
+        (engine, Store.Key.config_fingerprint config))
+      engines
+  in
   (* The grid cells shard across domains (Exec.Pool merges results in
      grid order, so the printed lines and the JSON records keep the
      sequential layout); [last_outcome] is domain-local and read inside
@@ -169,13 +230,32 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
                ( "invariant_proved",
                  Obs.Json.Int (List.assoc bench invariant_proved) );
                ("cache", Obs.Json.String cache);
+               ( "config_fp",
+                 Obs.Json.String (List.assoc engine config_fps) );
              ])
   in
-  let oc = open_out file in
-  output_string oc (Obs.Json.to_string (Obs.Json.List records));
-  output_char oc '\n';
-  close_out oc;
-  say "wrote %s (%d records)@." file (List.length records)
+  let m =
+    bench_manifest ~command:"atpg"
+      ~circuit:(String.concat "+" (List.map fst circuits))
+      ~circuit_hash:
+        (String.concat "+"
+           (List.map
+              (fun (_, c) -> Netlist.Structhash.circuit c)
+              circuits))
+      ~work_units:
+        (List.fold_left (fun a r -> a + record_int "work_units" r) 0 records)
+  in
+  let records =
+    List.map
+      (fun r ->
+        with_fields [ ("manifest", Obs.Json.String (Obs.Ledger.id m)) ] r)
+      records
+  in
+  Obs.Fileio.write_string_atomic file
+    (Obs.Json.to_string (Obs.Json.List records) ^ "\n");
+  say "wrote %s (%d records, manifest %s)@." file (List.length records)
+    (Obs.Ledger.id m);
+  append_history ~suite:"atpg" records
 
 let run_atpg () =
   say "ATPG engine benchmark (dk16.ji.sd pair, 3 engines):@.";
@@ -257,13 +337,41 @@ let run_reach_json ?(file = "BENCH_reach.json") () =
                ("bdd_nodes", opt nodes);
                ("wall_s", Obs.Json.Float wall);
                ("cache", Obs.Json.String cache);
+               ( "config_fp",
+                 Obs.Json.String
+                   (match mode with
+                    | `Explicit ->
+                      Store.Key.reach_fingerprint
+                        ~max_states:Analysis.Reach.default_max_states
+                    | `Symbolic ->
+                      Store.Key.symreach_fingerprint
+                        ~max_nodes:Analysis.Symreach.default_max_nodes) );
              ])
   in
-  let oc = open_out file in
-  output_string oc (Obs.Json.to_string (Obs.Json.List records));
-  output_char oc '\n';
-  close_out oc;
-  say "wrote %s (%d records)@." file (List.length records)
+  let m =
+    bench_manifest ~command:"reach"
+      ~circuit:
+        (String.concat "+"
+           (List.sort_uniq compare (List.map (fun (b, _, _) -> b) cells)))
+      ~circuit_hash:
+        (String.concat "+"
+           (List.sort_uniq compare
+              (List.map
+                 (fun (_, _, c) -> Netlist.Structhash.circuit c)
+                 cells)))
+      ~work_units:0
+  in
+  let records =
+    List.map
+      (fun r ->
+        with_fields [ ("manifest", Obs.Json.String (Obs.Ledger.id m)) ] r)
+      records
+  in
+  Obs.Fileio.write_string_atomic file
+    (Obs.Json.to_string (Obs.Json.List records) ^ "\n");
+  say "wrote %s (%d records, manifest %s)@." file (List.length records)
+    (Obs.Ledger.id m);
+  append_history ~suite:"reach" records
 
 let run_reach () =
   say "Reachability benchmark (explicit vs symbolic, dk16.ji.sd pair + \

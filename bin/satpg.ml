@@ -14,6 +14,8 @@
      kiss        dump a benchmark FSM in KISS2 format
      cache       persistent result store: stats / clear / verify
      tables      regenerate the paper's tables (1-8) and Figure 3
+     diff        compare two instrumented runs (manifests, event streams,
+                 bench files, traces) or walk a bench history
 
    Expensive results (ATPG runs, reachability, structural analysis) are
    memoized by content — circuit structural hash + configuration
@@ -23,6 +25,7 @@
      --trace FILE    Chrome trace-event JSON (Perfetto / chrome://tracing)
      --metrics FILE  JSON snapshot of the global metrics registry
      --events FILE   per-fault JSONL event records
+     --manifest FILE content-addressed provenance manifest of the run
 *)
 
 open Cmdliner
@@ -62,27 +65,108 @@ let obs_args =
                 line): outcome, work, backtracks, decisions, frames, \
                 drop credit.")
   in
-  Term.(const (fun t m e -> (t, m, e)) $ trace $ metrics $ events)
+  let manifest =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"FILE"
+             ~doc:
+               "Write the run's provenance manifest: circuit structural \
+                hash, configuration fingerprint, job count, budget, work \
+                units, metrics snapshot, span totals and a digest of the \
+                event stream.  Content-addressed and free of wall-clock \
+                data: the same run reproduces the same bytes.  Feed two of \
+                them to $(b,satpg diff).  Implies instrumentation.")
+  in
+  Term.(const (fun t m e mf -> (t, m, e, mf))
+        $ trace $ metrics $ events $ manifest)
+
+(* The sinks of the run in flight, for [finish_manifest]; satpg runs one
+   command per process, so module-level slots (not domain-local) are
+   right — subagent domains never call [with_obs]. *)
+let current_tsink : Obs.Trace.sink option ref = ref None
+let current_esink : Obs.Events.sink option ref = ref None
+let manifest_slot : Obs.Ledger.t option ref = ref None
+
+let budget_string () = Option.value ~default:"" (Sys.getenv_opt "SATPG_BUDGET")
+
+(* [Exec.Pool.jobs] validates SATPG_JOBS and raises on garbage; commands
+   that take -J validate it up front, but manifests are also built on
+   commands that never read the pool — degrade, don't crash. *)
+let safe_jobs () =
+  match Exec.Pool.jobs () with
+  | n -> n
+  | exception Invalid_argument _ -> 1
+
+(* Snapshot the live sinks into a manifest and persist it (slot for the
+   pending [--manifest] write, store under its own id when SATPG_STORE is
+   set).  Commands call this *before* printing [--json] payloads so the
+   manifest id can ride along as provenance; [with_obs] falls back to a
+   data-less manifest for commands that never call it. *)
+let finish_manifest ~command ?circuit ?circuit_hash ?config_fp ?engine
+    ?(work_units = 0) () =
+  let spans =
+    match !current_tsink with
+    | Some s -> Obs.Trace.durations s
+    | None -> []
+  in
+  let event_lines =
+    match !current_esink with
+    | Some s -> Obs.Events.to_lines s
+    | None -> []
+  in
+  let m =
+    Obs.Ledger.make ~tool:"satpg" ~command ?circuit ?circuit_hash ?config_fp
+      ?engine ~jobs:(safe_jobs ()) ~budget:(budget_string ()) ~work_units
+      ~metrics:(Obs.Metrics.snapshot ()) ~spans ~event_lines ()
+  in
+  manifest_slot := Some m;
+  if Store.Disk.enabled () then
+    ignore
+      (Store.Disk.save Store.Disk.Manifest ~key:(Obs.Ledger.id m)
+         ~name:(String.concat " " ("satpg" :: command :: Option.to_list circuit))
+         (Store.Codec.manifest_to_json m)
+        : bool);
+  m
 
 (* Install sinks for the given artifact files (or unconditionally with
    [force], as `satpg profile` does), run [f], then write the files.  With
-   all three flags absent and no force, nothing is installed and the run
-   is bit-identical to an uninstrumented one. *)
-let with_obs ?(force = false) (trace, metrics, events) f =
+   all flags absent and no force, nothing is installed and the run is
+   bit-identical to an uninstrumented one.  [--manifest] implies both
+   sinks: a manifest must carry span totals and the event-stream digest. *)
+let with_obs ?(force = false) ~command (trace, metrics, events, manifest) f =
   let tsink =
-    if force || trace <> None then
+    if force || trace <> None || manifest <> None then
       Some (Obs.Trace.create ~wallclock:Unix.gettimeofday ())
     else None
   in
   let esink =
-    if force || events <> None then Some (Obs.Events.create ()) else None
+    if force || events <> None || manifest <> None then
+      Some (Obs.Events.create ())
+    else None
   in
   (match tsink with Some s -> Obs.Trace.install s | None -> ());
   (match esink with Some s -> Obs.Events.install s | None -> ());
+  current_tsink := tsink;
+  current_esink := esink;
+  manifest_slot := None;
   Fun.protect
     ~finally:(fun () ->
+      (* the manifest snapshots the sinks, so write it before tearing
+         them down; commands that already called [finish_manifest] pin
+         richer provenance (circuit hash, config fingerprint, totals) *)
+      (match manifest with
+       | Some file ->
+         let m =
+           match !manifest_slot with
+           | Some m -> m
+           | None -> finish_manifest ~command ()
+         in
+         Obs.Ledger.write m file
+       | None -> ());
       Obs.Trace.uninstall ();
       Obs.Events.uninstall ();
+      current_tsink := None;
+      current_esink := None;
+      manifest_slot := None;
       (match trace, tsink with
        | Some file, Some s -> Obs.Trace.write s file
        | _ -> ());
@@ -157,7 +241,7 @@ let retimed_flag =
 
 let synth_cmd =
   let run () obs fsm alg script =
-    with_obs obs @@ fun () ->
+    with_obs ~command:"synth" obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     Fmt.pr "%s: %a@." p.Core.Flow.name Netlist.Node.pp_summary p.Core.Flow.original;
     Fmt.pr "  %a@." Netlist.Stats.pp (Netlist.Stats.of_circuit p.Core.Flow.original);
@@ -171,7 +255,7 @@ let synth_cmd =
 
 let retime_cmd =
   let run () obs fsm alg script =
-    with_obs obs @@ fun () ->
+    with_obs ~command:"retime" obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     Fmt.pr "original: %a@." Netlist.Node.pp_summary p.Core.Flow.original;
     Fmt.pr "retimed : %a@." Netlist.Node.pp_summary p.Core.Flow.retimed;
@@ -210,7 +294,7 @@ let atpg_cmd =
   in
   let run () obs jobs fsm alg script engine retimed scoap prove json =
     setup_jobs jobs;
-    with_obs obs @@ fun () ->
+    with_obs ~command:"atpg" obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
@@ -231,6 +315,21 @@ let atpg_cmd =
       else Core.Cache.atpg ~prove_untestable:prove engine ~name circuit
     in
     let cache = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
+    (* same config recipe as Core.Cache.atpg, so the fingerprint in the
+       provenance equals the one inside the result's cache key *)
+    let config =
+      match engine with
+      | Core.Cache.Hitec -> Atpg.Hitec.config ()
+      | Core.Cache.Sest -> Atpg.Sest.config ()
+      | Core.Cache.Attest -> Atpg.Types.scaled_config ()
+    in
+    let m =
+      finish_manifest ~command:"atpg" ~circuit:name
+        ~circuit_hash:(Netlist.Structhash.circuit circuit)
+        ~config_fp:(Store.Key.config_fingerprint config)
+        ~engine:(Core.Cache.atpg_kind_name engine)
+        ~work_units:(Atpg.Types.work_units r.Atpg.Types.stats) ()
+    in
     if json then
       print_endline
         (Obs.Json.to_string
@@ -241,6 +340,8 @@ let atpg_cmd =
                   ( "engine",
                     Obs.Json.String (Core.Cache.atpg_kind_name engine) );
                   ("cache", Obs.Json.String cache);
+                  ("manifest", Obs.Json.String (Obs.Ledger.id m));
+                  ("config_fp", Obs.Json.String (Obs.Ledger.config_fp m));
                 ]
               r))
     else begin
@@ -301,7 +402,7 @@ let classify_cmd =
                 symbolic stage).")
   in
   let run () obs fsm alg script json check no_symbolic product =
-    with_obs obs @@ fun () ->
+    with_obs ~command:"classify" obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let symbolic = not no_symbolic in
     let circuits =
@@ -340,11 +441,30 @@ let classify_cmd =
         | _ -> assert false
       end
     in
+    let m =
+      finish_manifest ~command:"classify" ~circuit:p.Core.Flow.name
+        ~circuit_hash:
+          (Netlist.Structhash.circuit p.Core.Flow.original
+          ^ "+"
+          ^ Netlist.Structhash.circuit p.Core.Flow.retimed)
+        ~config_fp:
+          (Store.Key.classify_fingerprint ~symbolic
+             ~max_nodes:Analysis.Symreach.default_max_nodes ~product
+             ~universe:"collapsed")
+        ~work_units:
+          (List.fold_left
+             (fun a (_, _, t) ->
+               a + t.Analysis.Untest.summary.Analysis.Untest.work)
+             0 classified)
+        ()
+    in
     if json then begin
       let fields =
         [ ("benchmark", Obs.Json.String p.Core.Flow.name);
           ("symbolic", Obs.Json.Bool symbolic);
           ("product", Obs.Json.Bool product);
+          ("manifest", Obs.Json.String (Obs.Ledger.id m));
+          ("config_fp", Obs.Json.String (Obs.Ledger.config_fp m));
           ( "circuits",
             Obs.Json.List
               (List.map
@@ -684,7 +804,7 @@ let reach_cmd =
       fields
   in
   let run () obs fsm alg script retimed symbolic explicit check json =
-    with_obs obs @@ fun () ->
+    with_obs ~command:"reach" obs @@ fun () ->
     if symbolic && explicit then begin
       Fmt.epr "satpg reach: --symbolic and --explicit are exclusive \
                (use --check to run both)@.";
@@ -734,6 +854,17 @@ let reach_cmd =
         Analysis.Symreach.density s = Analysis.Reach.density r
       in
       let ok = count_match && density_match in
+      let m =
+        finish_manifest ~command:"reach" ~circuit:name
+          ~circuit_hash:(Netlist.Structhash.circuit circuit)
+          ~config_fp:
+            (Store.Key.reach_fingerprint
+               ~max_states:Analysis.Reach.default_max_states
+            ^ "+"
+            ^ Store.Key.symreach_fingerprint
+                ~max_nodes:Analysis.Symreach.default_max_nodes)
+          ()
+      in
       if json then
         print_endline
           (Obs.Json.to_string
@@ -744,6 +875,8 @@ let reach_cmd =
                   ("explicit", Obs.Json.Obj (explicit_fields r ec));
                   ("symbolic", Obs.Json.Obj (symbolic_fields s sc));
                   ("match", Obs.Json.Bool ok);
+                  ("manifest", Obs.Json.String (Obs.Ledger.id m));
+                  ("config_fp", Obs.Json.String (Obs.Ledger.config_fp m));
                 ]))
       else begin
         pp_fields (name ^ " (explicit)") (explicit_fields r ec);
@@ -756,16 +889,33 @@ let reach_cmd =
       if not ok then exit 1
     end
     else begin
-      let fields =
-        if symbolic then run_symbolic ()
-        else if explicit then run_explicit ()
-        else if Analysis.Reach.feasible circuit then run_explicit ()
-        else run_symbolic ()
+      let use_symbolic =
+        if symbolic then true
+        else if explicit then false
+        else not (Analysis.Reach.feasible circuit)
+      in
+      let fields = if use_symbolic then run_symbolic () else run_explicit () in
+      let m =
+        finish_manifest ~command:"reach" ~circuit:name
+          ~circuit_hash:(Netlist.Structhash.circuit circuit)
+          ~config_fp:
+            (if use_symbolic then
+               Store.Key.symreach_fingerprint
+                 ~max_nodes:Analysis.Symreach.default_max_nodes
+             else
+               Store.Key.reach_fingerprint
+                 ~max_states:Analysis.Reach.default_max_states)
+          ()
       in
       if json then
         print_endline
           (Obs.Json.to_string
-             (Obs.Json.Obj (("circuit", Obs.Json.String name) :: fields)))
+             (Obs.Json.Obj
+                (("circuit", Obs.Json.String name) :: fields
+                @ [
+                    ("manifest", Obs.Json.String (Obs.Ledger.id m));
+                    ("config_fp", Obs.Json.String (Obs.Ledger.config_fp m));
+                  ])))
       else pp_fields name fields
     end
   in
@@ -875,7 +1025,7 @@ let scan_cmd =
   in
   let run () obs jobs fsm alg script retimed partial =
     setup_jobs jobs;
-    with_obs obs @@ fun () ->
+    with_obs ~command:"scan" obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
@@ -942,7 +1092,7 @@ let tables_cmd =
   in
   let run () obs jobs which =
     setup_jobs jobs;
-    with_obs obs @@ fun () ->
+    with_obs ~command:"tables" obs @@ fun () ->
     let ppf = Fmt.stdout in
     (match which with
      | "1" -> Core.Tables.T1.pp ppf (Core.Tables.T1.compute ())
@@ -969,11 +1119,146 @@ let tables_cmd =
        ~doc:"Regenerate the paper's tables (SATPG_BUDGET scales ATPG effort)")
     Term.(const run $ logging $ obs_args $ jobs_arg $ table_arg)
 
+(* --- diff ------------------------------------------------------------------- *)
+
+let diff_cmd =
+  let pos_a =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"A"
+             ~doc:
+               "First run: a provenance manifest, an --events JSONL file, a \
+                bench JSON file, or a --trace Chrome trace (classified by \
+                content).  With $(b,--history), the history file instead \
+                (default results/BENCH_history.jsonl).")
+  in
+  let pos_b =
+    Arg.(value & pos 1 (some string) None
+         & info [] ~docv:"B" ~doc:"Second run, compared against the first.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as one JSON object.")
+  in
+  let top_arg =
+    Arg.(value & opt int 20
+         & info [ "k"; "top" ] ~docv:"K"
+             ~doc:"Rows in the span and attribution tables (text report).")
+  in
+  let max_regress_arg =
+    Arg.(value & opt (some float) None
+         & info [ "max-regress" ] ~docv:"PCT"
+             ~doc:
+               "Exit 1 when B's total work units exceed A's by strictly \
+                more than $(docv) percent (0 fails on any regression; \
+                improvements always pass).")
+  in
+  let folded_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"PREFIX"
+             ~doc:
+               "For each input that is a Chrome trace, also write a folded-\
+                stack (flamegraph.pl / speedscope) file \
+                $(docv).a.folded / $(docv).b.folded.")
+  in
+  let history_flag =
+    Arg.(value & flag
+         & info [ "history" ]
+             ~doc:
+               "Walk an append-only bench history (see bench --help and \
+                results/README.md) instead of diffing two runs: per-series \
+                work-unit trajectories and last deltas.")
+  in
+  let read_file file =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | text -> Ok text
+    | exception Sys_error e -> Error e
+  in
+  let fail_usage msg =
+    Fmt.epr "satpg diff: %s@." msg;
+    exit 2
+  in
+  let run () json top max_regress folded history a b =
+    if history then begin
+      let file = Option.value ~default:"results/BENCH_history.jsonl" a in
+      (match b with
+       | Some _ -> fail_usage "--history takes at most one file"
+       | None -> ());
+      match read_file file with
+      | Error e -> fail_usage e
+      | Ok text ->
+        let series, bad =
+          Obs.Diff.history_of_lines (String.split_on_char '\n' text)
+        in
+        if json then
+          print_endline (Obs.Json.to_string (Obs.Diff.history_json series))
+        else Fmt.pr "%a" Obs.Diff.pp_history (series, bad)
+    end
+    else begin
+      let fa, fb =
+        match a, b with
+        | Some fa, Some fb -> (fa, fb)
+        | _ -> fail_usage "two runs required (or --history)"
+      in
+      let load label file =
+        match read_file file with
+        | Error e -> fail_usage e
+        | Ok text ->
+          (match Obs.Diff.classify_input text with
+           | Error e -> fail_usage (file ^ ": " ^ e)
+           | Ok input -> (input, Obs.Diff.side_of_input ~label input))
+      in
+      let ia, sa = load fa fa in
+      let ib, sb = load fb fb in
+      let d = Obs.Diff.compute sa sb in
+      (match folded with
+       | None -> ()
+       | Some prefix ->
+         let dump tag = function
+           | Obs.Diff.Chrome doc ->
+             let file = prefix ^ "." ^ tag ^ ".folded" in
+             Obs.Fold.write (Obs.Fold.of_chrome doc) file;
+             Fmt.epr "wrote %s@." file
+           | input ->
+             Fmt.epr "note: %s input is a %s, not a Chrome trace; no \
+                      folded file@."
+               tag
+               (Obs.Diff.input_kind_name input)
+         in
+         dump "a" ia;
+         dump "b" ib);
+      if json then print_endline (Obs.Json.to_string (Obs.Diff.to_json d))
+      else Fmt.pr "%a" (Obs.Diff.pp_text ~top) d;
+      (match d.Obs.Diff.reconciled with
+       | Some false ->
+         Fmt.epr
+           "satpg diff: per-row deltas do not reconcile against the total \
+            (truncated or edited event stream?)@.";
+         exit 2
+       | _ -> ());
+      match max_regress with
+      | Some pct when Obs.Diff.breach ~max_regress_pct:pct d ->
+        Fmt.epr "satpg diff: total work units regressed by more than %g%%@."
+          pct;
+        exit 1
+      | _ -> ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two instrumented runs — manifests, event JSONL streams, \
+          bench JSON files or Chrome traces — at three granularities: run \
+          totals, per-span work, and exact per-fault attribution of the \
+          delta (new/vanished/status-changed faults called out); or walk a \
+          bench history with --history")
+    Term.(const run $ logging $ json_flag $ top_arg $ max_regress_arg
+          $ folded_arg $ history_flag $ pos_a $ pos_b)
+
 let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
   Cmd.group (Cmd.info "satpg" ~doc)
     [ synth_cmd; retime_cmd; atpg_cmd; classify_cmd; profile_cmd; lint_cmd;
       analyze_cmd; reach_cmd; cache_cmd; kiss_cmd; export_cmd; scan_cmd;
-      compare_cmd; tables_cmd ]
+      compare_cmd; tables_cmd; diff_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -52,10 +52,7 @@ let num_records s = s.n
 let to_lines s = List.rev_map Json.to_string s.records
 
 let write s file =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  Fileio.write_atomic file (fun oc ->
       List.iter
         (fun line ->
           output_string oc line;

@@ -1,0 +1,49 @@
+(* Durable file output shared by every artifact writer in the tree.
+
+   [write_atomic] is the Store.Disk discipline without the store: the
+   content goes to a unique temp file in the destination directory and is
+   renamed over the target, so a crash mid-write can leave a stray temp
+   file but never a truncated JSON/JSONL artifact, and a concurrent
+   reader sees either the old bytes or the new ones.  [append_line] is
+   for append-only ledgers (the bench history): the line is built in full
+   and handed to the OS in one write on an O_APPEND descriptor, so
+   concurrent appenders interleave at line granularity, not byte
+   granularity. *)
+
+let mkdir_p d =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go d
+
+let write_atomic file f =
+  mkdir_p (Filename.dirname file);
+  let tmp, oc =
+    Filename.open_temp_file ~mode:[ Open_binary ] ~perms:0o644
+      ~temp_dir:(Filename.dirname file)
+      (Filename.basename file ^ ".") ".tmp"
+  in
+  (match f oc with
+   | () -> ()
+   | exception e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp file
+
+let write_string_atomic file s =
+  write_atomic file (fun oc -> output_string oc s)
+
+let append_line file line =
+  mkdir_p (Filename.dirname file);
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      file
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (line ^ "\n"))

@@ -1,0 +1,24 @@
+(** Durable file output shared by every artifact writer.
+
+    {!write_atomic} writes through a unique temp file in the target's
+    directory and renames it into place — a crash mid-write can never
+    leave a truncated artifact, and a concurrent reader sees either the
+    old content or the new, never a torn write.  {!append_line} appends
+    one full line in a single write on an [O_APPEND] descriptor, the
+    discipline for append-only ledgers like the bench history. *)
+
+(** Create [dir] and any missing parents; existing directories are fine. *)
+val mkdir_p : string -> unit
+
+(** [write_atomic file f] runs [f] on a temp [out_channel] in [file]'s
+    directory (created if missing), then renames the temp file over
+    [file].  On exception from [f] the temp file is removed and the
+    exception re-raised; [file] is untouched. *)
+val write_atomic : string -> (out_channel -> unit) -> unit
+
+(** [write_atomic] with a ready-made string. *)
+val write_string_atomic : string -> string -> unit
+
+(** Append [line ^ "\n"] to [file] (created, with parents, if missing)
+    in one write on an append-mode descriptor. *)
+val append_line : string -> string -> unit

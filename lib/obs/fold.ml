@@ -1,0 +1,71 @@
+(* Folded-stack export from Chrome trace events: the input format of
+   flamegraph.pl / speedscope / inferno ("stack;frames self-weight", one
+   line per unique stack).
+
+   The walk replays the trace's B/E events in file order, maintaining the
+   open-span stack.  Each balanced span contributes its *self* time — its
+   work-unit duration minus the durations of its direct children — to the
+   line named by the full stack path, so the folded file's weights sum to
+   exactly the root spans' total duration and a flamegraph renders without
+   double counting.  Instants and unbalanced spans are ignored, matching
+   [Trace.durations].
+
+   Output order is deterministic (sorted by stack path), so the export of
+   a deterministic trace is byte-stable — the 1-vs-N bit-identity tests
+   diff it directly. *)
+
+type frame = { name : string; ts0 : int; mutable child : int }
+
+let add tbl path self =
+  match Hashtbl.find_opt tbl path with
+  | Some r -> r := !r + self
+  | None -> Hashtbl.replace tbl path (ref self)
+
+(* One trace event, pre-picked from the Chrome JSON. *)
+let pick j =
+  match Json.member "ph" j, Json.member "name" j, Json.member "ts" j with
+  | Some (Json.String ph), Some (Json.String name), Some (Json.Int ts) ->
+    Some (ph, name, ts)
+  | _ -> None
+
+let of_events events =
+  let tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let stack : frame list ref = ref [] in
+  List.iter
+    (fun e ->
+      match pick e with
+      | Some ("B", name, ts) -> stack := { name; ts0 = ts; child = 0 } :: !stack
+      | Some ("E", name, ts) ->
+        (match !stack with
+         | top :: rest when String.equal top.name name ->
+           stack := rest;
+           let total = ts - top.ts0 in
+           let path =
+             String.concat ";"
+               (List.rev_map (fun f -> f.name) (top :: rest))
+           in
+           add tbl path (total - top.child);
+           (match rest with
+            | parent :: _ -> parent.child <- parent.child + total
+            | [] -> ())
+         | _ -> ())
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun path r acc -> (path, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let of_chrome doc =
+  match Json.member "traceEvents" doc with
+  | Some (Json.List events) -> of_events events
+  | _ -> invalid_arg "Fold.of_chrome: no traceEvents array"
+
+let to_lines folded =
+  List.map (fun (path, self) -> Printf.sprintf "%s %d" path self) folded
+
+let write folded file =
+  Fileio.write_atomic file (fun oc ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (to_lines folded))

@@ -1,0 +1,22 @@
+(** Folded-stack (flamegraph) export from Chrome trace events.
+
+    Each balanced span contributes its self time — duration minus direct
+    children — to the line named by its full stack path
+    (["a;b;c self-weight"]), so weights sum to the root spans' total and
+    flamegraph.pl / speedscope render the file directly.  Output is
+    sorted by stack path: the export of a deterministic trace is
+    byte-stable. *)
+
+(** Fold a Chrome [traceEvents] list (the parsed JSON records). *)
+val of_events : Json.t list -> (string * int) list
+
+(** Fold a whole Chrome trace document ({!Trace.to_chrome} output or a
+    parsed trace file).
+    @raise Invalid_argument when the document has no [traceEvents]. *)
+val of_chrome : Json.t -> (string * int) list
+
+(** One ["stack;path self-weight"] line per entry, input order. *)
+val to_lines : (string * int) list -> string list
+
+(** Write {!to_lines} to [file] atomically. *)
+val write : (string * int) list -> string -> unit

@@ -1,0 +1,169 @@
+(* Run-provenance manifests: the ledger half of the run-comparison layer.
+
+   A manifest is a small, deterministic description of one instrumented
+   run — which computation (tool/command/circuit), under which
+   configuration (structural circuit hash, config fingerprint, engine,
+   job count, budget scale), and what it measured (total work units, the
+   metrics snapshot, per-span work totals, and a digest of the per-fault
+   event stream).  Its [id] is a 64-bit FNV-1a digest of the canonical
+   JSON encoding of everything else, so the manifest is content-addressed
+   by construction: two runs of the same computation under the same
+   configuration produce byte-identical manifests with equal ids, and any
+   difference in what was run or what it measured yields a fresh id.
+
+   Nothing host- or time-dependent enters a manifest — no wall-clock
+   fields, no hostnames, no paths — which is what makes `satpg diff` able
+   to treat "identical manifests" as "identical runs".  Wall-clock data
+   lives in the artifacts the manifest points at (trace files, bench
+   records), never in the manifest itself. *)
+
+type t = {
+  tool : string;            (* "satpg" | "bench" *)
+  command : string;         (* subcommand / bench mode *)
+  circuit : string;         (* display name(s), "" when not circuit-scoped *)
+  circuit_hash : string;    (* canonical structural hash(es), "" if none *)
+  config_fp : string;       (* configuration fingerprint, "" if none *)
+  engine : string;          (* ATPG engine, "" if not engine-scoped *)
+  jobs : int;               (* resolved domain count *)
+  budget : string;          (* raw SATPG_BUDGET value, "" if unset *)
+  work_units : int;         (* run total, the headline comparison number *)
+  metrics : Json.t;         (* Metrics.snapshot at manifest time *)
+  spans : (string * int * int) list; (* span name, count, total work units *)
+  num_events : int;
+  events_digest : string;   (* FNV-1a hex over the event JSONL lines *)
+  id : string;              (* FNV-1a hex over the canonical body JSON *)
+}
+
+let version = 1
+
+(* Local FNV-1a 64 (this library depends on nothing, so it cannot borrow
+   Netlist.Structhash; the constants are the standard ones). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_string init s =
+  String.fold_left
+    (fun h c ->
+      Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) fnv_prime)
+    init s
+
+let digest_string s = Printf.sprintf "%016Lx" (fnv_string fnv_offset s)
+
+(* Each line contributes its bytes plus the newline, so the digest equals
+   a digest of the JSONL file content and concatenation cannot alias
+   (["ab"; "c"] vs ["a"; "bc"]). *)
+let digest_lines lines =
+  Printf.sprintf "%016Lx"
+    (List.fold_left (fun h line -> fnv_string (fnv_string h line) "\n")
+       fnv_offset lines)
+
+let span_json (name, count, total) =
+  Json.List [ Json.String name; Json.Int count; Json.Int total ]
+
+(* Canonical body encoding, the id's preimage: fixed field order, and the
+   deterministic sub-encodings the sinks already guarantee (metrics
+   snapshots are name-sorted, span tables are total-sorted). *)
+let body_json m =
+  Json.Obj
+    [
+      ("satpg_manifest", Json.Int version);
+      ("tool", Json.String m.tool);
+      ("command", Json.String m.command);
+      ("circuit", Json.String m.circuit);
+      ("circuit_hash", Json.String m.circuit_hash);
+      ("config_fp", Json.String m.config_fp);
+      ("engine", Json.String m.engine);
+      ("jobs", Json.Int m.jobs);
+      ("budget", Json.String m.budget);
+      ("work_units", Json.Int m.work_units);
+      ("num_events", Json.Int m.num_events);
+      ("events_digest", Json.String m.events_digest);
+      ("spans", Json.List (List.map span_json m.spans));
+      ("metrics", m.metrics);
+    ]
+
+let make ~tool ~command ?(circuit = "") ?(circuit_hash = "")
+    ?(config_fp = "") ?(engine = "") ~jobs ~budget ~work_units ~metrics
+    ~spans ~event_lines () =
+  let m =
+    {
+      tool;
+      command;
+      circuit;
+      circuit_hash;
+      config_fp;
+      engine;
+      jobs;
+      budget;
+      work_units;
+      metrics;
+      spans;
+      num_events = List.length event_lines;
+      events_digest = digest_lines event_lines;
+      id = "";
+    }
+  in
+  { m with id = digest_string (Json.to_string (body_json m)) }
+
+let id m = m.id
+let work_units m = m.work_units
+let config_fp m = m.config_fp
+let circuit_hash m = m.circuit_hash
+let spans m = m.spans
+
+let to_json m =
+  match body_json m with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("id", Json.String m.id) ])
+  | _ -> assert false
+
+exception Corrupt
+
+let field name j = match Json.member name j with Some v -> v | None -> raise Corrupt
+let as_int = function Json.Int i -> i | _ -> raise Corrupt
+let as_string = function Json.String s -> s | _ -> raise Corrupt
+
+let of_json j =
+  match
+    (match field "satpg_manifest" j with
+     | Json.Int v when v = version -> ()
+     | _ -> raise Corrupt);
+    let spans =
+      match field "spans" j with
+      | Json.List l ->
+        List.map
+          (function
+            | Json.List [ Json.String name; Json.Int count; Json.Int total ] ->
+              (name, count, total)
+            | _ -> raise Corrupt)
+          l
+      | _ -> raise Corrupt
+    in
+    let m =
+      {
+        tool = as_string (field "tool" j);
+        command = as_string (field "command" j);
+        circuit = as_string (field "circuit" j);
+        circuit_hash = as_string (field "circuit_hash" j);
+        config_fp = as_string (field "config_fp" j);
+        engine = as_string (field "engine" j);
+        jobs = as_int (field "jobs" j);
+        budget = as_string (field "budget" j);
+        work_units = as_int (field "work_units" j);
+        metrics = field "metrics" j;
+        spans;
+        num_events = as_int (field "num_events" j);
+        events_digest = as_string (field "events_digest" j);
+        id = "";
+      }
+    in
+    (* the id must recompute from the body: a record whose id does not
+       match its content is corrupt, same as a store key mismatch *)
+    let id = digest_string (Json.to_string (body_json m)) in
+    if as_string (field "id" j) <> id then raise Corrupt;
+    { m with id }
+  with
+  | m -> Some m
+  | exception Corrupt -> None
+
+let to_string m = Json.to_string (to_json m) ^ "\n"
+let write m file = Fileio.write_string_atomic file (to_string m)

@@ -1,0 +1,65 @@
+(** Run-provenance manifests (the "run ledger").
+
+    A manifest names one instrumented run: the computation (tool,
+    command, circuit + canonical structural hash), the configuration that
+    shaped it (config fingerprint, engine, job count, raw [SATPG_BUDGET]
+    value), and what it measured (total work units, the metrics snapshot,
+    per-span work totals, and a digest of the per-fault event stream).
+    The {!id} is an FNV-1a digest of the canonical JSON encoding of the
+    body, so manifests are content-addressed: the same run reproduces a
+    byte-identical manifest with an equal id, and nothing host- or
+    time-dependent (wall clock, hostname, paths) is recorded. *)
+
+type t
+
+(** Encoding version, stored as the ["satpg_manifest"] header field. *)
+val version : int
+
+(** Build a manifest and compute its {!id}.  [spans] is
+    [Trace.durations] output (deterministically sorted);
+    [event_lines] the event sink's {!Events.to_lines} (its digest and
+    count are stored, not the lines); [budget] the raw [SATPG_BUDGET]
+    string ([""] when unset). *)
+val make :
+  tool:string ->
+  command:string ->
+  ?circuit:string ->
+  ?circuit_hash:string ->
+  ?config_fp:string ->
+  ?engine:string ->
+  jobs:int ->
+  budget:string ->
+  work_units:int ->
+  metrics:Json.t ->
+  spans:(string * int * int) list ->
+  event_lines:string list ->
+  unit ->
+  t
+
+val id : t -> string
+val work_units : t -> int
+val config_fp : t -> string
+val circuit_hash : t -> string
+val spans : t -> (string * int * int) list
+
+(** Total, deterministic encoding: fixed field order, the {!id} last. *)
+val to_json : t -> Json.t
+
+(** Corruption-tolerant decode: [None] on any shape mismatch, version
+    mismatch, or an [id] that does not recompute from the body. *)
+val of_json : Json.t -> t option
+
+(** {!to_json} rendered compactly plus a trailing newline — the exact
+    bytes {!write} persists. *)
+val to_string : t -> string
+
+(** Write {!to_string} to [file] atomically (temp file + rename). *)
+val write : t -> string -> unit
+
+(** FNV-1a 64 hex digest of a string (exposed for event-stream digests
+    and tests). *)
+val digest_string : string -> string
+
+(** Digest of JSONL lines, equal to {!digest_string} of the file content
+    (each line contributes its bytes plus the newline). *)
+val digest_lines : string list -> string

@@ -199,9 +199,4 @@ let apply_delta (d : Capture.t) =
     d
 
 let write ?registry file =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string (snapshot ?registry ()));
-      output_char oc '\n')
+  Fileio.write_string_atomic file (Json.to_string (snapshot ?registry ()) ^ "\n")

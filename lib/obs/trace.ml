@@ -158,9 +158,4 @@ let to_chrome s =
     ]
 
 let write s file =
-  let oc = open_out file in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string (to_chrome s));
-      output_char oc '\n')
+  Fileio.write_string_atomic file (Json.to_string (to_chrome s) ^ "\n")

@@ -335,3 +335,13 @@ let structural_result_of_json =
         num_cycles = int_field "num_cycles" j;
         exact = as_bool (obj_field "exact" j);
       })
+
+(* --------------------------------------------------------------- manifest - *)
+
+(* Manifests already define a total, content-addressed JSON encoding in
+   Obs.Ledger (the id doubles as the store key); the codec just
+   delegates, so a store record, a --manifest file, and the in-memory
+   value are all the same bytes. *)
+
+let manifest_to_json = Obs.Ledger.to_json
+let manifest_of_json = Obs.Ledger.of_json

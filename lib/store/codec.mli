@@ -21,3 +21,10 @@ val symreach_summary_of_json : Obs.Json.t -> Analysis.Symreach.summary option
 
 val structural_result_to_json : Analysis.Structural.result -> Obs.Json.t
 val structural_result_of_json : Obs.Json.t -> Analysis.Structural.result option
+
+(** Provenance manifests delegate to {!Obs.Ledger}: the store record, a
+    [--manifest] file and the in-memory value share one encoding, and the
+    decoder re-verifies the content-addressed id. *)
+val manifest_to_json : Obs.Ledger.t -> Obs.Json.t
+
+val manifest_of_json : Obs.Json.t -> Obs.Ledger.t option

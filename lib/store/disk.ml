@@ -29,7 +29,7 @@ let dir () =
 
 let enabled () = dir () <> None
 
-type kind = Atpg | Classify | Reach | Symreach | Structural
+type kind = Atpg | Classify | Reach | Symreach | Structural | Manifest
 
 let kind_name = function
   | Atpg -> "atpg"
@@ -37,8 +37,9 @@ let kind_name = function
   | Reach -> "reach"
   | Symreach -> "symreach"
   | Structural -> "structural"
+  | Manifest -> "manifest"
 
-let all_kinds = [ Atpg; Classify; Reach; Symreach; Structural ]
+let all_kinds = [ Atpg; Classify; Reach; Symreach; Structural; Manifest ]
 
 let version = 1
 
@@ -209,6 +210,7 @@ let verify_entry e =
          | Reach -> Codec.reach_result_of_json payload <> None
          | Symreach -> Codec.symreach_summary_of_json payload <> None
          | Structural -> Codec.structural_result_of_json payload <> None
+         | Manifest -> Codec.manifest_of_json payload <> None
        in
        if ok then Ok () else Error "payload does not decode")
 

@@ -15,7 +15,7 @@ val dir : unit -> string option
 
 val enabled : unit -> bool
 
-type kind = Atpg | Classify | Reach | Symreach | Structural
+type kind = Atpg | Classify | Reach | Symreach | Structural | Manifest
 
 val kind_name : kind -> string
 val all_kinds : kind list

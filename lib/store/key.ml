@@ -49,20 +49,22 @@ let atpg ~engine ~config ?classify ~circuit_hash () =
   | None -> base
   | Some cfp -> Printf.sprintf "%s-pruned-%s" base cfp
 
+let reach_fingerprint ~max_states =
+  Netlist.Structhash.(to_hex (int empty max_states))
+
 let reach ~max_states ~circuit_hash =
-  let fp = Netlist.Structhash.(to_hex (int empty max_states)) in
-  Printf.sprintf "%s-%s" circuit_hash fp
+  Printf.sprintf "%s-%s" circuit_hash (reach_fingerprint ~max_states)
 
 (* Bump when the BDD variable-ordering scheme changes: counts are
    order-independent but the persisted bdd_nodes field is not. *)
 let symreach_ordering_version = 2
 
+let symreach_fingerprint ~max_nodes =
+  Netlist.Structhash.(
+    to_hex (int (int empty max_nodes) symreach_ordering_version))
+
 let symreach ~max_nodes ~circuit_hash =
-  let fp =
-    Netlist.Structhash.(
-      to_hex (int (int empty max_nodes) symreach_ordering_version))
-  in
-  Printf.sprintf "%s-%s" circuit_hash fp
+  Printf.sprintf "%s-%s" circuit_hash (symreach_fingerprint ~max_nodes)
 
 let structural ~depth_budget ~cycle_budget ~circuit_hash =
   let fp =

@@ -25,8 +25,17 @@ val atpg :
   engine:string -> config:Atpg.Types.config -> ?classify:string ->
   circuit_hash:string -> unit -> string
 
+(** Stable fingerprint of an explicit-reachability configuration (the
+    [max_states] budget) — the suffix of {!reach} keys, exposed for run
+    manifests. *)
+val reach_fingerprint : max_states:int -> string
+
 (** [<circuit hash>-<fingerprint of max_states>]. *)
 val reach : max_states:int -> circuit_hash:string -> string
+
+(** Stable fingerprint of a symbolic-reachability configuration (BDD
+    node budget joined with the variable-ordering version). *)
+val symreach_fingerprint : max_nodes:int -> string
 
 (** [<circuit hash>-<fingerprint of the BDD node budget>]. *)
 val symreach : max_nodes:int -> circuit_hash:string -> string

@@ -1,0 +1,204 @@
+(* Differential-comparison tests: input sniffing, the self-diff identity,
+   exact per-fault reconciliation of a real dk16 original-vs-retimed run
+   pair, bench-array attribution, the regression-breach threshold, and
+   bench-history grouping.  Reuses Test_obs's sinks/config/pair so the
+   dk16 synthesis is built once per test binary. *)
+
+module J = Obs.Json
+module D = Obs.Diff
+
+let run_events circuit =
+  Test_obs.with_sinks @@ fun _ esink ->
+  let r =
+    Atpg.Run.generate ~config:Test_obs.small_config circuit
+  in
+  (r, List.map J.parse (Obs.Events.to_lines esink))
+
+(* --- input classification ----------------------------------------------------- *)
+
+let test_classify () =
+  let kind s =
+    match D.classify_input s with
+    | Ok i -> D.input_kind_name i
+    | Error e -> "error: " ^ e
+  in
+  let manifest =
+    Obs.Ledger.make ~tool:"satpg" ~command:"atpg" ~jobs:1 ~budget:""
+      ~work_units:7 ~metrics:J.Null ~spans:[] ~event_lines:[] ()
+  in
+  Alcotest.(check string)
+    "manifest" "manifest"
+    (kind (Obs.Ledger.to_string manifest));
+  Alcotest.(check string)
+    "chrome trace" "chrome-trace"
+    (kind {|{"traceEvents":[],"displayTimeUnit":"ms"}|});
+  Alcotest.(check string) "bench array" "bench" (kind {|[{"engine":"hitec"}]|});
+  Alcotest.(check string)
+    "event jsonl" "events"
+    (kind "{\"ev\":\"fault\"}\n{\"ev\":\"fault_sim\"}\n");
+  (* a manifest whose id does not recompute must not classify *)
+  Alcotest.(check bool)
+    "corrupt manifest rejected" true
+    (match D.classify_input {|{"satpg_manifest":1,"id":"beef"}|} with
+     | Error _ -> true
+     | Ok _ -> false);
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (match D.classify_input "not json at all" with
+     | Error _ -> true
+     | Ok _ -> false)
+
+(* --- self-diff ---------------------------------------------------------------- *)
+
+let test_self_diff_empty () =
+  let p = Lazy.force Test_obs.dk16_pair in
+  let _, events = run_events p.Core.Flow.original in
+  let side = D.side_of_events ~label:"run" events in
+  let d = D.compute side side in
+  Alcotest.(check bool) "self-diff is empty" true (D.is_empty d);
+  Alcotest.(check (option int)) "zero delta" (Some 0) d.D.total_delta;
+  Alcotest.(check (option bool)) "reconciled" (Some true) d.D.reconciled;
+  Alcotest.(check bool)
+    "zero tolerance does not breach" false
+    (D.breach ~max_regress_pct:0.0 d)
+
+(* --- exact reconciliation on the dk16 pair ------------------------------------ *)
+
+let test_pair_reconciles () =
+  let p = Lazy.force Test_obs.dk16_pair in
+  let ro, eo = run_events p.Core.Flow.original in
+  let rr, er = run_events p.Core.Flow.retimed in
+  let d =
+    D.compute
+      (D.side_of_events ~label:"original" eo)
+      (D.side_of_events ~label:"retimed" er)
+  in
+  let expected =
+    Atpg.Types.work_units rr.Atpg.Types.stats
+    - Atpg.Types.work_units ro.Atpg.Types.stats
+  in
+  Alcotest.(check (option int)) "total delta" (Some expected) d.D.total_delta;
+  Alcotest.(check (option int))
+    "per-fault rows attribute the delta exactly" (Some expected)
+    d.D.attributed_delta;
+  Alcotest.(check (option bool)) "reconciled" (Some true) d.D.reconciled;
+  (* retiming changes the fault universe, so the pair diff must surface
+     structural churn, not just magnitudes *)
+  Alcotest.(check bool)
+    "has rows" true
+    (d.D.rows <> []);
+  Alcotest.(check bool)
+    "detects new faults" true
+    (d.D.new_keys <> []);
+  (* rows are sorted by |delta| descending *)
+  let rec sorted = function
+    | a :: (b :: _ as tl) ->
+      abs a.D.delta >= abs b.D.delta && sorted tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "rows sorted by |delta|" true (sorted d.D.rows);
+  (* the JSON report carries the same reconciliation verdict *)
+  let j = D.to_json d in
+  Alcotest.(check (option bool))
+    "json reconciled" (Some true)
+    (Option.bind (J.member "reconciled" j) (function
+      | J.Bool b -> Some b
+      | _ -> None))
+
+(* --- bench arrays ------------------------------------------------------------- *)
+
+let bench_record engine benchmark units =
+  J.Obj
+    [
+      ("engine", J.String engine);
+      ("benchmark", J.String benchmark);
+      ("work_units", J.Int units);
+    ]
+
+let test_bench_diff () =
+  let a =
+    [ bench_record "hitec" "dk16.o" 100; bench_record "hitec" "dk16.r" 200 ]
+  in
+  let b =
+    [ bench_record "hitec" "dk16.o" 150; bench_record "sest" "dk16.o" 40 ]
+  in
+  let d =
+    D.compute (D.side_of_bench ~label:"a" a) (D.side_of_bench ~label:"b" b)
+  in
+  Alcotest.(check (option int)) "total delta" (Some (-110)) d.D.total_delta;
+  Alcotest.(check (option bool)) "bench rows are exact" (Some true) d.D.reconciled;
+  Alcotest.(check (list string))
+    "new cell" [ "sest/dk16.o" ] d.D.new_keys;
+  Alcotest.(check (list string))
+    "vanished cell" [ "hitec/dk16.r" ] d.D.vanished_keys;
+  let cell key =
+    match List.find_opt (fun r -> r.D.key = key) d.D.rows with
+    | Some r -> r.D.delta
+    | None -> Alcotest.fail ("missing row " ^ key)
+  in
+  Alcotest.(check int) "changed cell delta" 50 (cell "hitec/dk16.o")
+
+let test_breach_threshold () =
+  let diff a b =
+    D.compute
+      (D.side_of_bench ~label:"a" [ bench_record "hitec" "x" a ])
+      (D.side_of_bench ~label:"b" [ bench_record "hitec" "x" b ])
+  in
+  (* exactly at the threshold: not a breach (strictly greater) *)
+  Alcotest.(check bool)
+    "at threshold passes" false
+    (D.breach ~max_regress_pct:10.0 (diff 100 110));
+  Alcotest.(check bool)
+    "past threshold breaches" true
+    (D.breach ~max_regress_pct:10.0 (diff 100 111));
+  Alcotest.(check bool)
+    "improvement never breaches" false
+    (D.breach ~max_regress_pct:0.0 (diff 100 50))
+
+(* --- bench history ------------------------------------------------------------ *)
+
+let history_line suite engine benchmark units ts =
+  J.to_string
+    (J.Obj
+       [
+         ("suite", J.String suite);
+         ("engine", J.String engine);
+         ("benchmark", J.String benchmark);
+         ("work_units", J.Int units);
+         ("manifest", J.String "deadbeef");
+         ("ts", J.Int ts);
+       ])
+
+let test_history_grouping () =
+  let lines =
+    [
+      history_line "atpg" "hitec" "dk16.o" 100 1;
+      history_line "atpg" "sest" "dk16.o" 70 1;
+      "not json";
+      history_line "atpg" "hitec" "dk16.o" 90 2;
+    ]
+  in
+  let series, malformed = D.history_of_lines lines in
+  Alcotest.(check int) "malformed lines counted" 1 malformed;
+  Alcotest.(check (list string))
+    "series in first-appearance order"
+    [ "atpg/hitec/dk16.o"; "atpg/sest/dk16.o" ]
+    (List.map fst series);
+  let points =
+    List.map (fun (p : D.history_point) -> (p.D.units, p.D.ts))
+    @@ List.assoc "atpg/hitec/dk16.o" series
+  in
+  Alcotest.(check (list (pair int int)))
+    "points in append order" [ (100, 1); (90, 2) ] points
+
+let suite =
+  [
+    Alcotest.test_case "input classification" `Quick test_classify;
+    Alcotest.test_case "self-diff is empty" `Quick test_self_diff_empty;
+    Alcotest.test_case "dk16 pair reconciles exactly" `Quick
+      test_pair_reconciles;
+    Alcotest.test_case "bench-array attribution" `Quick test_bench_diff;
+    Alcotest.test_case "breach threshold semantics" `Quick
+      test_breach_threshold;
+    Alcotest.test_case "history grouping" `Quick test_history_grouping;
+  ]

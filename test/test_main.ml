@@ -16,6 +16,7 @@ let () =
       ("store", Test_store.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("diff", Test_diff.suite);
       ("exec", Test_exec.suite);
       ("dft", Test_dft.suite);
     ]

@@ -297,6 +297,220 @@ let test_instrumentation_is_inert () =
     "coverage identical" bare.Atpg.Types.fault_coverage
     traced.Atpg.Types.fault_coverage
 
+(* --- ledger ------------------------------------------------------------------ *)
+
+let sample_manifest ?(work_units = 12345) () =
+  Obs.Ledger.make ~tool:"satpg" ~command:"atpg" ~circuit:"dk16.ji.sd"
+    ~circuit_hash:"28aa055c2c44e829" ~config_fp:"ff99b63c788b4c2e"
+    ~engine:"hitec" ~jobs:2 ~budget:"0.05" ~work_units
+    ~metrics:(J.Obj [ ("counters", J.Obj [ ("x", J.Int 1) ]) ])
+    ~spans:[ ("atpg.fault", 44, 9000); ("atpg.random_phase", 1, 345) ]
+    ~event_lines:[ {|{"ev":"fault"}|}; {|{"ev":"fault_sim"}|} ]
+    ()
+
+let test_ledger_roundtrip () =
+  let m = sample_manifest () in
+  (* content-addressed: an identical run reproduces identical bytes *)
+  Alcotest.(check string)
+    "byte-identical re-make"
+    (Obs.Ledger.to_string m)
+    (Obs.Ledger.to_string (sample_manifest ()));
+  (* any measured difference changes the id *)
+  Alcotest.(check bool)
+    "different run, different id" false
+    (String.equal (Obs.Ledger.id m)
+       (Obs.Ledger.id (sample_manifest ~work_units:12346 ())));
+  match Obs.Ledger.of_json (J.parse (J.to_string (Obs.Ledger.to_json m))) with
+  | Some m' ->
+    Alcotest.(check string)
+      "round-trip preserves the encoding"
+      (Obs.Ledger.to_string m) (Obs.Ledger.to_string m');
+    Alcotest.(check int)
+      "round-trip preserves totals" (Obs.Ledger.work_units m)
+      (Obs.Ledger.work_units m')
+  | None -> Alcotest.fail "manifest does not decode"
+
+let test_ledger_rejects_corruption () =
+  let m = sample_manifest () in
+  let decode j = Obs.Ledger.of_json j in
+  (* a tampered body no longer matches the stored id *)
+  let tampered =
+    match Obs.Ledger.to_json m with
+    | J.Obj fields ->
+      J.Obj
+        (List.map
+           (function
+             | "work_units", J.Int _ -> ("work_units", J.Int 1)
+             | f -> f)
+           fields)
+    | _ -> Alcotest.fail "manifest is not an object"
+  in
+  Alcotest.(check bool) "tampered body rejected" true (decode tampered = None);
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (decode (J.Obj [ ("satpg_manifest", J.Int 1) ]) = None);
+  Alcotest.(check bool)
+    "wrong version rejected" true
+    (decode
+       (match Obs.Ledger.to_json m with
+        | J.Obj fields ->
+          J.Obj
+            (List.map
+               (function
+                 | "satpg_manifest", _ -> ("satpg_manifest", J.Int 999)
+                 | f -> f)
+               fields)
+        | _ -> J.Null)
+    = None)
+
+let test_ledger_digest () =
+  (* line boundaries must not alias *)
+  Alcotest.(check bool)
+    "concatenation cannot alias" false
+    (String.equal
+       (Obs.Ledger.digest_lines [ "ab"; "c" ])
+       (Obs.Ledger.digest_lines [ "a"; "bc" ]));
+  Alcotest.(check string)
+    "digest of lines = digest of file content"
+    (Obs.Ledger.digest_string "x\ny\n")
+    (Obs.Ledger.digest_lines [ "x"; "y" ])
+
+(* --- folded-stack export ------------------------------------------------------ *)
+
+let chrome ph name ts =
+  J.Obj [ ("ph", J.String ph); ("name", J.String name); ("ts", J.Int ts) ]
+
+let test_fold_self_times () =
+  (* a[0,50] contains b[10,30]: a's self time excludes b's 20 units *)
+  let folded =
+    Obs.Fold.of_events
+      [
+        chrome "B" "a" 0;
+        chrome "B" "b" 10;
+        chrome "E" "b" 30;
+        chrome "i" "mark" 35;
+        chrome "E" "a" 50;
+        chrome "E" "unbalanced" 60;
+      ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "self times with instants/unbalanced ignored"
+    [ ("a", 30); ("a;b", 20) ]
+    folded;
+  Alcotest.(check (list string))
+    "folded lines" [ "a 30"; "a;b 20" ]
+    (Obs.Fold.to_lines folded)
+
+let test_fold_recursion () =
+  (* recursive spans accumulate per distinct stack path *)
+  let folded =
+    Obs.Fold.of_events
+      [
+        chrome "B" "f" 0;
+        chrome "B" "f" 5;
+        chrome "E" "f" 15;
+        chrome "E" "f" 30;
+        chrome "B" "f" 40;
+        chrome "E" "f" 45;
+      ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "recursion and repetition fold together"
+    [ ("f", 25); ("f;f", 10) ]
+    folded;
+  (* weights sum to the root spans' total duration *)
+  Alcotest.(check int)
+    "self times sum to total" 35
+    (List.fold_left (fun a (_, s) -> a + s) 0 folded)
+
+(* --- atomic file IO ----------------------------------------------------------- *)
+
+let test_fileio_atomic () =
+  let dir = Filename.temp_file "satpg_obs" "" in
+  Sys.remove dir;
+  let file = Filename.concat (Filename.concat dir "sub") "out.txt" in
+  Obs.Fileio.write_string_atomic file "first\n";
+  Alcotest.(check bool) "creates parent dirs" true (Sys.file_exists file);
+  Obs.Fileio.write_string_atomic file "second\n";
+  let read f = In_channel.with_open_bin f In_channel.input_all in
+  Alcotest.(check string) "overwrite replaces content" "second\n" (read file);
+  (* a writer that raises must leave the target untouched and no temp *)
+  (try
+     Obs.Fileio.write_atomic file (fun oc ->
+         output_string oc "torn";
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check string) "failed write leaves old content" "second\n"
+    (read file);
+  Alcotest.(check (list string))
+    "no temp files left" [ "out.txt" ]
+    (Array.to_list (Sys.readdir (Filename.dirname file)));
+  Obs.Fileio.append_line file "third";
+  Alcotest.(check string) "append appends" "second\nthird\n" (read file)
+
+(* --- spans and events under capture scopes ------------------------------------ *)
+
+(* Trace spans inside a capture scope are suppressed (parallel work
+   disappears from the trace rather than corrupting it) but must still
+   balance; event records captured in scopes and applied in submission
+   order must land in the sink in exactly that order. *)
+let test_capture_span_balance_and_ordering () =
+  with_sinks @@ fun tsink esink ->
+  Obs.Events.emit [ ("seq", J.Int 0) ];
+  let before = Obs.Trace.num_events tsink in
+  let (), d1 =
+    Obs.Capture.scope (fun () ->
+        Obs.Trace.span "captured.outer" (fun () ->
+            Obs.Trace.span "captured.inner" (fun () -> ());
+            (* nested scope: inner delta folds into the outer capture *)
+            let (), inner = Obs.Capture.scope (fun () ->
+                Obs.Events.emit [ ("seq", J.Int 2) ])
+            in
+            Obs.Commit.apply inner);
+        Obs.Events.emit [ ("seq", J.Int 1) ])
+  in
+  let (), d2 =
+    Obs.Capture.scope (fun () -> Obs.Events.emit [ ("seq", J.Int 3) ])
+  in
+  Alcotest.(check int)
+    "captured spans are suppressed" before
+    (Obs.Trace.num_events tsink);
+  Alcotest.(check int) "spans balance under capture" 0 (Obs.Trace.depth tsink);
+  (* apply in submission order; note seq 2 committed before seq 1 inside
+     the first scope, so emission order within the scope is 2, 1 *)
+  Obs.Commit.apply d1;
+  Obs.Commit.apply d2;
+  let seqs =
+    List.map
+      (fun r ->
+        match Option.bind (J.member "seq" r) J.to_int_opt with
+        | Some i -> i
+        | None -> Alcotest.fail "record lacks seq")
+      (Obs.Events.records esink)
+  in
+  Alcotest.(check (list int)) "deltas apply in order" [ 0; 2; 1; 3 ] seqs
+
+(* 1-vs-N folded-stack bit-identity: the trace (and therefore its folded
+   export) must not depend on the configured domain count. *)
+let test_folded_export_job_invariant () =
+  let p = Lazy.force dk16_pair in
+  let folded jobs =
+    let saved = Exec.Pool.jobs () in
+    Exec.Pool.set_jobs jobs;
+    Fun.protect
+      ~finally:(fun () -> Exec.Pool.set_jobs saved)
+      (fun () ->
+        with_sinks @@ fun tsink _ ->
+        ignore
+          (Atpg.Run.generate ~config:small_config p.Core.Flow.original
+            : Atpg.Types.result);
+        Alcotest.(check int) "trace balanced" 0 (Obs.Trace.depth tsink);
+        String.concat "\n"
+          (Obs.Fold.to_lines (Obs.Fold.of_chrome (Obs.Trace.to_chrome tsink))))
+  in
+  Alcotest.(check string) "folded export identical at 1 vs 4 jobs" (folded 1)
+    (folded 4)
+
 let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
@@ -313,4 +527,16 @@ let suite =
       test_table2_ratio_from_events;
     Alcotest.test_case "tracing on/off is bit-identical" `Quick
       test_instrumentation_is_inert;
+    Alcotest.test_case "ledger round-trip and byte identity" `Quick
+      test_ledger_roundtrip;
+    Alcotest.test_case "ledger rejects corruption" `Quick
+      test_ledger_rejects_corruption;
+    Alcotest.test_case "ledger line digest" `Quick test_ledger_digest;
+    Alcotest.test_case "folded-stack self times" `Quick test_fold_self_times;
+    Alcotest.test_case "folded-stack recursion" `Quick test_fold_recursion;
+    Alcotest.test_case "atomic file IO" `Quick test_fileio_atomic;
+    Alcotest.test_case "capture span balance and apply order" `Quick
+      test_capture_span_balance_and_ordering;
+    Alcotest.test_case "folded export 1-vs-N bit-identical" `Quick
+      test_folded_export_job_invariant;
   ]

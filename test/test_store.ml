@@ -310,6 +310,22 @@ let test_codec_rejects_garbage () =
   Alcotest.(check bool) "unknown enum" true
     (Store.Codec.atpg_result_of_json mangled = None)
 
+let test_codec_manifest_roundtrip () =
+  let m =
+    Obs.Ledger.make ~tool:"satpg" ~command:"atpg" ~circuit:"toy"
+      ~circuit_hash:"cafe" ~config_fp:"beef" ~engine:"hitec" ~jobs:1
+      ~budget:"" ~work_units:42 ~metrics:Obs.Json.Null
+      ~spans:[ ("atpg.fault", 3, 40) ]
+      ~event_lines:[ {|{"ev":"fault"}|} ]
+      ()
+  in
+  match Store.Codec.manifest_of_json (Store.Codec.manifest_to_json m) with
+  | None -> Alcotest.fail "decode failed"
+  | Some d ->
+    Alcotest.(check string) "id survives" (Obs.Ledger.id m) (Obs.Ledger.id d);
+    Alcotest.(check string) "identical bytes" (Obs.Ledger.to_string m)
+      (Obs.Ledger.to_string d)
+
 (* ------------------------------------------------------------ disk layer *)
 
 let test_disk_disabled () =
@@ -461,6 +477,8 @@ let suite =
       test_codec_structural_roundtrip;
     Alcotest.test_case "codec rejects garbage" `Quick
       test_codec_rejects_garbage;
+    Alcotest.test_case "codec manifest round-trip" `Quick
+      test_codec_manifest_roundtrip;
     Alcotest.test_case "disk disabled = no-op" `Quick test_disk_disabled;
     Alcotest.test_case "disk round-trip" `Quick test_disk_roundtrip;
     Alcotest.test_case "disk corrupt record" `Quick test_disk_corrupt_record;
