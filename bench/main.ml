@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- micro        only the micro-benchmarks
      dune exec bench/main.exe -- atpg         engine grid -> BENCH_atpg.json
      dune exec bench/main.exe -- reach        explicit vs symbolic -> BENCH_reach.json
+     dune exec bench/main.exe -- fsim         tape vs nodes backend -> BENCH_fsim.json
      SATPG_BUDGET=4 dune exec bench/main.exe  higher-fidelity ATPG runs
 
    Ablations (design choices from DESIGN.md §6) run with the tables:
@@ -378,6 +379,137 @@ let run_reach () =
        shift65):@.";
   run_reach_json ()
 
+(* --------------------------------------------- fault-sim benchmark JSON *)
+
+(* Fault-simulation throughput of the two combinational-sweep backends
+   (`Nodes, the original node-record walk, vs `Tape, the flat levelized
+   instruction tape) on the six study pairs, written to BENCH_fsim.json
+   (schema in results/README.md).  Both backends consume identical
+   deterministic vectors and must produce identical detections, states
+   and cycle counts — the bench asserts this before recording anything.
+   work_units counts gate evaluations actually performed
+   ((good cycles + faulty batch cycles) x gates), so the
+   `satpg diff --max-regress` gate against BENCH_fsim_baseline.json
+   catches an engine that starts simulating more than it should;
+   wall_s / gate_evals_per_s / speedup are host-dependent orientation. *)
+let fsim_vectors_length = 192
+
+let run_fsim_json ?(file = "BENCH_fsim.json") () =
+  let selection =
+    let ji = Synth.Assign.Input_dominant
+    and jo = Synth.Assign.Output_dominant
+    and jc = Synth.Assign.Combined in
+    let sd = Synth.Flow.Delay and sr = Synth.Flow.Rugged in
+    [ ("dk16", ji, sd); ("pma", jo, sd); ("s510", jc, sd);
+      ("s820", jc, sr); ("s832", jo, sr); ("scf", ji, sd) ]
+  in
+  let cells =
+    List.concat_map
+      (fun (name, a, s) ->
+        let p = Core.Flow.pair name a s in
+        [ (p.Core.Flow.name, p.Core.Flow.original);
+          (p.Core.Flow.name ^ ".re", p.Core.Flow.retimed) ])
+      selection
+  in
+  (* cells run sequentially: each simulate call parallelizes internally,
+     and concurrent cells would contaminate each other's wall clock *)
+  let records =
+    List.concat_map
+      (fun (bench, circuit) ->
+        let faults = Fsim.Collapse.list circuit in
+        let rng = Random.State.make [| 0xf51; 7 |] in
+        let vectors =
+          Sim.Vectors.random_sequence rng
+            ~width:(Netlist.Node.num_pis circuit)
+            ~length:fsim_vectors_length
+        in
+        let gates = Netlist.Node.num_gates circuit in
+        let measure backend =
+          (* warm-up on a short prefix: tape compilation and allocation
+             happen off the clock for both backends alike *)
+          ignore
+            (Fsim.Engine.simulate ~backend circuit faults
+               [ List.hd vectors ]);
+          let t0 = Unix.gettimeofday () in
+          let r = Fsim.Engine.simulate ~backend circuit faults vectors in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let rn, wall_n = measure `Nodes in
+        let rt, wall_t = measure `Tape in
+        if
+          rn.Fsim.Engine.detected <> rt.Fsim.Engine.detected
+          || rn.Fsim.Engine.detect_time <> rt.Fsim.Engine.detect_time
+          || rn.Fsim.Engine.good_states <> rt.Fsim.Engine.good_states
+          || rn.Fsim.Engine.sim_cycles <> rt.Fsim.Engine.sim_cycles
+        then failwith ("bench fsim: backends disagree on " ^ bench);
+        let speedup = wall_n /. wall_t in
+        List.map
+          (fun (engine, (r : Fsim.Engine.run), wall, speedup) ->
+            let work =
+              (r.Fsim.Engine.cycles + r.Fsim.Engine.sim_cycles) * gates
+            in
+            let detected =
+              Array.fold_left
+                (fun a d -> if d then a + 1 else a)
+                0 r.Fsim.Engine.detected
+            in
+            say
+              "  %-5s %-12s faults %4d  det %4d  gate-evals %9d  wall \
+               %6.3fs  %10.0f evals/s%s@."
+              engine bench (Array.length faults) detected work wall
+              (float_of_int work /. wall)
+              (match speedup with
+               | Some s -> Printf.sprintf "  speedup %.2fx" s
+               | None -> "");
+            Obs.Json.Obj
+              [
+                ("engine", Obs.Json.String engine);
+                ("benchmark", Obs.Json.String bench);
+                ("work_units", Obs.Json.Int work);
+                ("faults", Obs.Json.Int (Array.length faults));
+                ("detected", Obs.Json.Int detected);
+                ("cycles", Obs.Json.Int r.Fsim.Engine.cycles);
+                ("sim_cycles", Obs.Json.Int r.Fsim.Engine.sim_cycles);
+                ("wall_s", Obs.Json.Float wall);
+                ( "gate_evals_per_s",
+                  Obs.Json.Float (float_of_int work /. wall) );
+                ( "faults_per_s",
+                  Obs.Json.Float
+                    (float_of_int (Array.length faults) /. wall) );
+                ( "speedup_vs_nodes",
+                  match speedup with
+                  | Some s -> Obs.Json.Float s
+                  | None -> Obs.Json.Null );
+              ])
+          [ ("nodes", rn, wall_n, None); ("tape", rt, wall_t, Some speedup) ])
+      cells
+  in
+  let m =
+    bench_manifest ~command:"fsim"
+      ~circuit:(String.concat "+" (List.map fst cells))
+      ~circuit_hash:
+        (String.concat "+"
+           (List.map (fun (_, c) -> Netlist.Structhash.circuit c) cells))
+      ~work_units:
+        (List.fold_left (fun a r -> a + record_int "work_units" r) 0 records)
+  in
+  let records =
+    List.map
+      (fun r ->
+        with_fields [ ("manifest", Obs.Json.String (Obs.Ledger.id m)) ] r)
+      records
+  in
+  Obs.Fileio.write_string_atomic file
+    (Obs.Json.to_string (Obs.Json.List records) ^ "\n");
+  say "wrote %s (%d records, manifest %s)@." file (List.length records)
+    (Obs.Ledger.id m);
+  append_history ~suite:"fsim" records
+
+let run_fsim () =
+  say "Fault-simulation backend benchmark (nodes vs tape, 6 pairs x \
+       original/retimed):@.";
+  run_fsim_json ()
+
 (* ---------------------------------------------------------- micro benchmarks *)
 
 let micro_tests () =
@@ -511,9 +643,11 @@ let () =
    | "micro" -> run_micro ()
    | "atpg" -> run_atpg ()
    | "reach" -> run_reach ()
+   | "fsim" -> run_fsim ()
    | _ ->
      run_micro ();
      run_tables ();
      run_atpg ();
-     run_reach ());
+     run_reach ();
+     run_fsim ());
   Fmt.flush Fmt.stdout ()

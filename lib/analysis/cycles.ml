@@ -21,32 +21,34 @@ let count ?(budget = 4_000_000) g =
   let expansions = ref 0 in
   let exact = ref true in
   let visited = Array.make n false in
-  (* path holds the current vertex set as a bitmask (n <= 62 in practice) *)
-  let record mask len =
-    if not (Hashtbl.mem sets mask) then begin
-      Hashtbl.add sets mask ();
+  (* at record time [visited] holds exactly root + current path, i.e. the
+     cycle's vertex set; keying on its packed form stays exact at any DFF
+     count (an int bitmask would alias vertices >= 62) *)
+  let record len =
+    let key = Sim.Statekey.of_bools visited in
+    if not (Hashtbl.mem sets key) then begin
+      Hashtbl.add sets key ();
       if len > !max_len then max_len := len
     end
   in
-  let rec dfs root v mask len =
+  let rec dfs root v len =
     incr expansions;
     if !expansions > budget then exact := false
     else
       for w = 0 to n - 1 do
         if g.Dffgraph.adj.(v).(w) then begin
-          if w = root then record mask len
+          if w = root then record len
           else if w > root && not visited.(w) then begin
             visited.(w) <- true;
-            dfs root w (mask lor (1 lsl w)) (len + 1);
+            dfs root w (len + 1);
             visited.(w) <- false
           end
         end
       done
   in
-  let n_eff = min n 62 in
-  for root = 0 to n_eff - 1 do
+  for root = 0 to n - 1 do
     visited.(root) <- true;
-    dfs root root (1 lsl root) 1;
+    dfs root root 1;
     visited.(root) <- false
   done;
   { num_cycles = Hashtbl.length sets; max_length = !max_len; exact = !exact }

@@ -24,7 +24,19 @@ let feasible c =
   Netlist.Node.num_dffs c <= max_state_bits
   && Netlist.Node.num_pis c <= max_pis
 
+(* Every packed-int producer checks the width itself: [1 lsl i] silently
+   aliases once i reaches the OCaml int width, so an unguarded call from a
+   new site would corrupt state codes instead of failing. *)
+let check_width ctx n =
+  if n > max_state_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Reach.%s: %d DFF bits exceed the %d-bit packed-int state-code cap \
+          (1 lsl would alias); use Sim.Statekey or Analysis.Symreach"
+         ctx n max_state_bits)
+
 let state_code_of_words words lane =
+  check_width "state_code_of_words" (Array.length words);
   let code = ref 0 in
   Array.iteri
     (fun i w -> if (w lsr lane) land 1 = 1 then code := !code lor (1 lsl i))
@@ -32,6 +44,7 @@ let state_code_of_words words lane =
   !code
 
 let pack_bools bits =
+  check_width "pack_bools" (Array.length bits);
   let code = ref 0 in
   Array.iteri (fun i b -> if b then code := !code lor (1 lsl i)) bits;
   !code

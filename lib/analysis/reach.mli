@@ -32,7 +32,9 @@ val feasible : Netlist.Node.t -> bool
     store's configuration fingerprint). *)
 val default_max_states : int
 
-(** Pack a DFF vector into a state code. *)
+(** Pack a DFF vector into a state code.
+    @raise Invalid_argument beyond {!max_state_bits} bits, where the int
+    packing would silently alias. *)
 val pack_bools : bool array -> int
 
 (** The circuit's power-up state code. *)

@@ -195,7 +195,8 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 3) ?prune c =
     let dropped = List.rev !dropped in
     Obs.Trace.set_time (Types.work_units stats);
     Run.emit_fault_sim_event ~engine:"attest" ~phase ~stats
-      ~resolved:!resolved ~vectors:(List.length seq) ~work dropped;
+      ~resolved:!resolved ~vectors:(List.length seq)
+      ~sim_cycles:run.Fsim.Engine.sim_cycles ~work dropped;
     dropped
   in
   Obs.Trace.span "atpg.random_phase" (fun () ->

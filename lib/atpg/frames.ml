@@ -9,6 +9,7 @@
 
 type t = {
   circuit : Netlist.Node.t;
+  tape : Sim.Tape.t;                 (* flat levelized instruction tape *)
   fault : Fsim.Fault.t option;
   dff_pos : int array;               (* node id -> dff position, or -1 *)
   k : int;
@@ -17,6 +18,7 @@ type t = {
   pi : Sim.Value3.t array array;     (* [frame][pi index], assignable *)
   ps0 : Sim.Value3.t array;          (* [dff position], assignable *)
   frontier : int list array;         (* per frame: D-frontier gate ids *)
+  dfront : bool array;               (* per node scratch: frontier flag *)
   po_driver : bool array;            (* per node: drives a primary output *)
   guide : (int array * int array) option;
   (* optional SCOAP (cc0, cc1) per node, used by backtrace input choice *)
@@ -34,6 +36,7 @@ let create ?fault ?guide circuit ~frames ~stats =
   Array.iteri (fun j id -> dff_pos.(id) <- j) circuit.Netlist.Node.dffs;
   {
     circuit;
+    tape = Sim.Tape.compile circuit;
     fault;
     dff_pos;
     k = frames;
@@ -43,6 +46,7 @@ let create ?fault ?guide circuit ~frames ~stats =
         Array.make (Netlist.Node.num_pis circuit) Sim.Value3.X);
     ps0 = Array.make (Netlist.Node.num_dffs circuit) Sim.Value3.X;
     frontier = Array.make frames [];
+    dfront = Array.make n false;
     po_driver =
       (let po = Array.make n false in
        Array.iter (fun (_, id) -> po.(id) <- true) circuit.Netlist.Node.pos;
@@ -97,39 +101,102 @@ and eval_frame t frame =
         f.(s) <- Sim.Value3.of_bool stuck
       | Netlist.Node.Gate _ -> ())
    | Some { Fsim.Fault.site = Fsim.Fault.Pin _; _ } | None -> ());
-  (* combinational logic *)
-  Array.iter
-    (fun id ->
-      let nd = Netlist.Node.node c id in
-      match nd.Netlist.Node.kind with
-      | Netlist.Node.Gate fn ->
-        t.stats.Types.work <- t.stats.Types.work + 1;
-        let gin = Array.map (fun s -> g.(s)) nd.Netlist.Node.fanins in
-        g.(id) <- Sim.Value3.eval_gate fn gin;
-        let fin =
-          Array.mapi
-            (fun pin s -> read_faulty t frame id pin s)
-            nd.Netlist.Node.fanins
-        in
-        let fv = Sim.Value3.eval_gate fn fin in
-        let fv =
-          match t.fault with
-          | Some { Fsim.Fault.site = Fsim.Fault.Stem s; stuck } when s = id ->
-            Sim.Value3.of_bool stuck
-          | Some _ | None -> fv
-        in
-        f.(id) <- fv;
-        (* D-frontier bookkeeping: output X, some input D *)
-        if g.(id) = Sim.Value3.X || fv = Sim.Value3.X then begin
-          let has_d = ref false in
-          Array.iteri
-            (fun pin s ->
-              if is_d g.(s) (read_faulty t frame id pin s) then has_d := true)
-            nd.Netlist.Node.fanins;
-          if !has_d then t.frontier.(frame) <- id :: t.frontier.(frame)
-        end
-      | Netlist.Node.Pi _ | Netlist.Node.Dff _ -> ())
-    c.Netlist.Node.order
+  (* Combinational logic, swept over the flat instruction tape: one
+     linear walk of dense arrays, no node records, no per-gate fanin
+     allocation.  Values are order-independent under levelization; the
+     D-frontier is assembled afterwards in original topological order
+     (via [topo_slot]) so the collected list — and hence every PODEM
+     objective choice downstream — is identical to the node-order walk
+     this replaces. *)
+  let tp = t.tape in
+  let op = tp.Sim.Tape.op
+  and gid = tp.Sim.Tape.node_of_slot
+  and base = tp.Sim.Tape.fanin_base
+  and fan = tp.Sim.Tape.fanin in
+  (* fault tests hoisted out of the sweep *)
+  let fstem, fstem_v, fpin_gate, fpin_pin, fpin_v =
+    match t.fault with
+    | Some { Fsim.Fault.site = Fsim.Fault.Stem s; stuck } ->
+      (s, Sim.Value3.of_bool stuck, -1, -1, Sim.Value3.X)
+    | Some { Fsim.Fault.site = Fsim.Fault.Pin { gate; pin }; stuck } ->
+      (-1, Sim.Value3.X, gate, pin, Sim.Value3.of_bool stuck)
+    | None -> (-1, Sim.Value3.X, -1, -1, Sim.Value3.X)
+  in
+  let num_gates = tp.Sim.Tape.num_gates in
+  let any_frontier = ref false in
+  for s = 0 to num_gates - 1 do
+    t.stats.Types.work <- t.stats.Types.work + 1;
+    let id = Array.unsafe_get gid s in
+    let b = Array.unsafe_get base s in
+    let e = Array.unsafe_get base (s + 1) in
+    (* good machine: fold the fanin slice directly *)
+    let gv =
+      match Array.unsafe_get op s with
+      | 0 -> g.(fan.(b))
+      | 1 -> Sim.Value3.v_not g.(fan.(b))
+      | (2 | 3) as o ->
+        let acc = ref g.(fan.(b)) in
+        for p = b + 1 to e - 1 do
+          acc := Sim.Value3.v_and !acc g.(fan.(p))
+        done;
+        if o = 2 then !acc else Sim.Value3.v_not !acc
+      | (4 | 5) as o ->
+        let acc = ref g.(fan.(b)) in
+        for p = b + 1 to e - 1 do
+          acc := Sim.Value3.v_or !acc g.(fan.(p))
+        done;
+        if o = 4 then !acc else Sim.Value3.v_not !acc
+      | 6 -> Sim.Value3.v_xor g.(fan.(b)) g.(fan.(b + 1))
+      | _ -> Sim.Value3.v_not (Sim.Value3.v_xor g.(fan.(b)) g.(fan.(b + 1)))
+    in
+    g.(id) <- gv;
+    (* faulty machine: same fold, with the branch-fault pin override *)
+    let fpin p =
+      if id = fpin_gate && p - b = fpin_pin then fpin_v else f.(fan.(p))
+    in
+    let fv =
+      match Array.unsafe_get op s with
+      | 0 -> fpin b
+      | 1 -> Sim.Value3.v_not (fpin b)
+      | (2 | 3) as o ->
+        let acc = ref (fpin b) in
+        for p = b + 1 to e - 1 do
+          acc := Sim.Value3.v_and !acc (fpin p)
+        done;
+        if o = 2 then !acc else Sim.Value3.v_not !acc
+      | (4 | 5) as o ->
+        let acc = ref (fpin b) in
+        for p = b + 1 to e - 1 do
+          acc := Sim.Value3.v_or !acc (fpin p)
+        done;
+        if o = 4 then !acc else Sim.Value3.v_not !acc
+      | 6 -> Sim.Value3.v_xor (fpin b) (fpin (b + 1))
+      | _ -> Sim.Value3.v_not (Sim.Value3.v_xor (fpin b) (fpin (b + 1)))
+    in
+    let fv = if id = fstem then fstem_v else fv in
+    f.(id) <- fv;
+    (* D-frontier bookkeeping: output X, some input D *)
+    if gv = Sim.Value3.X || fv = Sim.Value3.X then begin
+      let has_d = ref false in
+      for p = b to e - 1 do
+        if is_d g.(fan.(p)) (fpin p) then has_d := true
+      done;
+      if !has_d then begin
+        t.dfront.(id) <- true;
+        any_frontier := true
+      end
+    end
+  done;
+  (* re-list the frontier in topological-walk order (see above) *)
+  if !any_frontier then
+    Array.iter
+      (fun s ->
+        let id = gid.(s) in
+        if t.dfront.(id) then begin
+          t.dfront.(id) <- false;
+          t.frontier.(frame) <- id :: t.frontier.(frame)
+        end)
+      tp.Sim.Tape.topo_slot
 
 let imply ?(from = 0) t =
   for frame = from to t.k - 1 do

@@ -8,6 +8,8 @@
 
 type t = {
   circuit : Netlist.Node.t;
+  tape : Sim.Tape.t;
+  (** flat levelized instruction tape the cone evaluation runs on *)
   fault : Fsim.Fault.t option;
   dff_pos : int array;               (** node id -> dff position, or -1 *)
   k : int;                           (** number of frames *)
@@ -16,6 +18,9 @@ type t = {
   pi : Sim.Value3.t array array;     (** [frame][pi index]; assignable *)
   ps0 : Sim.Value3.t array;          (** [dff position]; assignable *)
   frontier : int list array;         (** per frame: D-frontier gate ids *)
+  dfront : bool array;               (** per-node scratch for frontier
+                                         collection; always all-false
+                                         between [imply] calls *)
   po_driver : bool array;            (** per node: drives a primary output *)
   guide : (int array * int array) option;
   (** optional SCOAP [(cc0, cc1)] per node id; when present, PODEM's

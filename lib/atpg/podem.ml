@@ -284,7 +284,7 @@ let cube_matches_code cube code =
       match v with
       | Sim.Value3.X -> ()
       | v ->
-        if v <> Sim.Value3.of_bool ((code lsr j) land 1 = 1) then ok := false)
+        if v <> Sim.Value3.of_bool (Sim.Statekey.bit code j) then ok := false)
     cube;
   !ok
 

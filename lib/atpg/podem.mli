@@ -43,8 +43,8 @@ val backtrace : Frames.t -> int -> int -> bool -> (var * bool) option
 val phase_a :
   Frames.t -> Fsim.Fault.t -> Types.config -> Types.stats -> phase_a_result
 
-(** Does the cube's specified bits match the packed state code? *)
-val cube_matches_code : Sim.Value3.t array -> int -> bool
+(** Does the cube's specified bits match the packed state key? *)
+val cube_matches_code : Sim.Value3.t array -> Sim.Statekey.t -> bool
 
 (** Is the cube compatible with the circuit's power-up state? *)
 val compatible_with_init : Netlist.Node.t -> Sim.Value3.t array -> bool
@@ -55,7 +55,7 @@ val compatible_with_init : Netlist.Node.t -> Sim.Value3.t array -> bool
     is the optional SCOAP [(cc0, cc1)] controllability cost table.
     @raise Out_of_budget when the budget runs out. *)
 val justify :
-  ?directory:(int * Sim.Vectors.sequence) list ->
+  ?directory:(Sim.Statekey.t * Sim.Vectors.sequence) list ->
   ?guide:int array * int array ->
   Netlist.Node.t ->
   required:Sim.Value3.t array ->

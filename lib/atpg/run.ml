@@ -62,13 +62,12 @@ let state_directory c seqs =
         | [] -> ()
         | v :: rest ->
           ignore (Sim.Parallel.step_broadcast sim v);
-          let words = Sim.Parallel.get_state_words sim in
-          let code = ref 0 in
-          Array.iteri
-            (fun i w -> if w land 1 <> 0 then code := !code lor (1 lsl i))
-            words;
+          let code =
+            Sim.Statekey.of_lane_words (Sim.Parallel.get_state_words sim)
+              ~lane:0
+          in
           let past = v :: past in
-          note !code (List.rev past);
+          note code (List.rev past);
           loop (t + 1) past rest
       in
       loop 0 [] seq)
@@ -86,7 +85,7 @@ let outcome_string = function
   | Types.Gave_up -> "aborted"
 
 let emit_fault_sim_event ~engine ~phase ~(stats : Types.stats) ~resolved
-    ~vectors ~work dropped =
+    ~vectors ~sim_cycles ~work dropped =
   if Obs.Events.enabled () then
     Obs.Events.emit
       [
@@ -94,6 +93,7 @@ let emit_fault_sim_event ~engine ~phase ~(stats : Types.stats) ~resolved
         ("engine", Obs.Json.String engine);
         ("phase", Obs.Json.String phase);
         ("vectors", Obs.Json.Int vectors);
+        ("sim_cycles", Obs.Json.Int sim_cycles);
         ("work", Obs.Json.Int work);
         ("backtracks", Obs.Json.Int 0);
         ("dropped", Obs.Json.List (List.map (fun i -> Obs.Json.Int i) dropped));
@@ -228,7 +228,8 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
     let dropped = List.rev !dropped in
     Obs.Trace.set_time (Types.work_units stats);
     emit_fault_sim_event ~engine ~phase ~stats ~resolved:!resolved
-      ~vectors:(List.length seq) ~work dropped;
+      ~vectors:(List.length seq) ~sim_cycles:run.Fsim.Engine.sim_cycles ~work
+      dropped;
     dropped
   in
   (* random phase *)

@@ -35,10 +35,13 @@ val outcome_string : Types.fault_outcome -> string
 
 (** One ["fault_sim"] record: a fault-dropping simulation pass of
     [vectors] vectors costing [work] gate evaluations, newly dropping the
-    given fault indices. *)
+    given fault indices.  [sim_cycles] is the deterministic count of
+    faulty-machine cycles the engine actually simulated (drop-limited, so
+    at most [vectors] per live batch); the sum over all ["fault_sim"]
+    events equals the final ["fsim.vectors"] counter. *)
 val emit_fault_sim_event :
   engine:string -> phase:string -> stats:Types.stats -> resolved:int ->
-  vectors:int -> work:int -> int list -> unit
+  vectors:int -> sim_cycles:int -> work:int -> int list -> unit
 
 (** One ["fault"] record: the per-fault terminal line carrying the exact
     work/backtrack/decision/frame accounting of the attempt ([fstats]),
@@ -50,10 +53,10 @@ val emit_fault_event :
   drop_credit:int -> stats:Types.stats -> resolved:int -> unit
 
 (** The state directory harvested from simulating [sequences]:
-    (state code, input prefix reaching it) per first visit. *)
+    (state key, input prefix reaching it) per first visit. *)
 val state_directory :
   Netlist.Node.t -> Sim.Vectors.sequence list ->
-  (int * Sim.Vectors.sequence) list
+  (Sim.Statekey.t * Sim.Vectors.sequence) list
 
 (** Pre-engine pruning shared by the drivers: mark every fault [prune]
     accepts as [Proved_untestable]/resolved before any budget is spent
@@ -74,7 +77,7 @@ val apply_prune :
     [guide] is the optional SCOAP [(cc0, cc1)] cost table steering
     PODEM's backtrace input choice. *)
 val attempt_fault :
-  ?directory:(int * Sim.Vectors.sequence) list ->
+  ?directory:(Sim.Statekey.t * Sim.Vectors.sequence) list ->
   ?guide:int array * int array ->
   Netlist.Node.t ->
   Fsim.Fault.t ->

@@ -60,7 +60,8 @@ type stats = {
   mutable backtracks : int;
   mutable decisions : int;
   mutable frames : int;          (* time frames expanded (Frames.create) *)
-  states : (int, unit) Hashtbl.t;       (* distinct good states traversed *)
+  states : (Sim.Statekey.t, unit) Hashtbl.t;
+  (* distinct good states traversed, overflow-safe packed keys *)
   state_cubes : (string, unit) Hashtbl.t; (* justification targets (with X) *)
 }
 

@@ -28,14 +28,15 @@ type stats = {
   mutable backtracks : int;
   mutable decisions : int;
   mutable frames : int;      (** time frames expanded ({!Frames.create}) *)
-  states : (int, unit) Hashtbl.t;
-  (** distinct good-machine states traversed (Table 6 instrumentation) *)
+  states : (Sim.Statekey.t, unit) Hashtbl.t;
+  (** distinct good-machine states traversed (Table 6 instrumentation),
+      keyed by overflow-safe packed state keys *)
   state_cubes : (string, unit) Hashtbl.t;
   (** justification requirement cubes encountered (with X positions) *)
 }
 
 val new_stats : unit -> stats
-val note_state : stats -> int -> unit
+val note_state : stats -> Sim.Statekey.t -> unit
 
 (** The CPU-seconds stand-in: work + 50 * backtracks. *)
 val work_units : stats -> int

@@ -127,7 +127,7 @@ let load_sequence chain state_code =
          L-1-k' ... we feed bits so that chain element i ends with bit of
          scanned.(i) *)
       let pos = chain.scanned.(chain.length - 1 - t) in
-      v.(chain.scan_in) <- (state_code lsr pos) land 1 = 1;
+      v.(chain.scan_in) <- Sim.Statekey.bit state_code pos;
       v)
 
 (* Full-scan test application for a combinationally-found test: shift in

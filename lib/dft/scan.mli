@@ -25,15 +25,16 @@ val insert : ?positions:int array -> Netlist.Node.t -> chain
     (scan_enable = 0). *)
 val functional_vector : chain -> bool array -> bool array
 
-(** Shift sequence loading [state_code] (packed DFF vector) into the
-    scanned registers: exactly [chain.length] vectors with scan_enable
-    held high. *)
-val load_sequence : chain -> int -> Sim.Vectors.sequence
+(** Shift sequence loading [state_code] (packed DFF bit vector, exact at
+    any width) into the scanned registers: exactly [chain.length] vectors
+    with scan_enable held high. *)
+val load_sequence : chain -> Sim.Statekey.t -> Sim.Vectors.sequence
 
 (** Scan-mode test application: shift the excitation state in, then apply
     one functional vector. *)
 val apply_test :
-  chain -> state_code:int -> vector:bool array -> Sim.Vectors.sequence
+  chain -> state_code:Sim.Statekey.t -> vector:bool array ->
+  Sim.Vectors.sequence
 
 (** Partial-scan selection: greedily pick registers breaking all register
     cycles (highest-degree-first on the register graph).  Returns DFF

@@ -14,11 +14,7 @@
    Density of encoding becomes irrelevant: step 2 never fails. *)
 
 let state_code_of_cube cube =
-  let code = ref 0 in
-  Array.iteri
-    (fun j v -> if v = Sim.Value3.One then code := !code lor (1 lsl j))
-    cube;
-  !code
+  Sim.Statekey.of_bools (Array.map (fun v -> v = Sim.Value3.One) cube)
 
 (* Test sequence for a phase-A solution: shift in the required state, then
    play the forward frames' vectors (scan_enable deasserted by X-default). *)

@@ -8,8 +8,9 @@
     paper's retimed circuits — becomes irrelevant.  Every test is
     validated by fault simulation of the scanned netlist. *)
 
-(** Packed state code from a phase-A requirement cube (X and 0 map to 0). *)
-val state_code_of_cube : Sim.Value3.t array -> int
+(** Packed state code from a phase-A requirement cube (X and 0 map to 0);
+    exact at any register count. *)
+val state_code_of_cube : Sim.Value3.t array -> Sim.Statekey.t
 
 val generate :
   ?config:Atpg.Types.config -> ?seed:int -> Scan.chain -> Atpg.Types.result

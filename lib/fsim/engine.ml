@@ -2,54 +2,66 @@
    machine-word lanes; every lane sees the same input sequence but carries
    its own faulty circuit (and hence its own diverging DFF state).  The good
    circuit is simulated once; a fault is detected the first cycle a primary
-   output differs from the good value. *)
+   output differs from the good value.
+
+   The instruction tape is compiled once per [simulate] call and shared by
+   the good-pass sim and every batch sim, so the per-batch setup cost is
+   array allocation, not netlist traversal. *)
 
 type run = {
   detected : bool array;       (* per fault index *)
   detect_time : int array;     (* first differing cycle, -1 if undetected *)
-  good_states : int list;      (* distinct good-circuit states, visit order *)
-  cycles : int;                (* vectors simulated *)
+  good_states : Sim.Statekey.t list; (* distinct good states, visit order *)
+  cycles : int;                (* good-machine vectors applied *)
+  sim_cycles : int;            (* faulty-machine cycles actually simulated,
+                                  summed over batches (early exits stop
+                                  counting), deterministic at any job count *)
 }
 
-(* global counters for `satpg --metrics` *)
+(* global counters for `satpg --metrics`.  [fsim.vectors] counts
+   faulty-machine cycles actually simulated — bumped per batch inside the
+   pool task, so early exits are reflected exactly and the captured deltas
+   merge deterministically.  [fsim.good_cycles] counts good-pass vector
+   applications (skipped entirely on an empty worklist). *)
 let m_faults = Obs.Metrics.counter "fsim.faults_simulated"
 let m_dropped = Obs.Metrics.counter "fsim.faults_detected"
 let m_vectors = Obs.Metrics.counter "fsim.vectors"
+let m_good = Obs.Metrics.counter "fsim.good_cycles"
 let m_batches = Obs.Metrics.counter "fsim.batches"
 
-let state_code_lane0 sim =
-  let words = Sim.Parallel.get_state_words sim in
-  let code = ref 0 in
-  Array.iteri (fun i w -> if w land 1 <> 0 then code := !code lor (1 lsl i))
-    words;
-  !code
+(* Lane-0 DFF state as an overflow-safe key: the historical int packing
+   ([1 lsl i] over the DFF index) silently aliased distinct states on
+   circuits with more than 62 DFFs. *)
+let state_key_lane0 sim =
+  Sim.Statekey.of_lane_words (Sim.Parallel.get_state_words sim) ~lane:0
 
 (* One clean pass: good PO values per cycle and the good state trajectory. *)
-let good_pass c vectors =
-  let sim = Sim.Parallel.create c in
+let good_pass ?backend tape vectors =
+  let sim = Sim.Parallel.create_on ?backend tape in
   Sim.Parallel.reset sim;
   let good_states = ref [] in
   let seen = Hashtbl.create 97 in
-  let note code =
-    if not (Hashtbl.mem seen code) then begin
-      Hashtbl.add seen code ();
-      good_states := code :: !good_states
+  let note key =
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      good_states := key :: !good_states
     end
   in
-  note (state_code_lane0 sim);
+  note (state_key_lane0 sim);
   let po_bits =
     List.map
       (fun v ->
         let words = Sim.Parallel.step_broadcast sim v in
-        note (state_code_lane0 sim);
+        note (state_key_lane0 sim);
         Array.map (fun w -> w land 1) words)
       vectors
   in
+  Obs.Metrics.add m_good (List.length vectors);
   (po_bits, List.rev !good_states)
 
 (* Simulate [faults] (restricted to [indices] when given) over [vectors].
    Already-detected faults (per [skip]) are excluded from the packing. *)
-let simulate ?indices ?skip c (faults : Fault.t array) vectors =
+let simulate ?indices ?skip ?backend c (faults : Fault.t array) vectors =
   let all =
     match indices with
     | Some l -> l
@@ -62,83 +74,95 @@ let simulate ?indices ?skip c (faults : Fault.t array) vectors =
   in
   let detected = Array.make (Array.length faults) false in
   let detect_time = Array.make (Array.length faults) (-1) in
-  let good_po, good_states = good_pass c vectors in
-  let width = Sim.Parallel.word_bits in
-  let n_po = Netlist.Node.num_pos c in
-  (* Split the worklist into word-wide batches up front; each batch is an
-     independent task (its own faulty-circuit sim, fault indices disjoint
-     from every other batch's), so batches shard across domains via
-     [Exec.Pool].  Writes to [detected]/[detect_time] hit disjoint slots
-     and the per-batch counter bumps are captured and merged in
-     submission order, so the result — and the metrics — are identical to
-     the sequential walk at any job count. *)
-  let rec split acc = function
-    | [] -> Array.of_list (List.rev acc)
-    | rest ->
-      let rec take k lacc l =
-        if k = 0 then (List.rev lacc, l)
-        else
-          match l with
-          | [] -> (List.rev lacc, [])
-          | x :: xs -> take (k - 1) (x :: lacc) xs
-      in
-      let batch, rest = take width [] rest in
-      split (batch :: acc) rest
-  in
-  let batches = split [] todo in
-  let run_batch batch =
-    Obs.Metrics.incr m_batches;
-    let faulty = Sim.Parallel.create c in
-    List.iteri (fun lane i -> Fault.inject faulty faults.(i) ~lane) batch;
-    Sim.Parallel.reset faulty;
-    let batch_arr = Array.of_list batch in
-    let nlanes = Array.length batch_arr in
-    let lane_done = Array.make nlanes false in
-    let lanes_done = ref 0 in
-    let t = ref 0 in
-    (* walk the vectors until every lane has detected — once the batch
-       is fully resolved the remaining cycles cannot change anything,
-       so stop instead of scanning the rest of the list *)
-    let rec cycle vs gs =
-      match vs, gs with
-      | [], _ | _, [] -> ()
-      | _ when !lanes_done >= nlanes -> ()
-      | v :: vs, gpo :: gs ->
-        Sim.Parallel.set_input_broadcast faulty v;
-        Sim.Parallel.eval_comb faulty;
-        for k = 0 to n_po - 1 do
-          let _, po_id = c.Netlist.Node.pos.(k) in
-          let fw = Sim.Parallel.node_word faulty po_id in
-          let diff = fw lxor (if gpo.(k) = 1 then -1 else 0) in
-          if diff <> 0 then
-            Array.iteri
-              (fun lane fi ->
-                if (not lane_done.(lane)) && (diff lsr lane) land 1 = 1
-                then begin
-                  detected.(fi) <- true;
-                  detect_time.(fi) <- !t;
-                  lane_done.(lane) <- true;
-                  incr lanes_done
-                end)
-              batch_arr
-        done;
-        Sim.Parallel.tick faulty;
-        incr t;
-        cycle vs gs
+  if todo = [] then
+    (* nothing to simulate: skip the good pass too, and report zero work *)
+    { detected; detect_time; good_states = []; cycles = 0; sim_cycles = 0 }
+  else begin
+    let tape = Sim.Tape.compile c in
+    let good_po, good_states = good_pass ?backend tape vectors in
+    let width = Sim.Parallel.word_bits in
+    let n_po = Netlist.Node.num_pos c in
+    (* Split the worklist into word-wide batches up front; each batch is an
+       independent task (its own faulty-circuit sim, fault indices disjoint
+       from every other batch's), so batches shard across domains via
+       [Exec.Pool].  Writes to [detected]/[detect_time] hit disjoint slots
+       and the per-batch counter bumps are captured and merged in
+       submission order, so the result — and the metrics — are identical to
+       the sequential walk at any job count. *)
+    let rec split acc = function
+      | [] -> Array.of_list (List.rev acc)
+      | rest ->
+        let rec take k lacc l =
+          if k = 0 then (List.rev lacc, l)
+          else
+            match l with
+            | [] -> (List.rev lacc, [])
+            | x :: xs -> take (k - 1) (x :: lacc) xs
+        in
+        let batch, rest = take width [] rest in
+        split (batch :: acc) rest
     in
-    cycle vectors good_po
-  in
-  ignore (Exec.Pool.map_array run_batch batches : unit array);
-  Obs.Metrics.add m_faults (List.length todo);
-  Obs.Metrics.add m_vectors (List.length vectors);
-  Obs.Metrics.add m_dropped
-    (Array.fold_left (fun a d -> if d then a + 1 else a) 0 detected);
-  {
-    detected;
-    detect_time;
-    good_states;
-    cycles = List.length vectors;
-  }
+    let batches = split [] todo in
+    (* Each batch returns the cycles it actually simulated (early exit
+       stops the count), so the metrics charge work done, not work
+       scheduled. *)
+    let run_batch batch =
+      Obs.Metrics.incr m_batches;
+      let faulty = Sim.Parallel.create_on ?backend tape in
+      List.iteri (fun lane i -> Fault.inject faulty faults.(i) ~lane) batch;
+      Sim.Parallel.reset faulty;
+      let batch_arr = Array.of_list batch in
+      let nlanes = Array.length batch_arr in
+      let lane_done = Array.make nlanes false in
+      let lanes_done = ref 0 in
+      let t = ref 0 in
+      (* walk the vectors until every lane has detected — once the batch
+         is fully resolved the remaining cycles cannot change anything,
+         so stop instead of scanning the rest of the list *)
+      let rec cycle vs gs =
+        match vs, gs with
+        | [], _ | _, [] -> ()
+        | _ when !lanes_done >= nlanes -> ()
+        | v :: vs, gpo :: gs ->
+          Sim.Parallel.set_input_broadcast faulty v;
+          Sim.Parallel.eval_comb faulty;
+          for k = 0 to n_po - 1 do
+            let _, po_id = c.Netlist.Node.pos.(k) in
+            let fw = Sim.Parallel.node_word faulty po_id in
+            let diff = fw lxor (if gpo.(k) = 1 then -1 else 0) in
+            if diff <> 0 then
+              Array.iteri
+                (fun lane fi ->
+                  if (not lane_done.(lane)) && (diff lsr lane) land 1 = 1
+                  then begin
+                    detected.(fi) <- true;
+                    detect_time.(fi) <- !t;
+                    lane_done.(lane) <- true;
+                    incr lanes_done
+                  end)
+                batch_arr
+          done;
+          Sim.Parallel.tick faulty;
+          incr t;
+          cycle vs gs
+      in
+      cycle vectors good_po;
+      Obs.Metrics.add m_vectors !t;
+      !t
+    in
+    let batch_cycles = Exec.Pool.map_array run_batch batches in
+    let sim_cycles = Array.fold_left ( + ) 0 batch_cycles in
+    Obs.Metrics.add m_faults (List.length todo);
+    Obs.Metrics.add m_dropped
+      (Array.fold_left (fun a d -> if d then a + 1 else a) 0 detected);
+    {
+      detected;
+      detect_time;
+      good_states;
+      cycles = List.length vectors;
+      sim_cycles;
+    }
+  end
 
 (* Convenience: does [vectors] detect the single fault [f]? *)
 let detects c f vectors =

@@ -4,23 +4,44 @@
     machine per lane); all lanes consume the same input sequence from the
     power-up state, with each lane's DFF state diverging independently.
     The good machine is simulated once; a fault counts as detected the
-    first cycle a primary output differs from the good value. *)
+    first cycle a primary output differs from the good value.
+
+    Every machine runs on the flat levelized instruction tape
+    ({!Sim.Tape}), compiled once per [simulate] call and shared by the
+    good pass and all fault batches. *)
 
 type run = {
   detected : bool array;   (** per fault index of the supplied array *)
   detect_time : int array; (** first differing cycle, [-1] if undetected *)
-  good_states : int list;  (** distinct good-machine states, in visit order;
-                               state = DFF vector packed little-endian *)
-  cycles : int;            (** number of vectors applied *)
+  good_states : Sim.Statekey.t list;
+      (** distinct good-machine states, in visit order; keys are
+          overflow-safe for any DFF count (the historical [int] packing
+          aliased states beyond 62 DFFs).  Empty when the worklist was
+          empty — the good pass is skipped entirely then. *)
+  cycles : int;            (** good-machine vectors applied (0 when the
+                               worklist was empty) *)
+  sim_cycles : int;
+      (** faulty-machine cycles actually simulated, summed over batches;
+          early exits stop the count, so this is the work done, not the
+          work scheduled.  Deterministic at any job count. *)
 }
 
 (** [simulate ?indices ?skip c faults vectors] fault-simulates [vectors]
     (applied from power-up) against [faults].  [indices] restricts which
     entries are simulated; [skip.(i) = true] excludes fault [i] (used for
-    fault dropping).  Detection flags are indexed like [faults]. *)
+    fault dropping).  Detection flags are indexed like [faults].
+    [backend] selects the combinational-sweep implementation
+    ({!Sim.Parallel.backend}; default [`Tape]) — results are bit-identical
+    across backends, [`Nodes] exists for differential tests and the
+    pre-tape bench baseline.
+
+    If the effective worklist is empty, no simulation runs at all: the
+    good pass is skipped, [good_states] is empty and every metric stays
+    untouched, so `satpg diff` attribution reflects work actually done. *)
 val simulate :
   ?indices:int list ->
   ?skip:bool array ->
+  ?backend:Sim.Parallel.backend ->
   Netlist.Node.t ->
   Fault.t array ->
   Sim.Vectors.sequence ->

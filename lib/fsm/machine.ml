@@ -25,6 +25,13 @@ type t = {
 let num_states m = Array.length m.state_names
 
 let input_code bits =
+  let n = Array.length bits in
+  if n > 62 then
+    invalid_arg
+      (Printf.sprintf
+         "Machine.input_code: %d inputs exceed the 62-bit packed cube code \
+          (1 lsl would alias)"
+         n);
   let code = ref 0 in
   Array.iteri (fun i b -> if b then code := !code lor (1 lsl i)) bits;
   !code

@@ -26,7 +26,9 @@ type t = {
 
 val num_states : t -> int
 
-(** Pack an input vector into an input code (bit i = input i). *)
+(** Pack an input vector into an input code (bit i = input i).
+    @raise Invalid_argument beyond 62 inputs, where the int packing would
+    silently alias. *)
 val input_code : bool array -> int
 
 val cube_matches : care:int -> value:int -> int -> bool

@@ -13,16 +13,32 @@ val word_bits : int
 (** Bit mask covering [w] lanes. *)
 val mask_of_width : int -> int
 
-val create : Netlist.Node.t -> t
+(** Combinational-sweep implementation.  [`Tape] (the default) runs on
+    the flat levelized instruction tape ({!Tape}); [`Nodes] is the
+    original node-record walk, kept bit-identical as the reference for
+    differential tests and as the pre-tape baseline of [bench fsim]. *)
+type backend = [ `Tape | `Nodes ]
+
+val create : ?backend:backend -> Netlist.Node.t -> t
+
+(** Build a simulator over an already-compiled tape — lets callers that
+    create many simulator instances for one circuit (e.g. the fault
+    simulator's per-batch sims) compile the tape once and share it. *)
+val create_on : ?backend:backend -> Tape.t -> t
+
 val circuit : t -> Netlist.Node.t
+val tape : t -> Tape.t
 
 (** Remove all injected faults. *)
 val clear_faults : t -> unit
 
-(** Force the output of [node] to [value] in [lane], every cycle. *)
+(** Force the output of [node] to [value] in [lane], every cycle.
+    @raise Invalid_argument if [lane] is outside [0 .. word_bits - 1]
+    (a wider shift would silently alias another lane). *)
 val inject_stem : t -> node:int -> lane:int -> value:bool -> unit
 
-(** Force input [pin] of [gate] to [value] in [lane]. *)
+(** Force input [pin] of [gate] to [value] in [lane].
+    @raise Invalid_argument if [lane] is outside [0 .. word_bits - 1]. *)
 val inject_pin : t -> gate:int -> pin:int -> lane:int -> value:bool -> unit
 
 (** Load the power-up state into every lane. *)

@@ -80,7 +80,9 @@ let stats_to_json (s : Atpg.Types.stats) =
       ("backtracks", Int s.Atpg.Types.backtracks);
       ("decisions", Int s.Atpg.Types.decisions);
       ("frames", Int s.Atpg.Types.frames);
-      ("states", List (Stdlib.List.map (fun k -> Int k) states));
+      ( "states",
+        List (Stdlib.List.map (fun k -> String (Sim.Statekey.to_hex k)) states)
+      );
       ("state_cubes", List (Stdlib.List.map (fun k -> String k) cubes));
     ]
 
@@ -91,7 +93,12 @@ let stats_of_json j =
   s.Atpg.Types.decisions <- int_field "decisions" j;
   s.Atpg.Types.frames <- int_field "frames" j;
   Stdlib.List.iter
-    (fun k -> Hashtbl.replace s.Atpg.Types.states (as_int k) ())
+    (fun k ->
+      let key =
+        try Sim.Statekey.of_hex (as_string k)
+        with Invalid_argument _ -> raise Corrupt
+      in
+      Hashtbl.replace s.Atpg.Types.states key ())
     (as_list (obj_field "states" j));
   Stdlib.List.iter
     (fun k -> Hashtbl.replace s.Atpg.Types.state_cubes (as_string k) ())

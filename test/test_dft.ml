@@ -34,20 +34,21 @@ let test_scan_load_state () =
   (* shift in an arbitrary state pattern and check the DFFs *)
   let target = 0b101 land ((1 lsl chain.Dft.Scan.length) - 1) in
   (* target as a state code over scanned positions *)
-  let code = ref 0 in
+  let bits = Array.make (Netlist.Node.num_dffs sc) false in
   Array.iteri
-    (fun k pos -> if (target lsr k) land 1 = 1 then code := !code lor (1 lsl pos))
+    (fun k pos -> bits.(pos) <- (target lsr k) land 1 = 1)
     chain.Dft.Scan.scanned;
+  let code = Sim.Statekey.of_bools bits in
   Sim.Scalar.reset sim;
   List.iter
     (fun v -> ignore (Sim.Scalar.step sim (Sim.Vectors.to_v3 v)))
-    (Dft.Scan.load_sequence chain !code);
+    (Dft.Scan.load_sequence chain code);
   let state = Sim.Scalar.get_state sim in
   Array.iteri
     (fun k pos ->
       Alcotest.check Helpers.v3
         (Printf.sprintf "chain elt %d" k)
-        (Sim.Value3.of_bool ((!code lsr pos) land 1 = 1))
+        (Sim.Value3.of_bool (Sim.Statekey.bit code pos))
         state.(pos))
     chain.Dft.Scan.scanned
 

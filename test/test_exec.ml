@@ -220,9 +220,11 @@ let test_fsim_identity () =
   Alcotest.(check (array int))
     "detect times identical" r1.Fsim.Engine.detect_time
     r4.Fsim.Engine.detect_time;
-  Alcotest.(check (list int))
+  Alcotest.(check (list string))
     "good states identical" r1.Fsim.Engine.good_states
-    r4.Fsim.Engine.good_states
+    r4.Fsim.Engine.good_states;
+  Alcotest.(check int)
+    "sim cycles identical" r1.Fsim.Engine.sim_cycles r4.Fsim.Engine.sim_cycles
 
 let atpg_config =
   {

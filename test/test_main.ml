@@ -11,6 +11,7 @@ let () =
       ("untest", Test_untest.suite);
       ("bdd", Test_bdd.suite);
       ("fsim", Test_fsim.suite);
+      ("tape", Test_tape.suite);
       ("atpg", Test_atpg.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);

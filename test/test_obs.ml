@@ -171,9 +171,12 @@ let run_with_events generate =
   (r, List.map J.parse (Obs.Events.to_lines esink))
 
 (* Rebuild the aggregate accounting and per-fault statuses from the event
-   records alone and compare them to the in-memory result. *)
-let check_events_vs_stats (r : Atpg.Types.result) events =
-  let work = ref 0 and backtracks = ref 0 in
+   records alone and compare them to the in-memory result.  When
+   [fsim_vectors] (the run's delta of the "fsim.vectors" counter) is
+   given, the per-event [sim_cycles] fields must sum to it: the events
+   account for every faulty-machine cycle the engine actually ran. *)
+let check_events_vs_stats ?fsim_vectors (r : Atpg.Types.result) events =
+  let work = ref 0 and backtracks = ref 0 and sim_cycles = ref 0 in
   let n = Array.length r.Atpg.Types.faults in
   let status = Array.make n Fsim.Fault.Untested in
   List.iter
@@ -182,6 +185,7 @@ let check_events_vs_stats (r : Atpg.Types.result) events =
       backtracks := !backtracks + field_int "backtracks" e;
       match field_str "ev" e with
       | "fault_sim" ->
+        sim_cycles := !sim_cycles + field_int "sim_cycles" e;
         (match J.member "dropped" e with
          | Some (J.List l) ->
            List.iter
@@ -219,6 +223,10 @@ let check_events_vs_stats (r : Atpg.Types.result) events =
   Alcotest.(check bool)
     "statuses rebuilt from events" true
     (r.Atpg.Types.status = status);
+  (match fsim_vectors with
+   | Some delta ->
+     Alcotest.(check int) "sum of event sim_cycles" delta !sim_cycles
+   | None -> ());
   (* the running total in the last record agrees with the final stats *)
   match List.rev events with
   | last :: _ ->
@@ -228,16 +236,23 @@ let check_events_vs_stats (r : Atpg.Types.result) events =
       (field_int "work_units_after" last)
   | [] -> Alcotest.fail "no events emitted"
 
+(* Read outside parallel sections only (see Obs.Metrics). *)
+let fsim_vectors_count () =
+  Obs.Metrics.count (Obs.Metrics.counter "fsim.vectors")
+
 let test_events_invariant_run () =
   let p = Lazy.force dk16_pair in
+  let before = fsim_vectors_count () in
   let r, events =
     run_with_events (fun () ->
         Atpg.Run.generate ~config:small_config p.Core.Flow.original)
   in
-  check_events_vs_stats r events
+  check_events_vs_stats ~fsim_vectors:(fsim_vectors_count () - before) r
+    events
 
 let test_events_invariant_attest () =
   let p = Lazy.force dk16_pair in
+  let before = fsim_vectors_count () in
   let r, events =
     run_with_events (fun () ->
         Atpg.Attest.generate
@@ -249,7 +264,8 @@ let test_events_invariant_attest () =
             }
           p.Core.Flow.original)
   in
-  check_events_vs_stats r events
+  check_events_vs_stats ~fsim_vectors:(fsim_vectors_count () - before) r
+    events
 
 (* Table-2-style check: the retimed/original work-unit ratio of a benchmark
    pair, computed from the JSONL records alone, matches the ratio of the
