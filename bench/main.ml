@@ -139,6 +139,33 @@ let append_history ~suite records =
 
 (* --------------------------------------------------- engine benchmark JSON *)
 
+(* The six study pairs of the paper (Table 2 rows the whole bench suite
+   standardizes on; same selection as the fsim bench below). *)
+let study_pairs () =
+  let ji = Synth.Assign.Input_dominant
+  and jo = Synth.Assign.Output_dominant
+  and jc = Synth.Assign.Combined in
+  let sd = Synth.Flow.Delay and sr = Synth.Flow.Rugged in
+  [ ("dk16", ji, sd); ("pma", jo, sd); ("s510", jc, sd);
+    ("s820", jc, sr); ("s832", jo, sr); ("scf", ji, sd) ]
+
+(* Conflict-driven structural learning races at a fixed budget, 0.2x the
+   defaults and independent of SATPG_BUDGET: at the CI table budget
+   (0.05) aborted faults saturate the per-fault work cap after a handful
+   of decisions and there is nothing to learn from, while at 0.2x the
+   searches are conflict-rich and learning has material to prune with.
+   The fixed budget keeps the learn-on/learn-off comparison meaningful
+   at every SATPG_BUDGET setting. *)
+let race_config ~struct_learn =
+  {
+    Atpg.Types.default_config with
+    Atpg.Types.backtrack_limit = 160;
+    work_limit = 240_000;
+    total_work_limit = 50_000_000;
+    learn = false;
+    struct_learn;
+  }
+
 (* Engine x benchmark grid on the dk16.ji.sd pair, written to
    BENCH_atpg.json (schema documented in results/README.md): one record per
    run with deterministic work units, wall seconds, fault coverage and
@@ -235,6 +262,73 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
                  Obs.Json.String (List.assoc engine config_fps) );
              ])
   in
+  (* Structural-learning race (DESIGN §12): learn-on vs learn-off
+     time-frame PODEM on all six study pairs, original and retimed, at
+     the fixed race budget.  Runs bypass the result cache — the race
+     measures the engine, not the store — and learn-on forces the
+     deterministic sequential driver, so work_units is exactly
+     reproducible; the CI learning gate compares the two modes inside
+     this one file (originals must not regress, at least one retimed
+     pair must improve materially, coverage must never drop). *)
+  let race_cells =
+    List.concat_map
+      (fun (name, a, s) ->
+        let p = Core.Flow.pair name a s in
+        [ (p.Core.Flow.name, p.Core.Flow.original);
+          (p.Core.Flow.name ^ ".re", p.Core.Flow.retimed) ])
+      (study_pairs ())
+  in
+  (* sequential on purpose: honest per-cell walls, and the learn-on
+     store is built per run on one domain *)
+  let race_records =
+    List.concat_map
+      (fun (bench, circuit) ->
+        List.map
+          (fun struct_learn ->
+            let mode = if struct_learn then "learn-on" else "learn-off" in
+            let config = race_config ~struct_learn in
+            Core.Cache.note_bypass ();
+            let t0 = Unix.gettimeofday () in
+            let r = Atpg.Run.generate ~config ~engine:mode circuit in
+            let wall = Unix.gettimeofday () -. t0 in
+            let st = r.Atpg.Types.stats in
+            say
+              "  %-9s %-12s FC %5.1f%%  FE %5.1f%%  work %9d  clauses %4d  \
+               hits %4d+%-4d  wall %6.2fs@."
+              mode bench r.Atpg.Types.fault_coverage
+              r.Atpg.Types.fault_efficiency
+              (Atpg.Types.work_units st)
+              st.Atpg.Types.learn_clauses st.Atpg.Types.learn_hits
+              st.Atpg.Types.learn_cube_hits wall;
+            Obs.Json.Obj
+              [
+                ("engine", Obs.Json.String mode);
+                ("benchmark", Obs.Json.String bench);
+                ("work_units", Obs.Json.Int (Atpg.Types.work_units st));
+                ("wall_s", Obs.Json.Float wall);
+                ("coverage", Obs.Json.Float r.Atpg.Types.fault_coverage);
+                ( "efficiency",
+                  Obs.Json.Float r.Atpg.Types.fault_efficiency );
+                ("proved_untestable", Obs.Json.Int 0);
+                (* the Theorem-1 invariant gate reads only the engine
+                   grid above; race records carry no claim *)
+                ("invariant_proved", Obs.Json.Null);
+                ("cache", Obs.Json.String "bypassed");
+                ( "config_fp",
+                  Obs.Json.String (Store.Key.config_fingerprint config) );
+                ( "learn_conflicts",
+                  Obs.Json.Int st.Atpg.Types.learn_conflicts );
+                ("learn_clauses", Obs.Json.Int st.Atpg.Types.learn_clauses);
+                ( "learn_literals",
+                  Obs.Json.Int st.Atpg.Types.learn_literals );
+                ("learn_hits", Obs.Json.Int st.Atpg.Types.learn_hits);
+                ( "learn_cube_hits",
+                  Obs.Json.Int st.Atpg.Types.learn_cube_hits );
+              ])
+          [ false; true ])
+      race_cells
+  in
+  let records = records @ race_records in
   let m =
     bench_manifest ~command:"atpg"
       ~circuit:(String.concat "+" (List.map fst circuits))
@@ -259,7 +353,8 @@ let run_atpg_json ?(file = "BENCH_atpg.json") () =
   append_history ~suite:"atpg" records
 
 let run_atpg () =
-  say "ATPG engine benchmark (dk16.ji.sd pair, 3 engines):@.";
+  say "ATPG engine benchmark (dk16.ji.sd pair, 3 engines; + learn race, \
+       6 pairs x original/retimed):@.";
   run_atpg_json ()
 
 (* ---------------------------------------------- reachability benchmark JSON *)
@@ -395,14 +490,7 @@ let run_reach () =
 let fsim_vectors_length = 192
 
 let run_fsim_json ?(file = "BENCH_fsim.json") () =
-  let selection =
-    let ji = Synth.Assign.Input_dominant
-    and jo = Synth.Assign.Output_dominant
-    and jc = Synth.Assign.Combined in
-    let sd = Synth.Flow.Delay and sr = Synth.Flow.Rugged in
-    [ ("dk16", ji, sd); ("pma", jo, sd); ("s510", jc, sd);
-      ("s820", jc, sr); ("s832", jo, sr); ("scf", ji, sd) ]
-  in
+  let selection = study_pairs () in
   let cells =
     List.concat_map
       (fun (name, a, s) ->
@@ -620,6 +708,146 @@ let run_micro () =
     (List.sort compare names);
   say "@."
 
+(* ------------------------------------------------------- differential fuzz *)
+
+exception Fuzz_failure of string
+
+(* Default budgets on the tiny generated circuits: large enough that
+   both modes resolve almost every fault, small enough to stay fast.
+   SATPG_BUDGET scales them for deeper reproductions of a failing
+   seed. *)
+let fuzz_config ~struct_learn =
+  let base =
+    Atpg.Types.scaled_config
+      ~base:{ Atpg.Types.default_config with learn = false }
+      ()
+  in
+  { base with Atpg.Types.struct_learn }
+
+let fuzz_check_circuit ~seed ~label c =
+  (* 1. fault-sim backends: tape vs nodes bit-identity *)
+  let faults = Fsim.Collapse.list c in
+  let rng = Random.State.make [| seed; 0xf5 |] in
+  let vectors =
+    Sim.Vectors.random_sequence rng ~width:(Netlist.Node.num_pis c)
+      ~length:48
+  in
+  let rn = Fsim.Engine.simulate ~backend:`Nodes c faults vectors in
+  let rt = Fsim.Engine.simulate ~backend:`Tape c faults vectors in
+  if
+    rn.Fsim.Engine.detected <> rt.Fsim.Engine.detected
+    || rn.Fsim.Engine.detect_time <> rt.Fsim.Engine.detect_time
+    || rn.Fsim.Engine.good_states <> rt.Fsim.Engine.good_states
+    || rn.Fsim.Engine.sim_cycles <> rt.Fsim.Engine.sim_cycles
+  then
+    raise
+      (Fuzz_failure
+         (Printf.sprintf "fsim tape/nodes mismatch on %s (seed %d)" label
+            seed));
+  (* 2. ATPG: learn-on vs learn-off verdict and detection identity *)
+  let off =
+    Atpg.Run.generate ~config:(fuzz_config ~struct_learn:false) ~seed c
+  in
+  let on =
+    Atpg.Run.generate ~config:(fuzz_config ~struct_learn:true) ~seed c
+  in
+  (* ground-truth oracle first: a fault the random simulation detects
+     can never be redundant, whatever the engines' budgets did *)
+  Array.iteri
+    (fun i d ->
+      if
+        d
+        && (off.Atpg.Types.status.(i) = Fsim.Fault.Redundant
+            || on.Atpg.Types.status.(i) = Fsim.Fault.Redundant)
+      then
+        raise
+          (Fuzz_failure
+             (Printf.sprintf
+                "fault %d simulation-detected yet declared redundant on %s \
+                 (seed %d)"
+                i label seed)))
+    rn.Fsim.Engine.detected;
+  (* Verdict identity, modulo budget flips: learned clauses only prune
+     refutable subtrees, so the two modes may differ on a fault only by
+     one side running out of budget where the other resolved — learning
+     can finish an exhaustion learn-off cannot afford (that saving is
+     its whole point), and its consultation work can tip a marginal
+     search over the limit in the other direction.  Two *resolved*
+     verdicts that disagree (tested vs redundant) are a soundness bug,
+     never a budget artifact. *)
+  Array.iteri
+    (fun i s ->
+      let s' = on.Atpg.Types.status.(i) in
+      if s <> s' && s <> Fsim.Fault.Aborted && s' <> Fsim.Fault.Aborted then
+        raise
+          (Fuzz_failure
+             (Printf.sprintf
+                "contradictory resolved verdicts on %s fault %d (seed %d): \
+                 off=%s on=%s"
+                label i seed
+                (Fsim.Fault.status_to_string s)
+                (Fsim.Fault.status_to_string s'))))
+    off.Atpg.Types.status
+
+let fuzz_one_seed seed =
+  let states = 4 + (seed mod 5) in
+  let r =
+    Synth.Flow.synthesize ~reset_line:false
+      ~algorithm:
+        (match seed mod 3 with
+         | 0 -> Synth.Assign.Input_dominant
+         | 1 -> Synth.Assign.Output_dominant
+         | _ -> Synth.Assign.Combined)
+      ~script:(if seed mod 2 = 0 then Synth.Flow.Rugged else Synth.Flow.Delay)
+      (Fsm.Generate.generate
+         {
+           Fsm.Generate.default_spec with
+           Fsm.Generate.name = Printf.sprintf "fuzz%d" seed;
+           num_inputs = 2 + (seed mod 2);
+           num_outputs = 1 + (seed mod 3);
+           num_states = states;
+           cubes_per_state = 3;
+           seed;
+         })
+  in
+  let c = r.Synth.Flow.circuit in
+  let re, _period = Retime.Apply.retime_min_period c in
+  fuzz_check_circuit ~seed ~label:"original" c;
+  fuzz_check_circuit ~seed ~label:"retimed" re
+
+(* Seeded, bounded-time differential smoke: random circuit/retiming
+   pairs through learn-on vs learn-off PODEM and tape-vs-nodes fault
+   sim.  Any mismatch prints the failing seed (rerun with
+   `bench fuzz <seed>`) and exits non-zero. *)
+let run_fuzz ?seed () =
+  let limit_s =
+    match Sys.getenv_opt "SATPG_FUZZ_SECONDS" with
+    | Some s -> ( try float_of_string s with _ -> 45.0)
+    | None -> 45.0
+  in
+  let base = Option.value ~default:20260808 seed in
+  say "Differential fuzz (base seed %d, %.0fs budget): learn-on vs \
+       learn-off PODEM, tape vs nodes fsim@."
+    base limit_s;
+  let t0 = Unix.gettimeofday () in
+  let i = ref 0 in
+  (try
+     (* with an explicit seed run exactly that one reproduction *)
+     if Option.is_some seed then begin
+       fuzz_one_seed base;
+       incr i
+     end
+     else
+       while Unix.gettimeofday () -. t0 < limit_s do
+         fuzz_one_seed (base + !i);
+         incr i
+       done
+   with Fuzz_failure msg ->
+     say "FUZZ FAILURE: %s@." msg;
+     Fmt.flush Fmt.stdout ();
+     exit 1);
+  say "fuzz ok: %d circuit pairs, %.1fs@." !i (Unix.gettimeofday () -. t0)
+
 let () =
   (* `bench/main.exe [mode] [-j N]` — -j mirrors satpg's flag. *)
   let argv = Array.to_list Sys.argv in
@@ -633,17 +861,29 @@ let () =
     | [] -> ()
   in
   scan argv;
-  let mode =
-    match List.filteri (fun i _ -> i > 0) argv with
-    | m :: _ when m <> "-j" -> m
-    | _ -> "all"
+  let positional =
+    let rec strip = function
+      | "-j" :: _ :: rest -> strip rest
+      | a :: rest -> a :: strip rest
+      | [] -> []
+    in
+    match strip argv with _exe :: rest -> rest | [] -> []
   in
+  let mode = match positional with m :: _ -> m | [] -> "all" in
   (match mode with
    | "tables" -> run_tables ()
    | "micro" -> run_micro ()
    | "atpg" -> run_atpg ()
    | "reach" -> run_reach ()
    | "fsim" -> run_fsim ()
+   | "fuzz" ->
+     (* `bench fuzz [seed]` — with a seed, one exact reproduction *)
+     let seed =
+       match positional with
+       | _ :: s :: _ -> int_of_string_opt s
+       | _ -> None
+     in
+     run_fuzz ?seed ()
    | _ ->
      run_micro ();
      run_tables ();

@@ -283,6 +283,17 @@ let atpg_cmd =
                "Print the result summary as one JSON object (coverage, work \
                 accounting, per-status fault counts) instead of text.")
   in
+  let learn_flag =
+    Arg.(value & flag
+         & info [ "learn" ]
+             ~doc:
+               "Enable conflict-driven structural learning (hitec/sest \
+                only): blocking clauses derived from propagation conflicts \
+                and generalized failed justification cubes prune the search \
+                across faults and time frames.  Equivalent to \
+                $(b,SATPG_LEARN=1); off, the engines are bit-identical to \
+                the unlearned seed.")
+  in
   let prove_flag =
     Arg.(value & flag
          & info [ "prove-untestable" ]
@@ -292,12 +303,13 @@ let atpg_cmd =
                 from the engine's list; they count toward fault efficiency \
                 as $(b,proved_untestable).")
   in
-  let run () obs jobs fsm alg script engine retimed scoap prove json =
+  let run () obs jobs fsm alg script engine retimed scoap learn prove json =
     setup_jobs jobs;
     with_obs ~command:"atpg" obs @@ fun () ->
     let p = Core.Flow.pair fsm alg script in
     let name = p.Core.Flow.name ^ if retimed then ".re" else "" in
     let circuit = if retimed then p.Core.Flow.retimed else p.Core.Flow.original in
+    let struct_learn = learn || Atpg.Types.env_struct_learn () in
     let r =
       if scoap then begin
         if prove then
@@ -306,13 +318,23 @@ let atpg_cmd =
         Core.Cache.note_bypass ();
         let guide = Lint.Scoap.controllability (Lint.Scoap.compute circuit) in
         match engine with
-        | Core.Cache.Hitec -> Atpg.Hitec.generate ~guide circuit
-        | Core.Cache.Sest -> Atpg.Sest.generate ~guide circuit
+        | Core.Cache.Hitec ->
+          let config =
+            { (Atpg.Hitec.config ()) with Atpg.Types.struct_learn }
+          in
+          Atpg.Hitec.generate ~config ~guide circuit
+        | Core.Cache.Sest ->
+          let config =
+            { (Atpg.Sest.config ()) with Atpg.Types.struct_learn }
+          in
+          Atpg.Sest.generate ~config ~guide circuit
         | Core.Cache.Attest ->
           Fmt.epr "note: attest is simulation-based; --scoap has no effect@.";
           Atpg.Attest.generate circuit
       end
-      else Core.Cache.atpg ~prove_untestable:prove engine ~name circuit
+      else
+        Core.Cache.atpg ~prove_untestable:prove ~struct_learn engine ~name
+          circuit
     in
     let cache = Core.Cache.outcome_string (Core.Cache.last_outcome ()) in
     (* same config recipe as Core.Cache.atpg, so the fingerprint in the
@@ -323,6 +345,7 @@ let atpg_cmd =
       | Core.Cache.Sest -> Atpg.Sest.config ()
       | Core.Cache.Attest -> Atpg.Types.scaled_config ()
     in
+    let config = { config with Atpg.Types.struct_learn } in
     let m =
       finish_manifest ~command:"atpg" ~circuit:name
         ~circuit_hash:(Netlist.Structhash.circuit circuit)
@@ -367,8 +390,8 @@ let atpg_cmd =
   in
   Cmd.v (Cmd.info "atpg" ~doc:"Run an ATPG engine on a circuit")
     Term.(const run $ logging $ obs_args $ jobs_arg $ fsm_arg $ algorithm_arg
-          $ script_arg $ engine_arg $ retimed_flag $ scoap_flag $ prove_flag
-          $ json_flag)
+          $ script_arg $ engine_arg $ retimed_flag $ scoap_flag $ learn_flag
+          $ prove_flag $ json_flag)
 
 (* --- classify --------------------------------------------------------------- *)
 

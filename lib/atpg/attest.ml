@@ -165,7 +165,10 @@ let search_fault c dist fault ~rng ~max_steps ~candidates_per_step ~stats =
   if !detected then Some (List.rev !seq) else None
 
 let generate ?(config = Types.scaled_config ()) ?(seed = 3) ?prune c =
-  let cfg = config in
+  (* directed simulation has no decision tree, so structural learning
+     (DESIGN §12) cannot apply; drop the flag here so the run is
+     self-evidently identical whichever way the caller inherited it *)
+  let cfg = { config with Types.struct_learn = false } in
   let faults = Fsim.Collapse.list c in
   let n = Array.length faults in
   let status = Array.make n Fsim.Fault.Untested in

@@ -204,7 +204,8 @@ let choose_objective fr (fault : Fsim.Fault.t) =
        | _ :: _ -> Dead_end)
   end
 
-let phase_a fr (fault : Fsim.Fault.t) cfg stats =
+let phase_a ?slearn fr (fault : Fsim.Fault.t) cfg stats =
+  let site = Learn.anchor fault in
   let stack : decision list ref = ref [] in
   let escape_seen = ref false in
   let note_escape () =
@@ -236,10 +237,24 @@ let phase_a fr (fault : Fsim.Fault.t) cfg stats =
       end
   and search () =
     check_budget cfg stats;
+    (* consult the learned store before branching: a clause match proves
+       the whole subtree under the current assignment fruitless (the
+       escape accounting for this state already ran via [note_escape]
+       right after the implication that produced it) *)
+    let learned_prune =
+      match slearn with
+      | Some sl -> Learn.blocked sl ~site ~stats fr
+      | None -> false
+    in
+    if learned_prune then backtrack ()
+    else
     match choose_objective fr fault with
     | Success -> Detected
     | Dead_end ->
       Obs.Metrics.incr m_conflicts;
+      (match slearn with
+       | Some sl -> ignore (Learn.analyze sl ~site ~stats fr)
+       | None -> ());
       backtrack ()
     | Obj (frame, node, v) ->
       (match backtrace fr frame node v with
@@ -288,7 +303,7 @@ let cube_matches_code cube code =
     cube;
   !ok
 
-let justify ?(directory = []) ?guide c ~required ~cfg ~stats
+let justify ?(directory = []) ?guide ?slearn c ~required ~cfg ~stats
     ~(learn : learn_state option) =
   let nbits = Array.length required in
   let visited = Hashtbl.create 64 in
@@ -302,23 +317,56 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
     in
     find directory
   in
-  let rec solve required depth =
+  (* [complete] tracks whether the refutation below this point hit any
+     cutoff (depth limit, visited table, backtrace step cap, an
+     incompletely refuted cached cube): only cutoff-free failures are
+     unreachability proofs, and only those may generalize into
+     subset-matching clauses (Learn).  Pure bookkeeping: no branch of the
+     original search depends on it. *)
+  let rec solve required depth ~complete =
     check_budget cfg stats;
     let sg = cube_signature required in
     Hashtbl.replace stats.Types.state_cubes sg ();
     if compatible_with_init c required then Some []
-    else if depth >= cfg.Types.max_frames_bwd then None
-    else if Hashtbl.mem visited sg then None
+    else if depth >= cfg.Types.max_frames_bwd then begin
+      complete := false;
+      None
+    end
+    else if Hashtbl.mem visited sg then begin
+      complete := false;
+      None
+    end
     else
       match lookup_directory required with
       | Some prefix ->
         Obs.Metrics.incr m_directory;
         Some prefix
       | None ->
+    let struct_cut =
+      match slearn with
+      | None -> None
+      | Some sl ->
+        (match Learn.failed_exact sl sg with
+         | Some was_complete ->
+           Obs.Metrics.incr m_learn_failed;
+           if not was_complete then complete := false;
+           Some `Fail
+         | None ->
+           if Learn.cube_blocked sl ~stats required then Some `Fail
+           else (
+             match Learn.proven_prefix sl sg with
+             | Some p -> Some (`Prefix p)
+             | None -> None))
+    in
+    (match struct_cut with
+    | Some `Fail -> None
+    | Some (`Prefix p) -> Some p
+    | None ->
     begin
       match learn with
       | Some l when Hashtbl.mem l.failed_cubes sg ->
         Obs.Metrics.incr m_learn_failed;
+        complete := false;
         None
       | _ ->
         (match learn with
@@ -327,21 +375,38 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
             | Some prefix ->
               Obs.Metrics.incr m_learn_prefix;
               Some prefix
-            | None -> solve_frame required depth sg)
-         | None -> solve_frame required depth sg)
-    end
-  and solve_frame required depth sg =
+            | None -> solve_frame required depth sg ~complete)
+         | None -> solve_frame required depth sg ~complete)
+    end)
+  and solve_frame required depth sg ~complete =
     Hashtbl.replace visited sg ();
-    match attempt_frame required depth ~from_init:true with
+    let read = Array.make nbits false in
+    let sub = ref true in
+    match attempt_frame required depth ~from_init:true ~read ~complete:(ref true)
+    with
     | Some r -> Some r
-    | None -> attempt_frame required depth ~from_init:false
+    | None ->
+      (match
+         attempt_frame required depth ~from_init:false ~read ~complete:sub
+       with
+      | Some r -> Some r
+      | None ->
+        (* the free-previous-state attempt subsumes the reset probe, so
+           its completeness alone decides whether this failure proves
+           unreachability *)
+        (match slearn with
+         | Some sl ->
+           Learn.note_failed_cube sl ~complete:!sub ~read ~stats required
+         | None -> ());
+        if not !sub then complete := false;
+        None)
 
   (* One backward frame.  [from_init] pins the previous state to the
      power-up state (the reset-first probe: on densely encoded machines most
      requirement cubes are a short hop from reset, and this prunes the
      regression enormously); otherwise the previous state is free and the
      search recurses on whatever cube it needs. *)
-  and attempt_frame required depth ~from_init =
+  and attempt_frame required depth ~from_init ~read ~complete =
     let local_backtracks = ref 0 in
     let probe_limit = 60 in
     let sg = cube_signature required in
@@ -363,6 +428,7 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
              match required.(j) with
              | Sim.Value3.X -> ()
              | want ->
+               read.(j) <- true;
                let data = (Netlist.Node.node c id).Netlist.Node.fanins.(0) in
                let got = fr.Frames.good.(0).(data) in
                if got = Sim.Value3.X then begin
@@ -383,7 +449,10 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
       Obs.Metrics.incr m_backtracks;
       incr local_backtracks;
       check_budget cfg stats;
-      if from_init && !local_backtracks > probe_limit then None
+      if from_init && !local_backtracks > probe_limit then begin
+        complete := false;
+        None
+      end
       else
         match !stack with
         | [] -> None
@@ -422,23 +491,34 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
           (match learn with
            | Some l -> Hashtbl.replace l.proven_prefix sg seq
            | None -> ());
+          (match slearn with
+           | Some sl -> Learn.note_proven_prefix sl sg seq
+           | None -> ());
           Some seq
         end
         else begin
           (* recurse on the previous state requirement *)
           let new_required = Array.copy fr.Frames.ps0 in
-          match solve new_required (depth + 1) with
+          match solve new_required (depth + 1) ~complete with
           | Some prefix ->
             let seq = prefix @ [ vector () ] in
             (match learn with
              | Some l -> Hashtbl.replace l.proven_prefix sg seq
+             | None -> ());
+            (match slearn with
+             | Some sl -> Learn.note_proven_prefix sl sg seq
              | None -> ());
             Some seq
           | None -> backtrack ()
         end
       | Obj (frame, node, v) ->
         (match backtrace fr frame node v with
-         | None -> backtrack ()
+         | None ->
+           (* could be a genuine all-assigned dead end or the backtrace
+              step cap: indistinguishable here, so count it against
+              completeness *)
+           complete := false;
+           backtrack ()
          | Some (var, value) ->
            stats.Types.decisions <- stats.Types.decisions + 1;
            Obs.Metrics.incr m_decisions;
@@ -456,4 +536,4 @@ let justify ?(directory = []) ?guide c ~required ~cfg ~stats
     r
   in
   ignore nbits;
-  solve required 0
+  solve required 0 ~complete:(ref true)

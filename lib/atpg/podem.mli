@@ -38,9 +38,13 @@ val unassign : Frames.t -> var -> unit
     pseudo-input decision; [None] when every path is already assigned. *)
 val backtrace : Frames.t -> int -> int -> bool -> (var * bool) option
 
-(** Excitation/propagation search for one fault.
+(** Excitation/propagation search for one fault.  With [slearn], every
+    dead end is analyzed into a blocking clause and the learned store is
+    consulted before each branch (see {!module:Learn}); without it the
+    search is bit-identical to the seed engine.
     @raise Out_of_budget when the per-fault budget runs out. *)
 val phase_a :
+  ?slearn:Learn.t ->
   Frames.t -> Fsim.Fault.t -> Types.config -> Types.stats -> phase_a_result
 
 (** Does the cube's specified bits match the packed state key? *)
@@ -53,10 +57,14 @@ val compatible_with_init : Netlist.Node.t -> Sim.Value3.t array -> bool
     prefix (power-up onward) reaching a compatible state, or [None].
     [directory] is the simulation-seeded (state, prefix) list; [guide]
     is the optional SCOAP [(cc0, cc1)] controllability cost table.
+    [slearn] adds the cross-fault structural-learning store: complete
+    refutations are generalized to their read set and consulted (with
+    subset matching) before any cube is searched.
     @raise Out_of_budget when the budget runs out. *)
 val justify :
   ?directory:(Sim.Statekey.t * Sim.Vectors.sequence) list ->
   ?guide:int array * int array ->
+  ?slearn:Learn.t ->
   Netlist.Node.t ->
   required:Sim.Value3.t array ->
   cfg:Types.config ->

@@ -36,6 +36,11 @@ let merge_stats ~into:(g : Types.stats) (f : Types.stats) =
   g.Types.backtracks <- g.Types.backtracks + f.Types.backtracks;
   g.Types.decisions <- g.Types.decisions + f.Types.decisions;
   g.Types.frames <- g.Types.frames + f.Types.frames;
+  g.Types.learn_conflicts <- g.Types.learn_conflicts + f.Types.learn_conflicts;
+  g.Types.learn_clauses <- g.Types.learn_clauses + f.Types.learn_clauses;
+  g.Types.learn_literals <- g.Types.learn_literals + f.Types.learn_literals;
+  g.Types.learn_hits <- g.Types.learn_hits + f.Types.learn_hits;
+  g.Types.learn_cube_hits <- g.Types.learn_cube_hits + f.Types.learn_cube_hits;
   Hashtbl.iter
     (fun k () -> Hashtbl.replace g.Types.state_cubes k ())
     f.Types.state_cubes
@@ -120,6 +125,11 @@ let emit_fault_event c ~engine ~index ~(fault : Fsim.Fault.t)
         ("decisions", Obs.Json.Int fstats.Types.decisions);
         ("frames", Obs.Json.Int fstats.Types.frames);
         ("state_cubes", Obs.Json.Int (Hashtbl.length fstats.Types.state_cubes));
+        ("learn_conflicts", Obs.Json.Int fstats.Types.learn_conflicts);
+        ("learn_clauses", Obs.Json.Int fstats.Types.learn_clauses);
+        ("learn_literals", Obs.Json.Int fstats.Types.learn_literals);
+        ("learn_hits", Obs.Json.Int fstats.Types.learn_hits);
+        ("learn_cube_hits", Obs.Json.Int fstats.Types.learn_cube_hits);
         ("drop_credit", Obs.Json.Int drop_credit);
         ("work_units_after", Obs.Json.Int (Types.work_units stats));
         ("resolved_after", Obs.Json.Int resolved);
@@ -151,17 +161,18 @@ let apply_prune ?prune c ~engine ~faults ~status ~detected ~stats ~resolved =
           faults)
 
 (* Attempt one fault deterministically. *)
-let attempt_fault ?directory ?guide c fault cfg fstats learn =
+let attempt_fault ?directory ?guide ?slearn c fault cfg fstats learn =
   try
     let fr =
       Frames.create ~fault ?guide c ~frames:cfg.Types.max_frames_fwd
         ~stats:fstats
     in
-    match Podem.phase_a fr fault cfg fstats with
+    match Podem.phase_a ?slearn fr fault cfg fstats with
     | Podem.Detected ->
       let required = Array.copy fr.Frames.ps0 in
       (match
-         Podem.justify ?directory ?guide c ~required ~cfg ~stats:fstats ~learn
+         Podem.justify ?directory ?guide ?slearn c ~required ~cfg ~stats:fstats
+           ~learn
        with
        | Some prefix ->
          let forward =
@@ -208,6 +219,10 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
   let learn_state =
     match learn with Some l -> l | None -> Podem.new_learn_state ()
   in
+  (* conflict-driven structural learning: one clause store for the whole
+     run, shared across faults (phase-A clauses per anchor site, phase-B
+     failed-cube clauses globally) *)
+  let slearn = if cfg.Types.struct_learn then Some (Learn.create c) else None in
   (* Fault-simulate [seq] with dropping; returns the newly dropped fault
      indices (ascending).  Emits one "fault_sim" event per call. *)
   let apply_fault_sim ~phase seq =
@@ -282,7 +297,7 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
     let fstats = Types.new_stats () in
     let learn_arg = if cfg.Types.learn then Some learn_state else None in
     let outcome =
-      attempt_fault ~directory ?guide c fault cfg fstats learn_arg
+      attempt_fault ~directory ?guide ?slearn c fault cfg fstats learn_arg
     in
     (outcome, fstats)
   in
@@ -373,11 +388,13 @@ let generate ?(config = Types.scaled_config ()) ?(seed = 1)
     with Exit -> ()
   in
   Obs.Trace.span "atpg.deterministic_phase" (fun () ->
-      (* The SEST engine threads one shared learn state through every
-         attempt, and tracing wants per-fault spans — both are inherently
-         sequential, so speculation is for the learn-free, untraced
-         configuration (the Table 2-4 workhorse). *)
+      (* The SEST engine and the structural-learning store are both one
+         shared mutable state threaded through every attempt, and tracing
+         wants per-fault spans — all inherently sequential, so speculation
+         is for the learn-free, untraced configuration (the Table 2-4
+         workhorse). *)
       if Exec.Pool.jobs () > 1 && (not cfg.Types.learn)
+         && (not cfg.Types.struct_learn)
          && not (Obs.Trace.enabled ())
       then deterministic_parallel ()
       else deterministic_sequential ());

@@ -75,10 +75,12 @@ val apply_prune :
 
 (** Deterministic attempt on one fault (exposed for tests/benches).
     [guide] is the optional SCOAP [(cc0, cc1)] cost table steering
-    PODEM's backtrace input choice. *)
+    PODEM's backtrace input choice; [slearn] the optional cross-fault
+    structural-learning store (see {!module:Learn}). *)
 val attempt_fault :
   ?directory:(Sim.Statekey.t * Sim.Vectors.sequence) list ->
   ?guide:int array * int array ->
+  ?slearn:Learn.t ->
   Netlist.Node.t ->
   Fsim.Fault.t ->
   Types.config ->

@@ -12,6 +12,7 @@ type config = {
   total_work_limit : int; (* whole-circuit budget; beyond it faults abort *)
   validate : bool;        (* confirm every generated test by fault simulation *)
   learn : bool;           (* SEST-style dynamic state learning *)
+  struct_learn : bool;    (* conflict-driven structural clause learning *)
 }
 
 let default_config =
@@ -23,7 +24,16 @@ let default_config =
     total_work_limit = 250_000_000;
     validate = true;
     learn = false;
+    struct_learn = false;
   }
+
+(* SATPG_LEARN=1/true/on turns conflict-driven structural learning on for
+   every engine run that builds its config through [scaled_config] (the
+   CLI `--learn` flag is the explicit spelling of the same switch). *)
+let env_struct_learn () =
+  match Sys.getenv_opt "SATPG_LEARN" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | Some _ | None -> false
 
 (* Scale every budget by the SATPG_BUDGET environment variable (float).
    An unparsable value is loudly ignored (a silent fallback made typos
@@ -31,6 +41,9 @@ let default_config =
    rejected outright — it would produce zero/negative budgets and an ATPG
    run that aborts every fault while claiming to have tried. *)
 let scaled_config ?(base = default_config) () =
+  let base =
+    if env_struct_learn () then { base with struct_learn = true } else base
+  in
   match Sys.getenv_opt "SATPG_BUDGET" with
   | None | Some "" -> base
   | Some s ->
@@ -63,6 +76,12 @@ type stats = {
   states : (Sim.Statekey.t, unit) Hashtbl.t;
   (* distinct good states traversed, overflow-safe packed keys *)
   state_cubes : (string, unit) Hashtbl.t; (* justification targets (with X) *)
+  (* conflict-driven structural learning (Learn); all zero when off *)
+  mutable learn_conflicts : int; (* conflicts analyzed into clauses *)
+  mutable learn_clauses : int;   (* blocking clauses stored *)
+  mutable learn_literals : int;  (* literals across stored clauses *)
+  mutable learn_hits : int;      (* phase-A prunes from clause matches *)
+  mutable learn_cube_hits : int; (* phase-B prunes from failed-cube clauses *)
 }
 
 let new_stats () =
@@ -73,6 +92,11 @@ let new_stats () =
     frames = 0;
     states = Hashtbl.create 256;
     state_cubes = Hashtbl.create 256;
+    learn_conflicts = 0;
+    learn_clauses = 0;
+    learn_literals = 0;
+    learn_hits = 0;
+    learn_cube_hits = 0;
   }
 
 let note_state stats code =
@@ -118,6 +142,11 @@ let result_to_json ?(extra = []) r =
         ("frames_expanded", Obs.Json.Int r.stats.frames);
         ("states_seen", Obs.Json.Int (Hashtbl.length r.stats.states));
         ("state_cubes", Obs.Json.Int (Hashtbl.length r.stats.state_cubes));
+        ("learn_conflicts", Obs.Json.Int r.stats.learn_conflicts);
+        ("learn_clauses", Obs.Json.Int r.stats.learn_clauses);
+        ("learn_literals", Obs.Json.Int r.stats.learn_literals);
+        ("learn_hits", Obs.Json.Int r.stats.learn_hits);
+        ("learn_cube_hits", Obs.Json.Int r.stats.learn_cube_hits);
         ( "status_counts",
           Obs.Json.Obj
             [

@@ -13,13 +13,21 @@ type config = {
   total_work_limit : int; (** whole-circuit budget; beyond it faults abort *)
   validate : bool;        (** confirm every test by fault simulation *)
   learn : bool;           (** SEST-style dynamic state learning *)
+  struct_learn : bool;
+  (** conflict-driven structural clause learning ({!module:Learn}): derive
+      blocking clauses from phase-A conflicts and generalized failed cubes
+      from complete phase-B refutations, and consult them before branching *)
 }
 
 val default_config : config
 
+(** Is [SATPG_LEARN] set to a truthy value (1/true/on/yes)? *)
+val env_struct_learn : unit -> bool
+
 (** [scaled_config ?base ()] multiplies every budget of [base] by the
-    [SATPG_BUDGET] environment variable (a float), when set.  An
-    unparsable value logs a warning and leaves the budgets unscaled.
+    [SATPG_BUDGET] environment variable (a float), when set, and turns
+    [struct_learn] on when [SATPG_LEARN] is truthy.  An unparsable budget
+    logs a warning and leaves the budgets unscaled.
     @raise Invalid_argument on a non-positive or non-finite scale. *)
 val scaled_config : ?base:config -> unit -> config
 
@@ -33,6 +41,13 @@ type stats = {
       keyed by overflow-safe packed state keys *)
   state_cubes : (string, unit) Hashtbl.t;
   (** justification requirement cubes encountered (with X positions) *)
+  mutable learn_conflicts : int;
+  (** conflicts whose analysis produced a stored blocking clause *)
+  mutable learn_clauses : int;   (** blocking clauses stored *)
+  mutable learn_literals : int;  (** literals across stored clauses *)
+  mutable learn_hits : int;      (** phase-A prunes from clause matches *)
+  mutable learn_cube_hits : int;
+  (** phase-B prunes from generalized failed-cube clauses *)
 }
 
 val new_stats : unit -> stats

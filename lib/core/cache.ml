@@ -148,12 +148,28 @@ let classify ?(symbolic = true) ?(product = false) ?(universe = Collapsed)
       in
       Analysis.Untest.classify ~symbolic ~max_nodes ~product ?faults c)
 
-let atpg ?(prove_untestable = false) kind ~name c =
+let atpg ?(prove_untestable = false) ?struct_learn kind ~name c =
   let config =
     match kind with
     | Hitec -> Atpg.Hitec.config ()
     | Sest -> Atpg.Sest.config ()
     | Attest -> Atpg.Types.scaled_config ()
+  in
+  (* [struct_learn] overrides the SATPG_LEARN default baked in by
+     [scaled_config]; the flag is part of the config fingerprint, so
+     learn-on and learn-off runs never share a cache record *)
+  let config =
+    match struct_learn with
+    | None -> config
+    | Some b -> { config with Atpg.Types.struct_learn = b }
+  in
+  (* the simulation-based attest engine has no branch structure to learn
+     from: normalize the flag off so a --learn attest run shares the
+     cache line of the plain one instead of recomputing it verbatim *)
+  let config =
+    match kind with
+    | Attest -> { config with Atpg.Types.struct_learn = false }
+    | Hitec | Sest -> config
   in
   (* classify first (its own cache line) so the prune predicate and the
      classify fingerprint in the ATPG key agree by construction *)

@@ -70,9 +70,12 @@ val classify :
     classifies first (through {!classify}, full cascade including the
     exact product stage) and prunes proved faults — the pruned run is
     cached under a distinct key that folds in the classification
-    fingerprint. *)
+    fingerprint.  [struct_learn] forces conflict-driven structural
+    learning on or off (default: the [SATPG_LEARN] environment switch);
+    the flag is part of the cache key, so the two modes never alias. *)
 val atpg :
   ?prove_untestable:bool ->
+  ?struct_learn:bool ->
   atpg_kind ->
   name:string ->
   Netlist.Node.t ->

@@ -24,6 +24,10 @@ let as_float = function
   | _ -> raise Corrupt
 
 let int_field name j = as_int (obj_field name j)
+
+(* New fields decode to 0 on records written before they existed. *)
+let int_field_or0 name j =
+  match member name j with Some v -> as_int v | None -> 0
 let guard decode j = match decode j with v -> Some v | exception Corrupt -> None
 
 (* ---------------------------------------------------------------- faults - *)
@@ -84,6 +88,11 @@ let stats_to_json (s : Atpg.Types.stats) =
         List (Stdlib.List.map (fun k -> String (Sim.Statekey.to_hex k)) states)
       );
       ("state_cubes", List (Stdlib.List.map (fun k -> String k) cubes));
+      ("learn_conflicts", Int s.Atpg.Types.learn_conflicts);
+      ("learn_clauses", Int s.Atpg.Types.learn_clauses);
+      ("learn_literals", Int s.Atpg.Types.learn_literals);
+      ("learn_hits", Int s.Atpg.Types.learn_hits);
+      ("learn_cube_hits", Int s.Atpg.Types.learn_cube_hits);
     ]
 
 let stats_of_json j =
@@ -103,6 +112,11 @@ let stats_of_json j =
   Stdlib.List.iter
     (fun k -> Hashtbl.replace s.Atpg.Types.state_cubes (as_string k) ())
     (as_list (obj_field "state_cubes" j));
+  s.Atpg.Types.learn_conflicts <- int_field_or0 "learn_conflicts" j;
+  s.Atpg.Types.learn_clauses <- int_field_or0 "learn_clauses" j;
+  s.Atpg.Types.learn_literals <- int_field_or0 "learn_literals" j;
+  s.Atpg.Types.learn_hits <- int_field_or0 "learn_hits" j;
+  s.Atpg.Types.learn_cube_hits <- int_field_or0 "learn_cube_hits" j;
   s
 
 let atpg_result_to_json (r : Atpg.Types.result) =

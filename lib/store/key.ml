@@ -19,6 +19,7 @@ let config_fingerprint (cfg : Atpg.Types.config) =
   let h = int h cfg.Atpg.Types.total_work_limit in
   let h = bool h cfg.Atpg.Types.validate in
   let h = bool h cfg.Atpg.Types.learn in
+  let h = bool h cfg.Atpg.Types.struct_learn in
   to_hex h
 
 (* Bump when the classifier's cascade changes in a way that can alter

@@ -13,6 +13,7 @@ let () =
       ("fsim", Test_fsim.suite);
       ("tape", Test_tape.suite);
       ("atpg", Test_atpg.suite);
+      ("learn", Test_learn.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);
       ("lint", Test_lint.suite);

@@ -100,6 +100,58 @@ let test_config_fingerprint () =
   Alcotest.(check bool) "flag change refreshes" true
     (fp { base with Atpg.Types.learn = true } <> fp base)
 
+let test_learn_flag_never_aliases () =
+  (* regression: before PR 9 the fingerprint ignored [struct_learn], so a
+     learn-on run could serve a learn-off request from the store (and
+     vice versa) — silently, because everything else matches *)
+  let base = Atpg.Types.default_config in
+  let on = { base with Atpg.Types.struct_learn = true } in
+  let fp = Store.Key.config_fingerprint in
+  Alcotest.(check bool) "fingerprint split" true (fp on <> fp base);
+  let h = Netlist.Structhash.circuit (Helpers.toy_circuit ()) in
+  Alcotest.(check bool) "store keys split" true
+    (Store.Key.atpg ~engine:"hitec" ~config:on ~circuit_hash:h ()
+     <> Store.Key.atpg ~engine:"hitec" ~config:base ~circuit_hash:h ());
+  (* the two learning flags must not collapse into one hash bit *)
+  Alcotest.(check bool) "learn vs struct_learn split" true
+    (fp on <> fp { base with Atpg.Types.learn = true })
+
+let test_codec_learn_counters () =
+  let r = Atpg.Run.generate (Helpers.toy_circuit ()) in
+  r.Atpg.Types.stats.Atpg.Types.learn_conflicts <- 3;
+  r.Atpg.Types.stats.Atpg.Types.learn_clauses <- 2;
+  r.Atpg.Types.stats.Atpg.Types.learn_literals <- 7;
+  r.Atpg.Types.stats.Atpg.Types.learn_hits <- 11;
+  r.Atpg.Types.stats.Atpg.Types.learn_cube_hits <- 5;
+  let j = Store.Codec.atpg_result_to_json r in
+  (match Store.Codec.atpg_result_of_json j with
+   | None -> Alcotest.fail "decode failed"
+   | Some d ->
+     let s = d.Atpg.Types.stats in
+     Alcotest.(check int) "conflicts" 3 s.Atpg.Types.learn_conflicts;
+     Alcotest.(check int) "clauses" 2 s.Atpg.Types.learn_clauses;
+     Alcotest.(check int) "literals" 7 s.Atpg.Types.learn_literals;
+     Alcotest.(check int) "hits" 11 s.Atpg.Types.learn_hits;
+     Alcotest.(check int) "cube hits" 5 s.Atpg.Types.learn_cube_hits);
+  (* a record written before the fields existed — simulated by stripping
+     them from the JSON — must decode to zeroed counters, not fail *)
+  let rec strip = function
+    | Obs.Json.Obj fields ->
+      Obs.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if String.length k >= 6 && String.sub k 0 6 = "learn_" then None
+             else Some (k, strip v))
+           fields)
+    | Obs.Json.List l -> Obs.Json.List (List.map strip l)
+    | v -> v
+  in
+  match Store.Codec.atpg_result_of_json (strip j) with
+  | None -> Alcotest.fail "pre-PR-9 record must still decode"
+  | Some d ->
+    Alcotest.(check int) "absent fields read as zero" 0
+      d.Atpg.Types.stats.Atpg.Types.learn_hits
+
 let test_keys_exclude_names () =
   let h = Netlist.Structhash.circuit (Helpers.toy_circuit ()) in
   let k = Store.Key.atpg ~engine:"hitec" ~config:Atpg.Types.default_config
@@ -462,6 +514,9 @@ let suite =
       test_hash_ignores_names;
     Alcotest.test_case "hash tracks structure" `Quick test_hash_sees_structure;
     Alcotest.test_case "config fingerprint" `Quick test_config_fingerprint;
+    Alcotest.test_case "learn flag never aliases" `Quick
+      test_learn_flag_never_aliases;
+    Alcotest.test_case "codec learn counters" `Quick test_codec_learn_counters;
     Alcotest.test_case "keys exclude names" `Quick test_keys_exclude_names;
     Alcotest.test_case "codec atpg round-trip" `Quick
       test_codec_atpg_roundtrip;
