@@ -8,13 +8,32 @@
      dune exec bench/main.exe -- atpg         engine grid -> BENCH_atpg.json
      dune exec bench/main.exe -- reach        explicit vs symbolic -> BENCH_reach.json
      dune exec bench/main.exe -- fsim         tape vs nodes backend -> BENCH_fsim.json
+     dune exec bench/main.exe -- serve        satpg serve workload -> BENCH_serve.json
      SATPG_BUDGET=4 dune exec bench/main.exe  higher-fidelity ATPG runs
+
+   `serve` needs a dedicated cold SATPG_STORE (its cold phase asserts
+   cache misses) and is not part of the default `all` sweep.
 
    Ablations (design choices from DESIGN.md §6) run with the tables:
      mapping objective (area vs delay), random-phase fault dropping,
      SEST state learning. *)
 
 let say fmt = Fmt.pr fmt
+
+(* Internal consistency checks (table shape checks, backend bit-identity,
+   serve-phase assertions) record here as well as printing, so every mode
+   exits non-zero when one trips — the CI gates rely on the exit code,
+   not on scraping stdout for FAIL lines. *)
+let failures : string list ref = ref []
+
+let check_failed fmt =
+  Printf.ksprintf
+    (fun m ->
+      say "FAIL: %s@." m;
+      failures := m :: !failures)
+    fmt
+
+let check name ok = if not ok then check_failed "%s" name
 
 (* ------------------------------------------------------- table regeneration *)
 
@@ -79,6 +98,10 @@ let run_tables () =
   let t0 = Unix.gettimeofday () in
   Core.Report.run_all Fmt.stdout ();
   Core.Report.pp_shape_checks Fmt.stdout ();
+  List.iter
+    (fun (name, ok) ->
+      if not ok then check_failed "table shape check: %s" name)
+    (Core.Report.shape_checks ());
   say "@.";
   ablation_mapping ();
   say "@.";
@@ -529,7 +552,7 @@ let run_fsim_json ?(file = "BENCH_fsim.json") () =
           || rn.Fsim.Engine.detect_time <> rt.Fsim.Engine.detect_time
           || rn.Fsim.Engine.good_states <> rt.Fsim.Engine.good_states
           || rn.Fsim.Engine.sim_cycles <> rt.Fsim.Engine.sim_cycles
-        then failwith ("bench fsim: backends disagree on " ^ bench);
+        then check_failed "bench fsim: backends disagree on %s" bench;
         let speedup = wall_n /. wall_t in
         List.map
           (fun (engine, (r : Fsim.Engine.run), wall, speedup) ->
@@ -708,6 +731,388 @@ let run_micro () =
     (List.sort compare names);
   say "@."
 
+(* --------------------------------------------------- serve benchmark JSON *)
+
+(* Drives an in-process `satpg serve` daemon over a Unix socket through a
+   mixed workload and writes BENCH_serve.json (schema in
+   results/README.md): a cold phase (dk16 pair as inline BLIF, every
+   request must miss — run this mode against a dedicated, cold
+   SATPG_STORE), a warm phase repeating the same requests (every request
+   must hit, and throughput must clear 10x cold), a repeat/unique ratio
+   sweep with client-side latency percentiles, a coalescing phase (one
+   slow request jams the dispatcher while identical requests pile up —
+   they must compute exactly once, sharing one manifest id), and a
+   deterministic overload phase against a depth-1 admission queue.  Every
+   assertion lands in [failures], so `bench serve` exits non-zero when
+   the service misbehaves. *)
+
+let serve_req ?id verb fields config =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       ((match id with
+         | Some i -> [ ("id", Obs.Json.String i) ]
+         | None -> [])
+       @ [ ("verb", Obs.Json.String verb) ]
+       @ fields
+       @ (match config with
+          | [] -> []
+          | c -> [ ("config", Obs.Json.Obj c) ])))
+
+let blif_source text =
+  [ ("circuit", Obs.Json.Obj [ ("blif", Obs.Json.String text) ]) ]
+
+let serve_connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let serve_send (_, oc) line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let serve_recv (ic, _) = Obs.Json.parse (input_line ic)
+
+let serve_rpc conn line =
+  serve_send conn line;
+  serve_recv conn
+
+let resp_ok r =
+  match Obs.Json.member "ok" r with Some (Obs.Json.Bool b) -> b | _ -> false
+
+let resp_str name r = Option.bind (Obs.Json.member name r) Obs.Json.to_string_opt
+
+let resp_hit r =
+  match resp_str "cache" r with
+  | Some ("hit" | "disk-hit") -> true
+  | _ -> false
+
+let stats_int path r =
+  let rec walk j = function
+    | [] -> Obs.Json.to_int_opt j
+    | k :: rest -> Option.bind (Obs.Json.member k j) (fun j -> walk j rest)
+  in
+  Option.value ~default:0 (walk r path)
+
+let serve_stats conn = serve_rpc conn (serve_req "stats" [] [])
+
+(* Block until the dispatcher is inside a batch — the jam request has
+   been popped and is running, so everything sent now queues behind it. *)
+let wait_in_flight conn =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    if stats_int [ "in_flight" ] (serve_stats conn) >= 1 then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Small unique circuits for the miss side of the ratio sweep: generated
+   machines, synthesized like the benchmarks, serialized as BLIF. *)
+let unique_blif seed =
+  let machine =
+    Fsm.Generate.generate
+      {
+        Fsm.Generate.default_spec with
+        Fsm.Generate.name = Printf.sprintf "rnd%d" seed;
+        num_inputs = 2;
+        num_outputs = 2;
+        num_states = 4;
+        cubes_per_state = 2;
+        seed;
+      }
+  in
+  let s =
+    Synth.Flow.synthesize ~algorithm:Synth.Assign.Input_dominant
+      ~script:Synth.Flow.Rugged machine
+  in
+  Netlist.Blif.to_string ~model:s.Synth.Flow.name s.Synth.Flow.circuit
+
+let percentile_ms sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    sorted.(max 0 (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1)))
+    *. 1000.0
+
+(* Send a request batch one at a time, timing each round trip. *)
+let timed_phase conn lines =
+  let walls, hits, oks =
+    List.fold_left
+      (fun (walls, hits, oks) line ->
+        let t0 = Unix.gettimeofday () in
+        let r = serve_rpc conn line in
+        let wall = Unix.gettimeofday () -. t0 in
+        ( wall :: walls,
+          (if resp_hit r then hits + 1 else hits),
+          oks && resp_ok r ))
+      ([], 0, true) lines
+  in
+  let walls = Array.of_list (List.rev walls) in
+  let total = Array.fold_left ( +. ) 0.0 walls in
+  let sorted = Array.copy walls in
+  Array.sort compare sorted;
+  let n = Array.length walls in
+  ( Obs.Json.Obj
+      [
+        ("requests", Obs.Json.Int n);
+        ("rps", Obs.Json.Float (float_of_int n /. total));
+        ("p50_ms", Obs.Json.Float (percentile_ms sorted 0.50));
+        ("p95_ms", Obs.Json.Float (percentile_ms sorted 0.95));
+        ("p99_ms", Obs.Json.Float (percentile_ms sorted 0.99));
+        ("hit_rate", Obs.Json.Float (float_of_int hits /. float_of_int n));
+      ],
+    float_of_int n /. total,
+    oks )
+
+let phase_fields extra = function
+  | Obs.Json.Obj fields -> Obs.Json.Obj (extra @ fields)
+  | j -> j
+
+(* The jam request: a long fault simulation of the dk16 pair circuit via
+   the bench source (the synthesized netlist keeps a tail of
+   hard-to-detect faults alive, so fault dropping cannot cut the run
+   short the way it does on the BLIF round-tripped tree).  Pure compute,
+   and its cache entry is a bypass — it perturbs neither the miss counts
+   nor the hit rates the phases assert on. *)
+let jam_line ?id () =
+  serve_req ?id "fsim"
+    [ ("circuit", Obs.Json.Obj [ ("bench", Obs.Json.String "dk16") ]) ]
+    [ ("vectors", Obs.Json.Int 20_000); ("seed", Obs.Json.Int 7) ]
+
+let run_serve_json ?(file = "BENCH_serve.json") () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "satpg-serve-bench.%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let p = Core.Flow.pair "dk16" Synth.Assign.Input_dominant Synth.Flow.Delay in
+  let dk16 = Netlist.Blif.to_string ~model:p.Core.Flow.name p.Core.Flow.original in
+  let dk16_re =
+    Netlist.Blif.to_string ~model:(p.Core.Flow.name ^ ".re") p.Core.Flow.retimed
+  in
+  let s27 =
+    if Sys.file_exists "examples/s27.blif" then read_file "examples/s27.blif"
+    else begin
+      check_failed "bench serve: examples/s27.blif not found (run from the \
+                    repository root)";
+      dk16
+    end
+  in
+  let atpg_line blif = serve_req "atpg" (blif_source blif) [] in
+
+  (* --- main server ------------------------------------------------- *)
+  let sock = Filename.concat dir "serve.sock" in
+  let t =
+    Serve.Server.start
+      { Serve.Server.default_config with Serve.Server.unix_path = Some sock }
+  in
+  let conn = serve_connect sock in
+
+  (* cold: the dk16 pair as inline BLIF, first sight of either circuit *)
+  let cold_lines = [ atpg_line dk16; atpg_line dk16_re ] in
+  let misses0 = stats_int [ "cache"; "misses" ] (serve_stats conn) in
+  let cold_rec, cold_rps, cold_ok = timed_phase conn cold_lines in
+  let cold_misses =
+    stats_int [ "cache"; "misses" ] (serve_stats conn) - misses0
+  in
+  check "bench serve: cold phase had failing requests" cold_ok;
+  if cold_misses < List.length cold_lines then
+    check_failed
+      "bench serve: cold phase expected %d cache misses, saw %d — run \
+       this mode against a dedicated cold SATPG_STORE"
+      (List.length cold_lines) cold_misses;
+
+  (* warm: the same two requests, repeated — memory hits only *)
+  let warm_lines = List.concat (List.init 10 (fun _ -> cold_lines)) in
+  let warm_rec, warm_rps, warm_ok = timed_phase conn warm_lines in
+  check "bench serve: warm phase had failing requests" warm_ok;
+  let speedup = warm_rps /. cold_rps in
+  say "  cold %6.2f req/s   warm %8.1f req/s   speedup %.0fx@." cold_rps
+    warm_rps speedup;
+  check "bench serve: warm-cache throughput below 10x cold" (speedup >= 10.0);
+
+  (* sweep: repeat (s27) vs unique (generated) mixes *)
+  let sweep_recs =
+    List.mapi
+      (fun ri ratio ->
+        let n = 20 in
+        let lines =
+          List.init n (fun i ->
+              if float_of_int (i mod 10) < ratio *. 10.0 then atpg_line s27
+              else atpg_line (unique_blif ((1000 * (ri + 1)) + i)))
+        in
+        let r, rps, ok = timed_phase conn lines in
+        if not ok then
+          check_failed "bench serve: sweep ratio %.1f had failing requests"
+            ratio;
+        say "  sweep repeat-ratio %.1f: %6.1f req/s@." ratio rps;
+        phase_fields
+          [
+            ("phase", Obs.Json.String "sweep");
+            ("repeat_ratio", Obs.Json.Float ratio);
+          ]
+          r)
+      [ 0.0; 0.5; 0.9 ]
+  in
+
+  (* coalesce: jam the dispatcher, pile up identical requests behind the
+     jam, and require exactly one computation for all of them *)
+  let fresh = unique_blif 424242 in
+  let misses0 = stats_int [ "cache"; "misses" ] (serve_stats conn) in
+  let coalesced0 = stats_int [ "serve"; "coalesced" ] (serve_stats conn) in
+  serve_send conn (jam_line ~id:"jam" ());
+  let jammed = wait_in_flight conn in
+  check "bench serve: dispatcher never picked up the jam request" jammed;
+  let dup = 8 in
+  for i = 0 to dup - 1 do
+    serve_send conn
+      (serve_req ~id:(Printf.sprintf "c%d" i) "atpg" (blif_source fresh) [])
+  done;
+  (* the jam response plus [dup] coalesced responses, in whatever order
+     the dispatcher finishes them; [wait_in_flight] replies were read
+     inside the helper, so exactly dup+1 lines remain *)
+  let replies = List.init (dup + 1) (fun _ -> serve_recv conn) in
+  let coalesce_manifests =
+    List.filter_map
+      (fun r ->
+        match resp_str "id" r with
+        | Some id when String.length id > 0 && id.[0] = 'c' ->
+          Some (Option.value ~default:"?" (resp_str "manifest" r))
+        | _ -> None)
+      replies
+  in
+  let misses1 = stats_int [ "cache"; "misses" ] (serve_stats conn) in
+  let coalesced1 = stats_int [ "serve"; "coalesced" ] (serve_stats conn) in
+  let manifests_equal =
+    match coalesce_manifests with
+    | m :: rest -> List.for_all (String.equal m) rest
+    | [] -> false
+  in
+  let coalesce_once = misses1 - misses0 = 1 in
+  say "  coalesce: %d identical requests, %d miss(es), %d saved, one \
+       manifest %b@."
+    dup (misses1 - misses0) (coalesced1 - coalesced0) manifests_equal;
+  check "bench serve: coalesced group computed more than once" coalesce_once;
+  check "bench serve: coalesced responses disagree on manifest id"
+    (manifests_equal && List.length coalesce_manifests = dup);
+  check "bench serve: no coalescing observed" (coalesced1 - coalesced0 >= 1);
+  check "bench serve: all coalesced requests answered ok"
+    (List.for_all resp_ok replies);
+
+  (* shutdown: the verb must answer, then the whole server must join *)
+  let sdr = serve_rpc conn (serve_req "shutdown" [] []) in
+  Serve.Server.wait t;
+  let shutdown_clean = resp_ok sdr && not (Sys.file_exists sock) in
+  check "bench serve: shutdown verb did not terminate the server cleanly"
+    shutdown_clean;
+
+  (* --- overload server: depth-1 queue, deterministic rejection ------ *)
+  let sock2 = Filename.concat dir "serve-overload.sock" in
+  let t2 =
+    Serve.Server.start
+      {
+        Serve.Server.port = None;
+        unix_path = Some sock2;
+        queue_depth = 1;
+        batch_max = 1;
+      }
+  in
+  let conn2 = serve_connect sock2 in
+  let overloaded0 = stats_int [ "serve"; "overloaded" ] (serve_stats conn2) in
+  serve_send conn2 (jam_line ~id:"jam2" ());
+  let jammed2 = wait_in_flight conn2 in
+  check "bench serve: overload jam never started" jammed2;
+  (* dispatcher is busy, so A occupies the single queue slot and B must
+     be rejected — the reader pushes them in order on this connection *)
+  serve_send conn2 (serve_req ~id:"A" "atpg" (blif_source s27) []);
+  serve_send conn2 (serve_req ~id:"B" "atpg" (blif_source s27) []);
+  let replies2 = List.init 3 (fun _ -> serve_recv conn2) in
+  let by_id id =
+    List.find_opt (fun r -> resp_str "id" r = Some id) replies2
+  in
+  let overload_structured =
+    match by_id "B" with
+    | Some r ->
+      (not (resp_ok r))
+      && Option.bind (Obs.Json.member "error" r) (resp_str "code")
+         = Some "overloaded"
+    | None -> false
+  in
+  check "bench serve: depth-1 queue did not reject with a structured \
+         overloaded error"
+    overload_structured;
+  check "bench serve: admitted request was not answered"
+    (match by_id "A" with Some r -> resp_ok r | None -> false);
+  let overloaded_delta =
+    stats_int [ "serve"; "overloaded" ] (serve_stats conn2) - overloaded0
+  in
+  check "bench serve: overloaded counter did not advance"
+    (overloaded_delta >= 1);
+  Serve.Server.stop t2;
+  Serve.Server.wait t2;
+
+  (* --- records ------------------------------------------------------ *)
+  let records =
+    [
+      phase_fields [ ("phase", Obs.Json.String "cold") ] cold_rec;
+      phase_fields [ ("phase", Obs.Json.String "warm") ] warm_rec;
+    ]
+    @ sweep_recs
+    @ [
+        Obs.Json.Obj
+          [
+            ("phase", Obs.Json.String "asserts");
+            ("warm_cold_speedup", Obs.Json.Float speedup);
+            ("warm_cold_ok", Obs.Json.Bool (speedup >= 10.0));
+            ("coalesce_requests", Obs.Json.Int dup);
+            ("coalesce_misses", Obs.Json.Int (misses1 - misses0));
+            ("coalesce_once", Obs.Json.Bool coalesce_once);
+            ("coalesce_saved", Obs.Json.Int (coalesced1 - coalesced0));
+            ("coalesce_manifests_equal", Obs.Json.Bool manifests_equal);
+            ("overload_structured", Obs.Json.Bool overload_structured);
+            ("shutdown_clean", Obs.Json.Bool shutdown_clean);
+          ];
+      ]
+  in
+  let m =
+    bench_manifest ~command:"serve" ~circuit:"dk16+dk16.re+s27+generated"
+      ~circuit_hash:
+        (String.concat "+"
+           [
+             Netlist.Structhash.circuit p.Core.Flow.original;
+             Netlist.Structhash.circuit p.Core.Flow.retimed;
+           ])
+      ~work_units:
+        (List.fold_left (fun a r -> a + record_int "requests" r) 0 records)
+  in
+  let records =
+    List.map
+      (fun r ->
+        with_fields [ ("manifest", Obs.Json.String (Obs.Ledger.id m)) ] r)
+      records
+  in
+  Obs.Fileio.write_string_atomic file
+    (Obs.Json.to_string (Obs.Json.List records) ^ "\n");
+  say "wrote %s (%d records, manifest %s)@." file (List.length records)
+    (Obs.Ledger.id m);
+  append_history ~suite:"serve" records
+
+let run_serve () =
+  say "Serve benchmark (in-process daemon over a Unix socket; cold/warm, \
+       ratio sweep, coalescing, depth-1 overload):@.";
+  run_serve_json ()
+
 (* ------------------------------------------------------- differential fuzz *)
 
 exception Fuzz_failure of string
@@ -876,6 +1281,7 @@ let () =
    | "atpg" -> run_atpg ()
    | "reach" -> run_reach ()
    | "fsim" -> run_fsim ()
+   | "serve" -> run_serve ()
    | "fuzz" ->
      (* `bench fuzz [seed]` — with a seed, one exact reproduction *)
      let seed =
@@ -890,4 +1296,11 @@ let () =
      run_atpg ();
      run_reach ();
      run_fsim ());
-  Fmt.flush Fmt.stdout ()
+  Fmt.flush Fmt.stdout ();
+  match List.rev !failures with
+  | [] -> ()
+  | fs ->
+    say "bench: %d internal check(s) failed:@." (List.length fs);
+    List.iter (fun m -> say "  - %s@." m) fs;
+    Fmt.flush Fmt.stdout ();
+    exit 1

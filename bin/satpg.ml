@@ -1277,11 +1277,66 @@ let diff_cmd =
     Term.(const run $ logging $ json_flag $ top_arg $ max_regress_arg
           $ folded_arg $ history_flag $ pos_a $ pos_b)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let port_arg =
+    let doc = "Listen for line-delimited JSON requests on 127.0.0.1:$(docv)." in
+    Arg.(value & opt (some int) None & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+  in
+  let unix_arg =
+    let doc = "Listen on a Unix-domain socket at $(docv)." in
+    Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+  in
+  let depth_arg =
+    let doc =
+      "Admission queue depth; a full queue answers a structured \
+       $(b,overloaded) error instead of queueing without bound."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Maximum requests drained into one coalescing batch." in
+    Arg.(value & opt int 32 & info [ "batch-max" ] ~docv:"N" ~doc)
+  in
+  let run () jobs port unix_path queue_depth batch_max =
+    setup_jobs jobs;
+    if port = None && unix_path = None then begin
+      Fmt.epr "satpg serve: pass --port and/or --unix@.";
+      exit 124
+    end;
+    if queue_depth < 1 || batch_max < 1 then begin
+      Fmt.epr "satpg serve: --queue-depth and --batch-max must be >= 1@.";
+      exit 124
+    end;
+    match
+      Serve.Server.run { Serve.Server.port; unix_path; queue_depth; batch_max }
+    with
+    | () -> ()
+    | exception Invalid_argument msg ->
+      Fmt.epr "satpg serve: %s@." msg;
+      exit 124
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Fmt.epr "satpg serve: %s(%s): %s@." fn arg (Unix.error_message e);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived ATPG service: line-delimited JSON requests \
+          over TCP and/or a Unix socket, batched and coalesced onto the \
+          domain pool behind a bounded admission queue, with Prometheus \
+          metrics on GET /metrics and liveness on GET /healthz.  Results \
+          share the store records a CLI run with equal budgets would \
+          produce, so the cache stays hot across both entry points")
+    Term.(const run $ logging $ jobs_arg $ port_arg $ unix_arg $ depth_arg
+          $ batch_arg)
+
 let main =
   let doc = "Complexity of sequential ATPG — DATE 1995 reproduction" in
   Cmd.group (Cmd.info "satpg" ~doc)
     [ synth_cmd; retime_cmd; atpg_cmd; classify_cmd; profile_cmd; lint_cmd;
       analyze_cmd; reach_cmd; cache_cmd; kiss_cmd; export_cmd; scan_cmd;
-      compare_cmd; tables_cmd; diff_cmd ]
+      compare_cmd; tables_cmd; diff_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -35,11 +35,31 @@ let env_struct_learn () =
   | Some ("1" | "true" | "on" | "yes") -> true
   | Some _ | None -> false
 
+(* Multiply the three budget fields of [base] by [f].  A non-positive or
+   non-finite scale is rejected outright — it would produce zero/negative
+   budgets and an ATPG run that aborts every fault while claiming to have
+   tried.  This is the one scaling expression shared by the SATPG_BUDGET
+   environment path below and the per-request budgets of `satpg serve`,
+   so a served budget and an env budget always fingerprint alike. *)
+let scale_budgets base f =
+  if (not (Float.is_finite f)) || f <= 0.0 then
+    invalid_arg
+      (Printf.sprintf "budget scale must be a positive finite number, got %g"
+         f);
+  let scale x =
+    if x = max_int then x
+    else int_of_float (float_of_int x *. f)
+  in
+  {
+    base with
+    backtrack_limit = scale base.backtrack_limit;
+    work_limit = scale base.work_limit;
+    total_work_limit = scale base.total_work_limit;
+  }
+
 (* Scale every budget by the SATPG_BUDGET environment variable (float).
    An unparsable value is loudly ignored (a silent fallback made typos
-   look like default-budget runs); a non-positive or non-finite scale is
-   rejected outright — it would produce zero/negative budgets and an ATPG
-   run that aborts every fault while claiming to have tried. *)
+   look like default-budget runs). *)
 let scaled_config ?(base = default_config) () =
   let base =
     if env_struct_learn () then { base with struct_learn = true } else base
@@ -52,21 +72,12 @@ let scaled_config ?(base = default_config) () =
        Logs.warn (fun m ->
            m "SATPG_BUDGET=%S is not a number; budgets left unscaled" s);
        base
-     | Some f when (not (Float.is_finite f)) || f <= 0.0 ->
-       invalid_arg
-         (Printf.sprintf
-            "SATPG_BUDGET must be a positive finite scale, got %s" s)
      | Some f ->
-       let scale x =
-         if x = max_int then x
-         else int_of_float (float_of_int x *. f)
-       in
-       {
-         base with
-         backtrack_limit = scale base.backtrack_limit;
-         work_limit = scale base.work_limit;
-         total_work_limit = scale base.total_work_limit;
-       })
+       (try scale_budgets base f
+        with Invalid_argument _ ->
+          invalid_arg
+            (Printf.sprintf
+               "SATPG_BUDGET must be a positive finite scale, got %s" s)))
 
 type stats = {
   mutable work : int;            (* gate evaluations *)

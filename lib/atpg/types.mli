@@ -31,6 +31,14 @@ val env_struct_learn : unit -> bool
     @raise Invalid_argument on a non-positive or non-finite scale. *)
 val scaled_config : ?base:config -> unit -> config
 
+(** [scale_budgets base f] multiplies the [backtrack_limit], [work_limit]
+    and [total_work_limit] of [base] by [f] — the same arithmetic
+    {!scaled_config} applies to [SATPG_BUDGET], exposed directly so
+    long-lived callers (`satpg serve`) can honor a per-request budget
+    without going through the environment.
+    @raise Invalid_argument on a non-positive or non-finite scale. *)
+val scale_budgets : config -> float -> config
+
 type stats = {
   mutable work : int;        (** gate evaluations *)
   mutable backtracks : int;

@@ -148,12 +148,18 @@ let classify ?(symbolic = true) ?(product = false) ?(universe = Collapsed)
       in
       Analysis.Untest.classify ~symbolic ~max_nodes ~product ?faults c)
 
-let atpg ?(prove_untestable = false) ?struct_learn kind ~name c =
+let atpg ?(prove_untestable = false) ?struct_learn ?config kind ~name c =
   let config =
-    match kind with
-    | Hitec -> Atpg.Hitec.config ()
-    | Sest -> Atpg.Sest.config ()
-    | Attest -> Atpg.Types.scaled_config ()
+    (* an explicit config (serve's per-request budgets) replaces the
+       environment-derived recipe; both shapes reach Store.Key through
+       the same fingerprint, so equal budgets mean equal records *)
+    match config with
+    | Some cfg -> cfg
+    | None ->
+      (match kind with
+       | Hitec -> Atpg.Hitec.config ()
+       | Sest -> Atpg.Sest.config ()
+       | Attest -> Atpg.Types.scaled_config ())
   in
   (* [struct_learn] overrides the SATPG_LEARN default baked in by
      [scaled_config]; the flag is part of the config fingerprint, so

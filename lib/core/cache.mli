@@ -72,10 +72,19 @@ val classify :
     cached under a distinct key that folds in the classification
     fingerprint.  [struct_learn] forces conflict-driven structural
     learning on or off (default: the [SATPG_LEARN] environment switch);
-    the flag is part of the cache key, so the two modes never alias. *)
+    the flag is part of the cache key, so the two modes never alias.
+
+    [config] replaces the engine's environment-derived configuration
+    ([Atpg.Hitec.config] / [Atpg.Sest.config] / [scaled_config]) with an
+    explicit one — `satpg serve` builds it from per-request budgets.  The
+    explicit config flows into {!Store.Key.config_fingerprint} exactly
+    like the environment one, so a served run and a CLI run with equal
+    budgets share one store record.  The [struct_learn] override and the
+    attest learn-flag normalization still apply on top. *)
 val atpg :
   ?prove_untestable:bool ->
   ?struct_learn:bool ->
+  ?config:Atpg.Types.config ->
   atpg_kind ->
   name:string ->
   Netlist.Node.t ->

@@ -1,0 +1,61 @@
+(* Bounded blocking FIFO over a mutex and one condition variable.  The
+   producers never wait (admission control wants an immediate full/ok
+   verdict), so only consumers block and only [pop] needs the condition.
+   Works across systhreads and domains alike — it only uses Mutex and
+   Condition from the stdlib. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  depth : int;
+  mutable closed : bool;
+}
+
+let create ~depth =
+  if depth < 1 then
+    invalid_arg (Printf.sprintf "Bqueue.create: depth must be >= 1, got %d" depth);
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    depth;
+    closed = false;
+  }
+
+let depth q = q.depth
+let length q = Mutex.protect q.mu (fun () -> Queue.length q.items)
+let closed q = Mutex.protect q.mu (fun () -> q.closed)
+
+let try_push q x =
+  Mutex.protect q.mu (fun () ->
+      if q.closed then `Closed
+      else if Queue.length q.items >= q.depth then `Full
+      else begin
+        Queue.add x q.items;
+        Condition.signal q.nonempty;
+        `Ok
+      end)
+
+let pop q =
+  Mutex.protect q.mu (fun () ->
+      let rec wait () =
+        match Queue.take_opt q.items with
+        | Some x -> Some x
+        | None ->
+          if q.closed then None
+          else begin
+            Condition.wait q.nonempty q.mu;
+            wait ()
+          end
+      in
+      wait ())
+
+let try_pop q = Mutex.protect q.mu (fun () -> Queue.take_opt q.items)
+
+let close q =
+  Mutex.protect q.mu (fun () ->
+      if not q.closed then begin
+        q.closed <- true;
+        Condition.broadcast q.nonempty
+      end)

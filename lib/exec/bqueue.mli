@@ -1,0 +1,34 @@
+(** Bounded blocking FIFO — the admission queue of the serve subsystem.
+
+    A producer that finds the queue full is told so immediately
+    ([try_push] returns [`Full]); it is never blocked and nothing is
+    ever dropped silently.  That is the admission-control contract: an
+    overloaded server answers "overloaded" in O(1) instead of queueing
+    unboundedly and converting overload into unbounded tail latency.
+
+    One consumer (or several) blocks in [pop] until an item or [close]
+    arrives.  After [close], [pop] drains the remaining items and then
+    returns [None] forever; [try_push] returns [`Closed]. *)
+
+type 'a t
+
+(** @raise Invalid_argument when [depth < 1]. *)
+val create : depth:int -> 'a t
+
+val depth : 'a t -> int
+
+(** Current number of queued items (racy by nature; for reporting). *)
+val length : 'a t -> int
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+(** Block until an item is available; [None] once closed and drained. *)
+val pop : 'a t -> 'a option
+
+(** Non-blocking variant: [None] when empty (closed or not). *)
+val try_pop : 'a t -> 'a option
+
+(** Idempotent.  Wakes every blocked [pop]. *)
+val close : 'a t -> unit
+
+val closed : 'a t -> bool

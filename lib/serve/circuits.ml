@@ -1,0 +1,44 @@
+(* Hash-keyed circuit registry: a mutex-protected memory table over the
+   optional Store.Disk Circuit kind.  The disk layer uses the exact
+   structural codec (Store.Codec.circuit_to_json/of_json), so a reloaded circuit
+   rehashes to its key — checked anyway on load, because a store
+   directory is user-writable input. *)
+
+let registered = Obs.Metrics.counter "serve.circuits.registered"
+let mu = Mutex.create ()
+let table : (string, Netlist.Node.t) Hashtbl.t = Hashtbl.create 64
+
+let register ?name c =
+  let hash = Netlist.Structhash.circuit c in
+  let fresh =
+    Mutex.protect mu (fun () ->
+        if Hashtbl.mem table hash then false
+        else begin
+          Hashtbl.replace table hash c;
+          true
+        end)
+  in
+  if fresh then begin
+    Obs.Metrics.incr registered;
+    let name = match name with Some n -> n | None -> hash in
+    ignore
+      (Store.Disk.save Store.Disk.Circuit ~key:hash ~name
+         (Store.Codec.circuit_to_json c))
+  end;
+  hash
+
+let find hash =
+  match Mutex.protect mu (fun () -> Hashtbl.find_opt table hash) with
+  | Some c -> Some c
+  | None ->
+    (match Store.Disk.load Store.Disk.Circuit ~key:hash with
+     | Store.Disk.Found payload ->
+       (match Store.Codec.circuit_of_json payload with
+        | Some c when Netlist.Structhash.circuit c = hash ->
+          Mutex.protect mu (fun () -> Hashtbl.replace table hash c);
+          Some c
+        | Some _ | None -> None)
+     | Store.Disk.Absent | Store.Disk.Corrupt _ -> None)
+
+let count () = Mutex.protect mu (fun () -> Hashtbl.length table)
+let reset () = Mutex.protect mu (fun () -> Hashtbl.reset table)

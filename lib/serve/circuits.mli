@@ -1,0 +1,22 @@
+(** Registry of circuits the server has seen, keyed by structural hash.
+
+    Every inline BLIF/KISS2/bench circuit a request carries is
+    registered here; later requests may refer to it by hash alone (the
+    ["hash"] source), which is how a client amortizes shipping a large
+    netlist across many queries.  The memory table lives for the server
+    process; with [SATPG_STORE] set, circuits also persist as
+    {!Store.Disk.Circuit} records (exact structural codec, so the
+    reloaded circuit rehashes to its key) and survive restarts. *)
+
+(** Register (idempotent) and return the structural hash. *)
+val register : ?name:string -> Netlist.Node.t -> string
+
+(** Resolve a hash: memory first, then the persistent store.  A record
+    that decodes but does not rehash to its key is rejected (corrupt). *)
+val find : string -> Netlist.Node.t option
+
+(** Registered circuits in memory. *)
+val count : unit -> int
+
+(** Drop the memory table (persisted records stay). *)
+val reset : unit -> unit

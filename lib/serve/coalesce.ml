@@ -1,0 +1,32 @@
+type 'a group = { key : string option; items : 'a list }
+
+let group_by key items =
+  (* two passes keep it simple and stable: collect group order first,
+     then the members of each keyed group *)
+  let tbl : (string, 'a list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun item ->
+      match key item with
+      | None -> order := `Single item :: !order
+      | Some k ->
+        (match Hashtbl.find_opt tbl k with
+         | Some members -> members := item :: !members
+         | None ->
+           let members = ref [ item ] in
+           Hashtbl.add tbl k members;
+           order := `Keyed (k, members) :: !order))
+    items;
+  List.rev_map
+    (function
+      | `Single item -> { key = None; items = [ item ] }
+      | `Keyed (k, members) -> { key = Some k; items = List.rev !members })
+    !order
+
+let saved groups =
+  List.fold_left
+    (fun acc g ->
+      match g.key with
+      | None -> acc
+      | Some _ -> acc + List.length g.items - 1)
+    0 groups

@@ -1,0 +1,20 @@
+(** Batch coalescing: group items by compute key.
+
+    The dispatcher drains a batch from the admission queue and groups
+    the requests by their cache key before touching the domain pool, so
+    N concurrent identical requests cost one computation and produce N
+    responses.  Pure and order-preserving — the groups appear in
+    first-arrival order, and the items inside a group keep their arrival
+    order — so responses stay deterministic. *)
+
+type 'a group = {
+  key : string option;  (** [None] groups are always singletons *)
+  items : 'a list;      (** in arrival order, never empty *)
+}
+
+(** [group_by key items] partitions [items]; items whose [key] is [None]
+    never merge with anything. *)
+val group_by : ('a -> string option) -> 'a list -> 'a group list
+
+(** Requests saved by coalescing: keyed items minus keyed groups. *)
+val saved : 'a group list -> int

@@ -1,0 +1,27 @@
+(** Verb execution: validate a request's config exactly like the CLI
+    flags, resolve its circuit, and produce a plan the server can
+    coalesce and run on the domain pool.
+
+    [plan] does the cheap, total part (validation, circuit parsing and
+    registration, cache-key derivation); the returned {!plan.run} thunk
+    does the expensive part through {!Core.Cache}, so identical keys hit
+    the same store records a CLI run would.  Every successful response
+    carries a content-addressed provenance manifest id ({!Obs.Ledger})
+    plus the config fingerprint, making served runs attributable and
+    diffable with [satpg diff]. *)
+
+type plan = {
+  key : string option;
+      (** coalescing key — equal keys mean observably identical work;
+          [None] never coalesces *)
+  run : unit -> ((string * Obs.Json.t) list, Protocol.error) result;
+      (** total: internal failures come back as structured errors *)
+}
+
+(** [Error] on validation failure; the [Shutdown] verb is connection
+    control and yields [Error] too (the server intercepts it earlier). *)
+val plan : Protocol.request -> (plan, Protocol.error) result
+
+(** The [stats] verb body: serve counters, cache counters, registered
+    circuits, pool width, store stats. *)
+val stats_fields : unit -> (string * Obs.Json.t) list

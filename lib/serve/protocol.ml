@@ -1,0 +1,227 @@
+(* Request/response codec.  The decoder is deliberately paranoid: every
+   failure mode of a hostile or buggy client — binary garbage, a
+   megabyte of 'a's, an empty line, a JSON array, an unknown verb, two
+   circuit sources at once — maps to a structured error result.  Nothing
+   in here raises (tested with random byte strings), because the
+   connection loop treats a decode error as a one-line answer, not a
+   reason to drop the connection. *)
+
+type verb = Atpg | Reach | Classify | Lint | Tables | Fsim | Stats | Shutdown
+
+let verb_name = function
+  | Atpg -> "atpg"
+  | Reach -> "reach"
+  | Classify -> "classify"
+  | Lint -> "lint"
+  | Tables -> "tables"
+  | Fsim -> "fsim"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let verb_of_name = function
+  | "atpg" -> Some Atpg
+  | "reach" -> Some Reach
+  | "classify" -> Some Classify
+  | "lint" -> Some Lint
+  | "tables" -> Some Tables
+  | "fsim" -> Some Fsim
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type source =
+  | Blif of string
+  | Kiss of string
+  | Hash of string
+  | Bench of {
+      fsm : string;
+      algorithm : string;
+      script : string;
+      retimed : bool;
+    }
+
+type request = {
+  id : string option;
+  verb : verb;
+  source : source option;
+  config : (string * Obs.Json.t) list;
+}
+
+type error_code =
+  | Parse_error
+  | Empty
+  | Oversized
+  | Bad_request
+  | Not_found
+  | Overloaded
+  | Shutting_down
+  | Internal_error
+
+let error_code_name = function
+  | Parse_error -> "parse_error"
+  | Empty -> "empty"
+  | Oversized -> "oversized"
+  | Bad_request -> "bad_request"
+  | Not_found -> "not_found"
+  | Overloaded -> "overloaded"
+  | Shutting_down -> "shutting_down"
+  | Internal_error -> "internal_error"
+
+type error = { code : error_code; message : string }
+
+let error code message = { code; message }
+
+let max_line_bytes = 8 * 1024 * 1024
+
+(* local shorthand for "reject with bad_request" during decoding *)
+exception Reject of error
+
+let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (error code m))) fmt
+
+let as_string what = function
+  | Obs.Json.String s -> s
+  | j ->
+    reject Bad_request "%s must be a JSON string, got %s" what
+      (Obs.Json.to_string j)
+
+let as_bool what = function
+  | Obs.Json.Bool b -> b
+  | j ->
+    reject Bad_request "%s must be a JSON boolean, got %s" what
+      (Obs.Json.to_string j)
+
+let decode_source j =
+  match j with
+  | Obs.Json.Obj fields ->
+    let pick name = List.assoc_opt name fields in
+    let known =
+      [ "blif"; "kiss2"; "hash"; "bench"; "algorithm"; "script"; "retimed" ]
+    in
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k known) then
+          reject Bad_request "unknown circuit field %S" k)
+      fields;
+    let sources =
+      List.filter_map
+        (fun name -> Option.map (fun v -> (name, v)) (pick name))
+        [ "blif"; "kiss2"; "hash"; "bench" ]
+    in
+    (match sources with
+     | [] ->
+       reject Bad_request
+         "circuit object needs exactly one of blif/kiss2/hash/bench"
+     | _ :: _ :: _ ->
+       reject Bad_request "circuit object has more than one source"
+     | [ ("blif", v) ] -> Blif (as_string "circuit.blif" v)
+     | [ ("kiss2", v) ] -> Kiss (as_string "circuit.kiss2" v)
+     | [ ("hash", v) ] -> Hash (as_string "circuit.hash" v)
+     | [ ("bench", v) ] ->
+       let fsm = as_string "circuit.bench" v in
+       let str_or name default =
+         match pick name with
+         | None -> default
+         | Some v -> as_string ("circuit." ^ name) v
+       in
+       let retimed =
+         match pick "retimed" with
+         | None -> false
+         | Some v -> as_bool "circuit.retimed" v
+       in
+       Bench
+         {
+           fsm;
+           algorithm = str_or "algorithm" "ji";
+           script = str_or "script" "sr";
+           retimed;
+         }
+     | [ _ ] -> assert false)
+  | j ->
+    reject Bad_request "circuit must be a JSON object, got %s"
+      (Obs.Json.to_string j)
+
+let is_blank line = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\r') line
+
+let decode_request line =
+  if String.length line > max_line_bytes then
+    Error
+      (error Oversized
+         (Printf.sprintf "request line of %d bytes exceeds the %d-byte cap"
+            (String.length line) max_line_bytes))
+  else if is_blank line then Error (error Empty "empty request line")
+  else
+    match Obs.Json.parse line with
+    | exception Obs.Json.Parse_error msg ->
+      Error (error Parse_error ("request is not valid JSON: " ^ msg))
+    | exception _ -> Error (error Parse_error "request is not valid JSON")
+    | json ->
+      (try
+         let fields =
+           match json with
+           | Obs.Json.Obj fields -> fields
+           | _ -> reject Bad_request "request must be a JSON object"
+         in
+         let pick name = List.assoc_opt name fields in
+         List.iter
+           (fun (k, _) ->
+             if not (List.mem k [ "id"; "verb"; "circuit"; "config" ]) then
+               reject Bad_request "unknown request field %S" k)
+           fields;
+         let id =
+           match pick "id" with
+           | None -> None
+           | Some (Obs.Json.String s) -> Some s
+           | Some (Obs.Json.Int i) -> Some (string_of_int i)
+           | Some j ->
+             reject Bad_request "id must be a string or integer, got %s"
+               (Obs.Json.to_string j)
+         in
+         let verb =
+           match pick "verb" with
+           | None -> reject Bad_request "request is missing the verb field"
+           | Some (Obs.Json.String s) ->
+             (match verb_of_name s with
+              | Some v -> v
+              | None -> reject Bad_request "unknown verb %S" s)
+           | Some j ->
+             reject Bad_request "verb must be a string, got %s"
+               (Obs.Json.to_string j)
+         in
+         let source = Option.map decode_source (pick "circuit") in
+         let config =
+           match pick "config" with
+           | None -> []
+           | Some (Obs.Json.Obj fields) -> fields
+           | Some j ->
+             reject Bad_request "config must be a JSON object, got %s"
+               (Obs.Json.to_string j)
+         in
+         Ok { id; verb; source; config }
+       with
+       | Reject e -> Error e
+       | e ->
+         Error
+           (error Internal_error
+              ("unexpected decoder failure: " ^ Printexc.to_string e)))
+
+let id_field = function
+  | None -> []
+  | Some id -> [ ("id", Obs.Json.String id) ]
+
+let encode_response ~id fields =
+  Obs.Json.to_string
+    (Obs.Json.Obj (id_field id @ (("ok", Obs.Json.Bool true) :: fields)))
+
+let encode_error ~id e =
+  Obs.Json.to_string
+    (Obs.Json.Obj
+       (id_field id
+       @ [
+           ("ok", Obs.Json.Bool false);
+           ( "error",
+             Obs.Json.Obj
+               [
+                 ("code", Obs.Json.String (error_code_name e.code));
+                 ("message", Obs.Json.String e.message);
+               ] );
+         ]))

@@ -1,0 +1,75 @@
+(** Wire protocol of `satpg serve`: line-delimited JSON requests.
+
+    One request per line, one response per line, over a TCP or Unix
+    socket.  A request is a JSON object:
+
+    {v
+    {"id": "r1",                      // optional echo token
+     "verb": "atpg",                  // see {!verb}
+     "circuit": {"blif": "..."}       // inline BLIF text
+             | {"kiss2": "..."}       // inline KISS2 FSM (synthesized)
+             | {"hash": "ab12..."}    // structural-hash reference
+             | {"bench": "dk16", "algorithm": "ji",
+                "script": "sd", "retimed": false},
+     "config": {"budget": 0.05, ...}} // verb-specific, validated like
+                                      // the CLI flags ({!Dispatch})
+    v}
+
+    Responses echo [id] and carry ["ok": true] plus verb fields, or
+    ["ok": false] plus a structured [error] object.  The decoder is
+    {e total}: malformed, empty and oversized lines all map to [Error]
+    values (never exceptions), so one bad client line can never take a
+    connection down with it. *)
+
+type verb = Atpg | Reach | Classify | Lint | Tables | Fsim | Stats | Shutdown
+
+val verb_name : verb -> string
+
+type source =
+  | Blif of string  (** inline BLIF netlist text *)
+  | Kiss of string  (** inline KISS2 FSM text (server synthesizes) *)
+  | Hash of string  (** structural hash of a registered circuit *)
+  | Bench of {
+      fsm : string;
+      algorithm : string;
+      script : string;
+      retimed : bool;
+    }  (** a named benchmark pair circuit, exactly as the CLI builds it *)
+
+type request = {
+  id : string option;
+  verb : verb;
+  source : source option;
+  config : (string * Obs.Json.t) list;
+      (** raw config fields; semantic validation happens per verb in
+          {!Dispatch} *)
+}
+
+type error_code =
+  | Parse_error    (** line is not valid JSON *)
+  | Empty          (** blank line *)
+  | Oversized      (** line exceeds {!max_line_bytes} *)
+  | Bad_request    (** shape/validation failure, message says what *)
+  | Not_found      (** unknown structural-hash reference *)
+  | Overloaded     (** admission queue full — retry later *)
+  | Shutting_down  (** server is draining *)
+  | Internal_error (** unexpected exception (reported, never fatal) *)
+
+val error_code_name : error_code -> string
+
+type error = { code : error_code; message : string }
+
+val error : error_code -> string -> error
+
+(** Hard cap on one request line (8 MiB) — past it the decoder answers
+    [Oversized] without parsing. *)
+val max_line_bytes : int
+
+(** Total decode: never raises. *)
+val decode_request : string -> (request, error) result
+
+(** One response line (no trailing newline): [{"id"?, "ok": true, ...fields}]. *)
+val encode_response : id:string option -> (string * Obs.Json.t) list -> string
+
+(** [{"id"?, "ok": false, "error": {"code", "message"}}]. *)
+val encode_error : id:string option -> error -> string

@@ -1,0 +1,494 @@
+(* Connection loop, admission control and the batching dispatcher.
+
+   Threading model: systhreads for I/O (one reader per connection, one
+   acceptor per listener, one dispatcher), OCaml domains (Exec.Pool) for
+   compute.  The dispatcher is deliberately single: batches execute
+   sequentially, so two lookups of one cache key can never race — a
+   batch coalesces identical keys into one computation, and a later
+   batch finds the first batch's result already cached.  Combined these
+   give the "compute exactly once" property `bench serve` asserts.
+
+   Connection lifetime: a reader that reaches EOF must not close its fd
+   while the dispatcher still owes responses to queued requests (an fd
+   closed early could be reused by the kernel and the response would go
+   to a stranger).  Each connection counts its in-queue requests
+   ([pending]); whoever brings the count to zero after EOF closes. *)
+
+let requests = Obs.Metrics.counter "serve.requests"
+let responses = Obs.Metrics.counter "serve.responses"
+let errors = Obs.Metrics.counter "serve.errors"
+let overloaded = Obs.Metrics.counter "serve.overloaded"
+let coalesced = Obs.Metrics.counter "serve.coalesced"
+let batches = Obs.Metrics.counter "serve.batches"
+let http_requests = Obs.Metrics.counter "serve.http_requests"
+let batch_size = Obs.Metrics.histogram "serve.batch_size"
+let queue_len = Obs.Metrics.gauge "serve.queue_len"
+let in_flight = Obs.Metrics.gauge "serve.in_flight"
+
+type config = {
+  port : int option;
+  unix_path : string option;
+  queue_depth : int;
+  batch_max : int;
+}
+
+let default_config =
+  { port = None; unix_path = None; queue_depth = 64; batch_max = 32 }
+
+type conn = {
+  fd : Unix.file_descr;
+  out_mu : Mutex.t;
+  mu : Mutex.t;
+  mutable pending : int;  (* queued requests awaiting a response *)
+  mutable eof : bool;     (* reader thread is done with this fd *)
+  mutable closed : bool;
+}
+
+type t = {
+  cfg : config;
+  queue : (Protocol.request * conn) Exec.Bqueue.t;
+  stopping : bool Atomic.t;
+  listeners : (Unix.file_descr * string option) list;
+      (* fd, unix path to unlink on shutdown *)
+  conns_mu : Mutex.t;
+  mutable conns : (conn * Thread.t) list;
+  mutable acceptors : Thread.t list;
+  mutable dispatcher : unit Domain.t option;
+}
+
+(* ------------------------------------------------------------- plumbing - *)
+
+let close_fd conn =
+  (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* Reader is done: close now unless responses are still owed. *)
+let conn_eof conn =
+  Mutex.protect conn.mu (fun () ->
+      conn.eof <- true;
+      if conn.pending = 0 && not conn.closed then begin
+        conn.closed <- true;
+        close_fd conn
+      end)
+
+let conn_acquire conn =
+  Mutex.protect conn.mu (fun () -> conn.pending <- conn.pending + 1)
+
+let conn_release conn =
+  Mutex.protect conn.mu (fun () ->
+      conn.pending <- conn.pending - 1;
+      if conn.eof && conn.pending = 0 && not conn.closed then begin
+        conn.closed <- true;
+        close_fd conn
+      end)
+
+(* Shutdown path: wake a reader blocked in [read] and close. *)
+let conn_force_close conn =
+  Mutex.protect conn.mu (fun () ->
+      if not conn.closed then begin
+        conn.closed <- true;
+        close_fd conn
+      end)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* One response line.  A dead peer (EPIPE/EBADF/...) is not an error the
+   server can do anything about — the write is simply dropped. *)
+let send conn line =
+  Mutex.protect conn.out_mu (fun () ->
+      try write_all conn.fd (line ^ "\n") with Unix.Unix_error _ -> ())
+
+let send_raw conn s =
+  Mutex.protect conn.out_mu (fun () ->
+      try write_all conn.fd s with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------ bounded reader - *)
+
+(* Newline-framed reads with the protocol's line cap enforced while the
+   bytes arrive: a client streaming an unbounded line is answered
+   [oversized] (and disconnected — framing is lost) after at most
+   [max_line_bytes] buffered bytes, it cannot balloon server memory. *)
+type reader = {
+  rfd : Unix.file_descr;
+  mutable ready : string list;   (* complete lines awaiting delivery *)
+  mutable partial : string list; (* reversed fragments of the open line *)
+  mutable partial_len : int;
+}
+
+let make_reader fd = { rfd = fd; ready = []; partial = []; partial_len = 0 }
+
+let rec next_line r =
+  match r.ready with
+  | line :: rest ->
+    r.ready <- rest;
+    `Line line
+  | [] ->
+    if r.partial_len > Protocol.max_line_bytes then `Oversized
+    else begin
+      let chunk = Bytes.create 65536 in
+      match Unix.read r.rfd chunk 0 (Bytes.length chunk) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_line r
+      | exception Unix.Unix_error _ -> `Eof
+      | 0 ->
+        if r.partial = [] then `Eof
+        else begin
+          let line = String.concat "" (List.rev r.partial) in
+          r.partial <- [];
+          r.partial_len <- 0;
+          `Line line
+        end
+      | n ->
+        (match String.split_on_char '\n' (Bytes.sub_string chunk 0 n) with
+         | [ frag ] ->
+           r.partial <- frag :: r.partial;
+           r.partial_len <- r.partial_len + String.length frag;
+           next_line r
+         | first :: more ->
+           let line = String.concat "" (List.rev (first :: r.partial)) in
+           r.partial <- [];
+           r.partial_len <- 0;
+           let rec split_last acc = function
+             | [ last ] -> (List.rev acc, last)
+             | x :: tl -> split_last (x :: acc) tl
+             | [] -> assert false
+           in
+           let full, last = split_last [] more in
+           r.ready <- full;
+           if last <> "" then begin
+             r.partial <- [ last ];
+             r.partial_len <- String.length last
+           end;
+           `Line line
+         | [] -> assert false)
+    end
+
+(* ----------------------------------------------------------------- http - *)
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let http_respond conn status content_type body =
+  send_raw conn
+    (Printf.sprintf
+       "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n%s"
+       status content_type (String.length body) body)
+
+let handle_http conn r first_line =
+  Obs.Metrics.incr http_requests;
+  (* drain request headers; this endpoint ignores them *)
+  let rec drain () =
+    match next_line r with
+    | `Line l when strip_cr l <> "" -> drain ()
+    | `Line _ | `Eof | `Oversized -> ()
+  in
+  drain ();
+  match String.split_on_char ' ' (strip_cr first_line) with
+  | "GET" :: path :: _ ->
+    (match path with
+     | "/metrics" ->
+       http_respond conn "200 OK" "text/plain; version=0.0.4"
+         (Obs.Prom.render ())
+     | "/healthz" -> http_respond conn "200 OK" "text/plain" "ok\n"
+     | _ -> http_respond conn "404 Not Found" "text/plain" "not found\n")
+  | _ -> http_respond conn "405 Method Not Allowed" "text/plain" "GET only\n"
+
+(* ----------------------------------------------------------- lifecycle - *)
+
+(* Non-blocking and idempotent: flip the flag and close the queue.  The
+   dispatcher drains what was already admitted, then [wait] tears the
+   connections down. *)
+let stop t =
+  if not (Atomic.exchange t.stopping true) then
+    Exec.Bqueue.close t.queue
+
+(* ------------------------------------------------------------ raw lines - *)
+
+let send_error conn ~id e =
+  Obs.Metrics.incr errors;
+  send conn (Protocol.encode_error ~id e)
+
+let handle_line t conn line =
+  Obs.Metrics.incr requests;
+  match Protocol.decode_request line with
+  | Error e -> send_error conn ~id:None e
+  | Ok req ->
+    let id = req.Protocol.id in
+    (match req.Protocol.verb with
+     | Protocol.Shutdown ->
+       Obs.Metrics.incr responses;
+       send conn
+         (Protocol.encode_response ~id
+            [ ("verb", Obs.Json.String "shutdown") ]);
+       stop t
+     | Protocol.Stats ->
+       Obs.Metrics.incr responses;
+       send conn (Protocol.encode_response ~id (Dispatch.stats_fields ()))
+     | _ ->
+       if Atomic.get t.stopping then
+         send_error conn ~id
+           { Protocol.code = Protocol.Shutting_down;
+             message = "server is shutting down" }
+       else begin
+         conn_acquire conn;
+         match Exec.Bqueue.try_push t.queue (req, conn) with
+         | `Ok ->
+           Obs.Metrics.set queue_len
+             (float_of_int (Exec.Bqueue.length t.queue))
+         | `Full ->
+           conn_release conn;
+           Obs.Metrics.incr overloaded;
+           send_error conn ~id
+             { Protocol.code = Protocol.Overloaded;
+               message =
+                 Printf.sprintf
+                   "admission queue full (depth %d); retry later"
+                   (Exec.Bqueue.depth t.queue) }
+         | `Closed ->
+           conn_release conn;
+           send_error conn ~id
+             { Protocol.code = Protocol.Shutting_down;
+               message = "server is shutting down" }
+       end)
+
+let connection_loop t conn =
+  let r = make_reader conn.fd in
+  let rec loop first =
+    match next_line r with
+    | `Eof -> ()
+    | `Oversized ->
+      (* framing is lost beyond the cap; answer once and hang up *)
+      send_error conn ~id:None
+        { Protocol.code = Protocol.Oversized;
+          message =
+            Printf.sprintf "request line exceeds %d bytes"
+              Protocol.max_line_bytes }
+    | `Line line ->
+      if first && String.length line >= 4 && String.sub line 0 4 = "GET "
+      then handle_http conn r line
+      else begin
+        handle_line t conn line;
+        loop false
+      end
+  in
+  (try loop true with _ -> ());
+  conn_eof conn
+
+(* ----------------------------------------------------------- dispatcher - *)
+
+(* A queue item after planning: either ready to run (grouped by cache
+   key) or already answered (plan-time validation error). *)
+let answer_group group result =
+  List.iter
+    (fun (req, conn) ->
+      let id = req.Protocol.id in
+      (match result with
+       | Ok fields ->
+         Obs.Metrics.incr responses;
+         send conn (Protocol.encode_response ~id fields)
+       | Error e -> send_error conn ~id e);
+      conn_release conn)
+    group.Coalesce.items
+
+let run_batch batch =
+  Obs.Metrics.incr batches;
+  Obs.Metrics.observe batch_size (List.length batch);
+  (* plan each request; validation failures answer immediately *)
+  let planned =
+    List.filter_map
+      (fun (req, conn) ->
+        match Dispatch.plan req with
+        | Ok p -> Some (p, (req, conn))
+        | Error e ->
+          send_error conn ~id:req.Protocol.id e;
+          conn_release conn;
+          None)
+      batch
+  in
+  let groups = Coalesce.group_by (fun (p, _) -> p.Dispatch.key) planned in
+  Obs.Metrics.add coalesced (Coalesce.saved groups);
+  (* run one plan per group on the domain pool; send every member the
+     group's result *)
+  let results =
+    Exec.Pool.map_list
+      (fun g ->
+        match g.Coalesce.items with
+        | (p, _) :: _ ->
+          (try p.Dispatch.run ()
+           with e ->
+             Error
+               { Protocol.code = Protocol.Internal_error;
+                 message = Printexc.to_string e })
+        | [] -> Ok [])
+      groups
+  in
+  List.iter2
+    (fun g result ->
+      answer_group
+        { Coalesce.key = g.Coalesce.key;
+          items = List.map snd g.Coalesce.items }
+        result)
+    groups results
+
+let dispatcher_loop t =
+  let rec loop () =
+    match Exec.Bqueue.pop t.queue with
+    | None -> () (* closed and drained *)
+    | Some first ->
+      Obs.Metrics.set in_flight 1.0;
+      let rec drain acc n =
+        if n >= t.cfg.batch_max then List.rev acc
+        else
+          match Exec.Bqueue.try_pop t.queue with
+          | Some item -> drain (item :: acc) (n + 1)
+          | None -> List.rev acc
+      in
+      let batch = drain [ first ] 1 in
+      Obs.Metrics.set queue_len (float_of_int (Exec.Bqueue.length t.queue));
+      (try run_batch batch
+       with e ->
+         (* belt and braces: a dispatcher crash would strand clients *)
+         List.iter
+           (fun (req, conn) ->
+             send_error conn ~id:req.Protocol.id
+               { Protocol.code = Protocol.Internal_error;
+                 message = Printexc.to_string e };
+             conn_release conn)
+           batch);
+      Obs.Metrics.set in_flight 0.0;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------ accepting - *)
+
+let accept_loop t lfd =
+  while not (Atomic.get t.stopping) do
+    (* select with a timeout so the stopping flag is polled: closing a
+       listening fd does not reliably wake a thread blocked in accept *)
+    match Unix.select [ lfd ] [] [] 0.25 with
+    | [], _, _ -> ()
+    | _ ->
+      (match Unix.accept ~cloexec:true lfd with
+       | exception
+           Unix.Unix_error
+             ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED | Unix.EINTR), _, _)
+         -> ()
+       | fd, _ ->
+         let conn =
+           { fd;
+             out_mu = Mutex.create ();
+             mu = Mutex.create ();
+             pending = 0;
+             eof = false;
+             closed = false }
+         in
+         let th = Thread.create (fun () -> connection_loop t conn) () in
+         Mutex.protect t.conns_mu (fun () ->
+             t.conns <- (conn, th) :: t.conns))
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINTR), _, _) -> ()
+  done
+
+(* -------------------------------------------------------------- startup - *)
+
+let listen_tcp port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let listen_unix path =
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path (* stale socket *)
+   | _ -> ()
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let start cfg =
+  if cfg.port = None && cfg.unix_path = None then
+    invalid_arg "serve: configure a TCP port and/or a unix socket path";
+  (match cfg.port with
+   | Some p when p < 1 || p > 65535 ->
+     invalid_arg (Printf.sprintf "serve: port %d out of range" p)
+   | _ -> ());
+  if cfg.queue_depth < 1 then invalid_arg "serve: queue depth must be >= 1";
+  if cfg.batch_max < 1 then invalid_arg "serve: batch max must be >= 1";
+  (* a client hanging up mid-response must surface as EPIPE, not kill
+     the process *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listeners =
+    (match cfg.port with Some p -> [ (listen_tcp p, None) ] | None -> [])
+    @ (match cfg.unix_path with
+       | Some path -> [ (listen_unix path, Some path) ]
+       | None -> [])
+  in
+  let t =
+    { cfg;
+      queue = Exec.Bqueue.create ~depth:cfg.queue_depth;
+      stopping = Atomic.make false;
+      listeners;
+      conns_mu = Mutex.create ();
+      conns = [];
+      acceptors = [];
+      dispatcher = None }
+  in
+  (* The dispatcher gets its own domain, not a systhread: the Exec pool
+     has calling threads participate in their batch's compute, and a
+     compute-bound systhread on the I/O domain starves every reader and
+     acceptor between its (rare) yield points.  On a separate domain the
+     batch crunches at full speed while domain 0 stays pure I/O — stats
+     and /metrics answer instantly even mid-batch. *)
+  t.dispatcher <- Some (Domain.spawn (fun () -> dispatcher_loop t));
+  t.acceptors <-
+    List.map
+      (fun (lfd, _) -> Thread.create (fun () -> accept_loop t lfd) ())
+      t.listeners;
+  t
+
+let wait t =
+  List.iter Thread.join t.acceptors;
+  t.acceptors <- [];
+  List.iter
+    (fun (lfd, path) ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      match path with
+      | Some p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+      | None -> ())
+    t.listeners;
+  (* the dispatcher drains the (closed) queue and exits *)
+  (match t.dispatcher with
+   | Some d ->
+     Domain.join d;
+     t.dispatcher <- None
+   | None -> ());
+  (* every admitted request is answered by now; tear down connections,
+     waking readers blocked on idle sockets *)
+  let conns = Mutex.protect t.conns_mu (fun () -> t.conns) in
+  List.iter (fun (conn, _) -> conn_force_close conn) conns;
+  List.iter (fun (_, th) -> Thread.join th) conns;
+  Mutex.protect t.conns_mu (fun () -> t.conns <- [])
+
+let run cfg =
+  let t = start cfg in
+  wait t

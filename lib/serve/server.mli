@@ -1,0 +1,50 @@
+(** The long-lived `satpg serve` daemon.
+
+    Listens on a loopback TCP port and/or a Unix-domain socket.  Each
+    connection speaks the line-delimited JSON protocol ({!Protocol});
+    a connection whose first line starts with [GET ] is answered as
+    HTTP/1.1 instead ([/metrics] Prometheus text, [/healthz]), then
+    closed.
+
+    Architecture: one reader thread per connection decodes lines and
+    pushes compute requests into a bounded admission queue
+    ({!Exec.Bqueue}) — a full queue answers a structured [overloaded]
+    error immediately, so overload degrades to fast failures instead of
+    unbounded latency.  A single dispatcher thread drains the queue in
+    batches, coalesces identical cache keys ({!Coalesce}), and executes
+    the unique computations on the {!Exec.Pool} domain pool; every
+    member of a coalesced group gets its own response (same manifest
+    id).  [stats] and [shutdown] bypass the queue.  The {!Core.Cache}
+    memory layer stays hot across requests — the server is a global
+    memo table over structural hashes. *)
+
+type config = {
+  port : int option;       (** TCP listener on 127.0.0.1 *)
+  unix_path : string option;  (** Unix-domain socket path *)
+  queue_depth : int;       (** admission queue bound (default 64) *)
+  batch_max : int;         (** max requests coalesced per batch (default 32) *)
+}
+
+(** No listeners configured — callers must pick at least one. *)
+val default_config : config
+
+type t
+
+(** Bind listeners and spawn the accept/dispatch threads; returns
+    immediately.  Ignores [SIGPIPE] process-wide (socket writes must
+    fail with [EPIPE], not kill the server).
+    @raise Invalid_argument on a config without listeners or with
+    non-positive depths; [Unix.Unix_error] when binding fails. *)
+val start : config -> t
+
+(** Request shutdown: stop accepting, drain the queue, answer what was
+    admitted, then close every connection.  Idempotent; non-blocking.
+    (The [shutdown] verb calls this.) *)
+val stop : t -> unit
+
+(** Block until the server has fully shut down and every thread is
+    joined. *)
+val wait : t -> unit
+
+(** [start] then [wait]. *)
+val run : config -> unit

@@ -366,3 +366,101 @@ let structural_result_of_json =
 
 let manifest_to_json = Obs.Ledger.to_json
 let manifest_of_json = Obs.Ledger.of_json
+
+(* ---------------------------------------------------------------- circuit - *)
+
+(* Exact structural dump of a netlist, one entry per node in id order plus
+   the primary-output list.  The decoder replays the entries through
+   Netlist.Build in the same order, so the rebuilt circuit has identical
+   node ids, interface orders and wiring — in particular an identical
+   {!Netlist.Structhash.circuit} — which is what lets `satpg serve`
+   resolve a structural-hash reference to a store record across restarts
+   without any drift.  (A BLIF round trip would not do: the writer
+   re-expresses NAND/NOR/XOR gates as on-set covers that read back as
+   AND/OR/NOT trees, preserving behaviour but not the hash.) *)
+
+let gate_fn_of_name s =
+  match String.uppercase_ascii s with
+  | "AND" -> Netlist.Node.And
+  | "OR" -> Netlist.Node.Or
+  | "NAND" -> Netlist.Node.Nand
+  | "NOR" -> Netlist.Node.Nor
+  | "NOT" -> Netlist.Node.Not
+  | "BUF" -> Netlist.Node.Buf
+  | "XOR" -> Netlist.Node.Xor
+  | "XNOR" -> Netlist.Node.Xnor
+  | _ -> raise Corrupt
+
+let circuit_to_json (c : Netlist.Node.t) =
+  let node_json (nd : Netlist.Node.node) =
+    match nd.Netlist.Node.kind with
+    | Netlist.Node.Pi _ -> List [ String "pi"; String nd.Netlist.Node.name ]
+    | Netlist.Node.Dff { init } ->
+      List
+        [
+          String "dff";
+          String nd.Netlist.Node.name;
+          Bool init;
+          Int nd.Netlist.Node.fanins.(0);
+        ]
+    | Netlist.Node.Gate fn ->
+      List
+        [
+          String "gate";
+          String nd.Netlist.Node.name;
+          String (Netlist.Node.gate_fn_name fn);
+          List
+            (Array.to_list
+               (Array.map (fun f -> Int f) nd.Netlist.Node.fanins));
+        ]
+  in
+  Obj
+    [
+      ("nodes", List (Array.to_list (Array.map node_json c.Netlist.Node.nodes)));
+      ( "pos",
+        List
+          (Array.to_list
+             (Array.map
+                (fun (name, drv) -> List [ String name; Int drv ])
+                c.Netlist.Node.pos)) );
+    ]
+
+let circuit_of_json =
+  guard (fun j ->
+      let b = Netlist.Build.create () in
+      (* first pass: recreate every node in id order (dense ids match by
+         construction); DFF data inputs may reference later ids, so they
+         are connected afterwards *)
+      let dff_data = ref [] in
+      Stdlib.List.iter
+        (fun nj ->
+          match nj with
+          | List [ String "pi"; String name ] ->
+            ignore (Netlist.Build.add_pi b name)
+          | List [ String "dff"; String name; Bool init; Int data ] ->
+            let id = Netlist.Build.add_dff b ~init name in
+            dff_data := (id, data) :: !dff_data
+          | List [ String "gate"; String name; String fn; List fanins ] ->
+            let fanins =
+              Array.of_list (Stdlib.List.map (fun f -> as_int f) fanins)
+            in
+            (match Netlist.Build.add_gate b (gate_fn_of_name fn) name fanins with
+             | (_ : int) -> ()
+             | exception Invalid_argument _ -> raise Corrupt)
+          | _ -> raise Corrupt)
+        (as_list (obj_field "nodes" j));
+      Stdlib.List.iter
+        (fun (dff, data) ->
+          if data < 0 then raise Corrupt;
+          Netlist.Build.connect_dff b dff data)
+        !dff_data;
+      Stdlib.List.iter
+        (fun pj ->
+          match pj with
+          | List [ String name; Int drv ] -> Netlist.Build.add_po b name drv
+          | _ -> raise Corrupt)
+        (as_list (obj_field "pos" j));
+      match Netlist.Build.finalize b with
+      | c -> c
+      | exception (Invalid_argument _ | Netlist.Build.Combinational_cycle _) ->
+        raise Corrupt)

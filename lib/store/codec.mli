@@ -28,3 +28,13 @@ val structural_result_of_json : Obs.Json.t -> Analysis.Structural.result option
 val manifest_to_json : Obs.Ledger.t -> Obs.Json.t
 
 val manifest_of_json : Obs.Json.t -> Obs.Ledger.t option
+
+(** Exact structural circuit dump (node list in id order + PO list).
+    Unlike a BLIF round trip, decoding reproduces the node ids, interface
+    orders and gate functions exactly, so the rebuilt circuit has the
+    same {!Netlist.Structhash.circuit} as the encoded one — the property
+    `satpg serve` relies on to resolve structural-hash references across
+    server restarts. *)
+val circuit_to_json : Netlist.Node.t -> Obs.Json.t
+
+val circuit_of_json : Obs.Json.t -> Netlist.Node.t option

@@ -29,7 +29,7 @@ let dir () =
 
 let enabled () = dir () <> None
 
-type kind = Atpg | Classify | Reach | Symreach | Structural | Manifest
+type kind = Atpg | Classify | Reach | Symreach | Structural | Manifest | Circuit
 
 let kind_name = function
   | Atpg -> "atpg"
@@ -38,8 +38,9 @@ let kind_name = function
   | Symreach -> "symreach"
   | Structural -> "structural"
   | Manifest -> "manifest"
+  | Circuit -> "circuit"
 
-let all_kinds = [ Atpg; Classify; Reach; Symreach; Structural; Manifest ]
+let all_kinds = [ Atpg; Classify; Reach; Symreach; Structural; Manifest; Circuit ]
 
 let version = 1
 
@@ -211,6 +212,7 @@ let verify_entry e =
          | Symreach -> Codec.symreach_summary_of_json payload <> None
          | Structural -> Codec.structural_result_of_json payload <> None
          | Manifest -> Codec.manifest_of_json payload <> None
+         | Circuit -> Codec.circuit_of_json payload <> None
        in
        if ok then Ok () else Error "payload does not decode")
 

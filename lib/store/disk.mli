@@ -15,7 +15,14 @@ val dir : unit -> string option
 
 val enabled : unit -> bool
 
-type kind = Atpg | Classify | Reach | Symreach | Structural | Manifest
+type kind =
+  | Atpg
+  | Classify
+  | Reach
+  | Symreach
+  | Structural
+  | Manifest
+  | Circuit  (** registered netlists, keyed by structural hash (serve) *)
 
 val kind_name : kind -> string
 val all_kinds : kind list

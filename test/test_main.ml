@@ -21,4 +21,5 @@ let () =
       ("diff", Test_diff.suite);
       ("exec", Test_exec.suite);
       ("dft", Test_dft.suite);
+      ("serve", Test_serve.suite);
     ]
